@@ -1,0 +1,57 @@
+// Command ftpcertify runs the §X "CyberUL"-style certification battery
+// against one real FTP host over TCP: anonymous login, anonymous write,
+// PORT validation, default credentials, banner CVEs, FTPS availability,
+// and internal-address leaks.
+//
+// Usage:
+//
+//	ftpcertify [-timeout 10s] <host>
+//
+// Only point ftpcertify at devices you own or are authorized to test: the
+// battery includes login and upload probes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"ftpcloud/internal/certify"
+)
+
+type tcpDialer struct{ timeout time.Duration }
+
+func (d tcpDialer) Dial(network, address string) (net.Conn, error) {
+	return net.DialTimeout(network, address, d.timeout)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftpcertify: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	timeout := flag.Duration("timeout", 10*time.Second, "per-operation timeout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: ftpcertify [flags] <host>")
+	}
+	auditor := &certify.Auditor{
+		Dialer:  tcpDialer{timeout: *timeout},
+		Timeout: *timeout,
+	}
+	report, err := auditor.Audit(context.Background(), flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(certify.Render(report))
+	if report.Grade == "F" {
+		os.Exit(2)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command ftpserved serves one FTP personality on a real TCP socket — the
+// interop path for validating the server engine (and the enumerator)
+// outside the simulation. A local testbed of diverse implementations was
+// exactly how the paper hardened its enumerator.
+//
+// Usage:
+//
+//	ftpserved -addr 127.0.0.1:2121 -personality proftpd-1.3.5 -anon -writable
+//	ftpserved -list
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ftpcloud/internal/ftpserver"
+	"ftpcloud/internal/personality"
+	"ftpcloud/internal/vfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftpserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// demoFS builds a small example tree for manual testing.
+func demoFS() *vfs.FS {
+	root := vfs.NewDir("/", vfs.Perm755)
+	pub := root.Add(vfs.NewDir("pub", vfs.Perm755))
+	pub.Add(vfs.NewFileContent("README", vfs.Perm644,
+		[]byte("ftpserved demo server (ftpcloud reproduction toolkit)\n")))
+	pub.Add(vfs.NewFileContent("index.html", vfs.Perm644,
+		[]byte("<html><body>hello from ftpserved</body></html>\n")))
+	photos := pub.Add(vfs.NewDir("photos", vfs.Perm755))
+	photos.Add(vfs.NewFile("DSC_0001.jpg", vfs.Perm644, 1_200_000))
+	root.Add(vfs.NewDir("incoming", vfs.Perm777))
+	return vfs.New(root)
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:2121", "listen address")
+		persKey  = flag.String("personality", personality.KeyProFTPD135, "implementation profile key")
+		anon     = flag.Bool("anon", true, "allow anonymous logins")
+		writable = flag.Bool("writable", false, "allow anonymous writes")
+		list     = flag.Bool("list", false, "list available personalities and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range personality.All() {
+			model := p.DeviceModel
+			if model == "" {
+				model = p.Software
+			}
+			fmt.Printf("%-24s %s\n", p.Key, model)
+		}
+		return nil
+	}
+
+	pers := personality.ByKey(*persKey)
+	if pers == nil {
+		return fmt.Errorf("unknown personality %q (use -list)", *persKey)
+	}
+	srv, err := ftpserver.New(ftpserver.Config{
+		Pers:           pers,
+		FS:             demoFS(),
+		HostName:       "ftpserved.local",
+		AllowAnonymous: *anon,
+		AnonWritable:   *writable,
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "ftpserved: %s serving %s (anon=%v writable=%v)\n",
+		l.Addr(), *persKey, *anon, *writable)
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting; in-flight
+	// sessions run to completion on their own goroutines.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		l.Close()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "ftpserved: shutting down")
+				return nil
+			}
+			return err
+		}
+		go srv.ServeTCP(conn)
+	}
+}

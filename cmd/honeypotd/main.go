@@ -1,0 +1,52 @@
+// Command honeypotd runs the §VIII honeypot study: it deploys anonymous,
+// world-writable FTP honeypots on a simulated network, unleashes the
+// calibrated attacker fleet, and prints the observed-attack summary.
+//
+// Usage:
+//
+//	honeypotd -honeypots 8 -attackers 457 -seed 3
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ftpcloud/internal/core"
+	"ftpcloud/internal/honeypot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "honeypotd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		honeypots    = flag.Int("honeypots", 8, "number of honeypots (paper: 8)")
+		attackers    = flag.Int("attackers", 457, "attacker population (paper: 457 unique IPs)")
+		concentrated = flag.Float64("concentrated", 0.30, "share of attackers from one network")
+		seed         = flag.Uint64("seed", 3, "attacker fleet seed")
+		timeout      = flag.Duration("timeout", 10*time.Minute, "run deadline")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	summary, err := core.HoneypotStudy(ctx, core.HoneypotStudyConfig{
+		Seed:         *seed,
+		Honeypots:    *honeypots,
+		Attackers:    *attackers,
+		Concentrated: *concentrated,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(honeypot.Render(summary))
+	return nil
+}

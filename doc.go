@@ -1,0 +1,10 @@
+// Package ftpcloud reproduces "FTP: The Forgotten Cloud" (Springall,
+// Durumeric, Halderman — DSN 2016): an Internet-scale measurement study of
+// the FTP ecosystem, rebuilt as a Go library over a simulated IPv4 Internet.
+//
+// The library lives under internal/: worldgen synthesizes the ecosystem,
+// zmap discovers hosts, enumerator crawls them, analysis regenerates every
+// table and figure, and core wires the pipeline together. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmark harness in bench_test.go regenerates each experiment.
+package ftpcloud

@@ -1,0 +1,58 @@
+// Census example: a fuller end-to-end run that regenerates every table and
+// figure from the paper at a configurable scale, then compares the headline
+// percentages against the paper's published values.
+//
+// Run with:
+//
+//	go run ./examples/census [-scale 8192]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"ftpcloud/internal/core"
+)
+
+// paperHeadline holds the published values the shape comparison targets.
+var paperHeadline = []struct {
+	name    string
+	paper   float64
+	measure func(core.Tables) float64
+}{
+	{"port 21 open (% of scanned)", 0.59, func(t core.Tables) float64 { return t.Funnel.PctOpen }},
+	{"FTP of open (%)", 63.16, func(t core.Tables) float64 { return t.Funnel.PctFTP }},
+	{"anonymous of FTP (%)", 8.15, func(t core.Tables) float64 { return t.Funnel.PctAnonymous }},
+	{"FTPS support (% of FTP)", 25.0, func(t core.Tables) float64 { return t.FTPS.PctSupported }},
+	{"self-signed (% of FTPS)", 50.0, func(t core.Tables) float64 { return t.FTPS.PctSelfSigned }},
+	{"PORT unvalidated (% of anon)", 12.74, func(t core.Tables) float64 { return t.PortBounce.PctNotValidated }},
+	{"home.pl share of PORT failures (%)", 71.5, func(t core.Tables) float64 { return t.PortBounce.HomePLShare }},
+	{"ASes holding 50% of FTP servers", 78, func(t core.Tables) float64 { return float64(t.ASConcentration.ASesForHalfAll) }},
+	{"ASes holding 50% of anonymous", 42, func(t core.Tables) float64 { return float64(t.ASConcentration.ASesForHalfAnon) }},
+}
+
+func main() {
+	scale := flag.Int("scale", 8192, "world scale divisor")
+	seed := flag.Uint64("seed", 42, "world seed")
+	flag.Parse()
+
+	census, err := core.NewCensus(core.CensusConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("census at scale 1:%d — scanning %d addresses\n\n", *scale, census.World.ScanSize)
+	result, err := census.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables := result.ComputeTables()
+
+	fmt.Println(tables.Render())
+	fmt.Println("\nShape check against the paper:")
+	fmt.Printf("  %-38s %10s %10s\n", "metric", "paper", "measured")
+	for _, h := range paperHeadline {
+		fmt.Printf("  %-38s %10.2f %10.2f\n", h.name, h.paper, h.measure(tables))
+	}
+}

@@ -1,0 +1,37 @@
+// Honeypot example: reproduce §VIII by deploying eight anonymous,
+// world-writable honeypots and releasing the calibrated attacker fleet
+// (457 scanners, ~30% from one network, write probes, credential guessing,
+// PORT bouncing, a CVE-2015-3306 probe, a Seagate root-login attempt).
+//
+// Run with:
+//
+//	go run ./examples/honeypot
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"ftpcloud/internal/core"
+	"ftpcloud/internal/honeypot"
+)
+
+func main() {
+	summary, err := core.HoneypotStudy(context.Background(), core.HoneypotStudyConfig{
+		Seed:         2015,
+		Honeypots:    8,
+		Attackers:    457,
+		Concentrated: 0.30,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(honeypot.Render(summary))
+
+	fmt.Println("\nPaper §VIII for comparison:")
+	fmt.Println("  457 unique IPs scanned; >30% from one AS; 85 spoke FTP;")
+	fmt.Println("  16 traversed; 21 listed; >1,400 credential pairs;")
+	fmt.Println("  8 PORT bounce attempts all at one target; 36 AUTH TLS;")
+	fmt.Println("  1 CVE-2015-3306 attempt; 1 Seagate root-access attempt.")
+}

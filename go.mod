@@ -1,0 +1,3 @@
+module ftpcloud
+
+go 1.22

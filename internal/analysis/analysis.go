@@ -1,0 +1,100 @@
+// Package analysis derives every table and figure in the paper's evaluation
+// from the census dataset. Each experiment has a typed result and a Compute
+// function over the same Input; nothing here consults the world generator —
+// only wire-level observations, the AS database, and the external HTTP
+// (Censys-equivalent) join.
+package analysis
+
+import (
+	"ftpcloud/internal/asdb"
+	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/fingerprint"
+	"ftpcloud/internal/simnet"
+)
+
+// HTTPInfo is the Censys-style external join: whether an IP also serves
+// HTTP and whether that web server advertises server-side scripting.
+type HTTPInfo struct {
+	HTTP      bool
+	Scripting bool
+}
+
+// Input is the dataset every experiment consumes.
+type Input struct {
+	// IPsScanned is the discovery sweep size (Table I row 1).
+	IPsScanned uint64
+	// Records holds one record per discovery-responsive host.
+	Records []*dataset.HostRecord
+	// ASDB resolves IP→AS.
+	ASDB *asdb.DB
+	// HTTP is the external web-scan join keyed by IP string.
+	HTTP map[string]HTTPInfo
+
+	// classifications cache, built lazily.
+	class map[*dataset.HostRecord]fingerprint.Classification
+}
+
+// Classify returns (and caches) the fingerprint classification of a record.
+// The cache is not synchronized: analyses run sequentially over one Input.
+func (in *Input) Classify(rec *dataset.HostRecord) fingerprint.Classification {
+	if in.class == nil {
+		in.class = make(map[*dataset.HostRecord]fingerprint.Classification, len(in.Records))
+	}
+	if c, ok := in.class[rec]; ok {
+		return c
+	}
+	c := fingerprint.Classify(rec)
+	in.class[rec] = c
+	return c
+}
+
+// AS resolves a record's AS, or nil.
+func (in *Input) AS(rec *dataset.HostRecord) *asdb.AS {
+	if in.ASDB == nil {
+		return nil
+	}
+	ip, err := simnet.ParseIP(rec.IP)
+	if err != nil {
+		return nil
+	}
+	as, ok := in.ASDB.Lookup(ip)
+	if !ok {
+		return nil
+	}
+	return as
+}
+
+// FTPRecords yields only hosts that spoke FTP.
+func (in *Input) FTPRecords() []*dataset.HostRecord {
+	out := make([]*dataset.HostRecord, 0, len(in.Records))
+	for _, r := range in.Records {
+		if r.FTP {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AnonRecords yields hosts that allowed anonymous login.
+func (in *Input) AnonRecords() []*dataset.HostRecord {
+	out := make([]*dataset.HostRecord, 0, len(in.Records))
+	for _, r := range in.Records {
+		if r.FTP && r.AnonymousOK {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Writable reports whether a record carries world-writability evidence.
+func Writable(rec *dataset.HostRecord) bool {
+	return len(rec.WriteEvidence) > 0
+}
+
+// percent guards divide-by-zero.
+func percent(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

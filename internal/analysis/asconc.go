@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"sort"
+
+	"ftpcloud/internal/asdb"
+)
+
+// ASConcentration is Table III plus Figure 1's CDF inputs.
+type ASConcentration struct {
+	// ASesForHalfAll/Anon/Writable: how many of the largest ASes hold
+	// 50% of each population (paper: 78 / 42 / —).
+	ASesForHalfAll      int
+	ASesForHalfAnon     int
+	ASesForHalfWritable int
+	// TypeBreakdownAll/Anon: operator types among those covering ASes
+	// (paper: 50 hosting / 25 ISP / 3 academic of the 78).
+	TypeBreakdownAll  map[asdb.Type]int
+	TypeBreakdownAnon map[asdb.Type]int
+	// Totals.
+	TotalASesAll      int
+	TotalASesAnon     int
+	TotalASesWritable int
+	// CDFs are cumulative fractions per AS rank (Figure 1 series).
+	CDFAll      []float64
+	CDFAnon     []float64
+	CDFWritable []float64
+}
+
+// ComputeASConcentration derives Table III and Figure 1.
+func ComputeASConcentration(in *Input) ASConcentration {
+	all := map[*asdb.AS]int{}
+	anon := map[*asdb.AS]int{}
+	writable := map[*asdb.AS]int{}
+	for _, r := range in.FTPRecords() {
+		as := in.AS(r)
+		if as == nil {
+			continue
+		}
+		all[as]++
+		if r.AnonymousOK {
+			anon[as]++
+			if Writable(r) {
+				writable[as]++
+			}
+		}
+	}
+
+	halfAll, typesAll, cdfAll := concentration(all)
+	halfAnon, typesAnon, cdfAnon := concentration(anon)
+	halfW, _, cdfW := concentration(writable)
+
+	return ASConcentration{
+		ASesForHalfAll:      halfAll,
+		ASesForHalfAnon:     halfAnon,
+		ASesForHalfWritable: halfW,
+		TypeBreakdownAll:    typesAll,
+		TypeBreakdownAnon:   typesAnon,
+		TotalASesAll:        len(all),
+		TotalASesAnon:       len(anon),
+		TotalASesWritable:   len(writable),
+		CDFAll:              cdfAll,
+		CDFAnon:             cdfAnon,
+		CDFWritable:         cdfW,
+	}
+}
+
+// concentration sorts AS counts descending and returns the 50% crossing,
+// the type mix of the ASes up to that crossing, and the full CDF.
+func concentration(counts map[*asdb.AS]int) (half int, types map[asdb.Type]int, cdf []float64) {
+	type pair struct {
+		as *asdb.AS
+		n  int
+	}
+	pairs := make([]pair, 0, len(counts))
+	total := 0
+	for as, n := range counts {
+		pairs = append(pairs, pair{as, n})
+		total += n
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].n != pairs[j].n {
+			return pairs[i].n > pairs[j].n
+		}
+		return pairs[i].as.Number < pairs[j].as.Number
+	})
+	types = make(map[asdb.Type]int)
+	cdf = make([]float64, len(pairs))
+	cum := 0
+	half = len(pairs)
+	crossed := false
+	for i, p := range pairs {
+		cum += p.n
+		if total > 0 {
+			cdf[i] = float64(cum) / float64(total)
+		}
+		if !crossed {
+			types[p.as.Type]++
+			if float64(cum) >= 0.5*float64(total) {
+				half = i + 1
+				crossed = true
+			}
+		}
+	}
+	if total == 0 {
+		half = 0
+	}
+	return half, types, cdf
+}
+
+// TopAS is one Table VI row.
+type TopAS struct {
+	Number        uint32
+	Name          string
+	IPsAdvertised uint64
+	FTPServers    int
+	AnonServers   int
+	PctAnon       float64
+}
+
+// ComputeTopASes derives Table VI: the top-N ASes by anonymous server count.
+func ComputeTopASes(in *Input, n int) []TopAS {
+	type agg struct {
+		ftp, anon int
+	}
+	counts := map[*asdb.AS]*agg{}
+	for _, r := range in.FTPRecords() {
+		as := in.AS(r)
+		if as == nil {
+			continue
+		}
+		a, ok := counts[as]
+		if !ok {
+			a = &agg{}
+			counts[as] = a
+		}
+		a.ftp++
+		if r.AnonymousOK {
+			a.anon++
+		}
+	}
+	out := make([]TopAS, 0, len(counts))
+	for as, a := range counts {
+		out = append(out, TopAS{
+			Number:        as.Number,
+			Name:          as.Name,
+			IPsAdvertised: as.Advertised(),
+			FTPServers:    a.ftp,
+			AnonServers:   a.anon,
+			PctAnon:       percent(a.anon, a.ftp),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AnonServers != out[j].AnonServers {
+			return out[i].AnonServers > out[j].AnonServers
+		}
+		return out[i].Number < out[j].Number
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"ftpcloud/internal/dataset"
+)
+
+// PortBounce aggregates §VII.B: PORT-validation failures and their
+// combinations with NAT and writability.
+type PortBounce struct {
+	// Tested counts anonymous hosts where the probe ran.
+	Tested int
+	// NotValidated counts hosts that connected to the third-party
+	// collector (paper: 143,073 = 12.74% of anonymous servers).
+	NotValidated    int
+	PctNotValidated float64
+	// HomePLShare is the fraction of failures inside AS12824 home.pl
+	// (paper: 71.5%).
+	HomePLShare float64
+	// NATed counts servers whose PASV reply advertised a different
+	// address (paper: 18,947); NATedNotValidated those also failing the
+	// PORT check (846).
+	NATed             int
+	NATedNotValidated int
+	// WritableNotValidated counts the bounce-attack-ready combination of
+	// world-writable and unvalidated PORT (paper: 1,973).
+	WritableNotValidated int
+	// FileZillaServers counts FileZilla banners across the population
+	// (paper: 409K, most exploitable after login).
+	FileZillaServers int
+}
+
+// homePLASN is AS12824.
+const homePLASN = 12824
+
+// ComputePortBounce derives §VII.B.
+func ComputePortBounce(in *Input) PortBounce {
+	var b PortBounce
+	homePLFailures := 0
+	for _, r := range in.FTPRecords() {
+		if in.Classify(r).Software == "FileZilla Server" {
+			b.FileZillaServers++
+		}
+		if !r.AnonymousOK {
+			continue
+		}
+		if r.PASVMismatch {
+			b.NATed++
+		}
+		if r.PortCheck == dataset.PortNotTested || r.PortCheck == "" {
+			continue
+		}
+		b.Tested++
+		if r.PortCheck != dataset.PortNotValidated {
+			continue
+		}
+		b.NotValidated++
+		if as := in.AS(r); as != nil && as.Number == homePLASN {
+			homePLFailures++
+		}
+		if r.PASVMismatch {
+			b.NATedNotValidated++
+		}
+		if Writable(r) {
+			b.WritableNotValidated++
+		}
+	}
+	b.PctNotValidated = percent(b.NotValidated, b.Tested)
+	b.HomePLShare = percent(homePLFailures, b.NotValidated)
+	return b
+}

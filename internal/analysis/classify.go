@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"sort"
+
+	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/personality"
+)
+
+// CategoryCount is one Table II row.
+type CategoryCount struct {
+	Name    string
+	All     int
+	PctAll  float64
+	Anon    int
+	PctAnon float64
+}
+
+// Classification is Table II: the category breakout of all vs anonymous
+// servers.
+type Classification struct {
+	Rows      []CategoryCount // Generic, Hosted, Embedded, Unknown
+	TotalFTP  int
+	TotalAnon int
+}
+
+// ComputeClassification derives Table II.
+func ComputeClassification(in *Input) Classification {
+	counts := map[string]*CategoryCount{}
+	order := []string{"Generic Server", "Hosted Server", "Embedded Server", "Unknown"}
+	for _, name := range order {
+		counts[name] = &CategoryCount{Name: name}
+	}
+	var totalFTP, totalAnon int
+	for _, r := range in.FTPRecords() {
+		totalFTP++
+		c := in.Classify(r)
+		name := "Unknown"
+		if c.Known() {
+			name = c.Category.String()
+		}
+		counts[name].All++
+		if r.AnonymousOK {
+			totalAnon++
+			counts[name].Anon++
+		}
+	}
+	out := Classification{TotalFTP: totalFTP, TotalAnon: totalAnon}
+	for _, name := range order {
+		row := counts[name]
+		row.PctAll = percent(row.All, totalFTP)
+		row.PctAnon = percent(row.Anon, totalAnon)
+		out.Rows = append(out.Rows, *row)
+	}
+	return out
+}
+
+// DeviceCount is one row of Table V or VII.
+type DeviceCount struct {
+	Model   string
+	Found   int
+	Anon    int
+	PctAnon float64
+}
+
+// DeviceBreakdown holds the device tables.
+type DeviceBreakdown struct {
+	// Provider is Table V (ISP-deployed devices, ~zero anonymous).
+	Provider []DeviceCount
+	// Consumer is Table VII (user-deployed devices and their wildly
+	// varying anonymous-by-default rates).
+	Consumer []DeviceCount
+	// Classes is Table IV: embedded devices grouped into NAS / home
+	// router / printer classes.
+	Classes []DeviceCount
+}
+
+// ComputeDevices derives Tables IV, V, and VII.
+func ComputeDevices(in *Input) DeviceBreakdown {
+	provider := map[string]*DeviceCount{}
+	consumer := map[string]*DeviceCount{}
+	classes := map[string]*DeviceCount{}
+	for _, r := range in.FTPRecords() {
+		c := in.Classify(r)
+		if c.DeviceModel == "" {
+			continue
+		}
+		bucket := consumer
+		if c.ProviderDeployed {
+			bucket = provider
+		}
+		dc, ok := bucket[c.DeviceModel]
+		if !ok {
+			dc = &DeviceCount{Model: c.DeviceModel}
+			bucket[c.DeviceModel] = dc
+		}
+		dc.Found++
+		if r.AnonymousOK {
+			dc.Anon++
+		}
+
+		var className string
+		switch c.DeviceClass {
+		case personality.DeviceNAS, personality.DeviceStorage:
+			className = "NAS"
+		case personality.DeviceHomeRouter:
+			if !c.ProviderDeployed {
+				className = "Home Router (user-deployed)"
+			}
+		case personality.DevicePrinter:
+			className = "Printers"
+		}
+		if className != "" {
+			cc, ok := classes[className]
+			if !ok {
+				cc = &DeviceCount{Model: className}
+				classes[className] = cc
+			}
+			cc.Found++
+			if r.AnonymousOK {
+				cc.Anon++
+			}
+		}
+	}
+	finish := func(m map[string]*DeviceCount) []DeviceCount {
+		out := make([]DeviceCount, 0, len(m))
+		for _, dc := range m {
+			dc.PctAnon = percent(dc.Anon, dc.Found)
+			out = append(out, *dc)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Found != out[j].Found {
+				return out[i].Found > out[j].Found
+			}
+			return out[i].Model < out[j].Model
+		})
+		return out
+	}
+	return DeviceBreakdown{
+		Provider: finish(provider),
+		Consumer: finish(consumer),
+		Classes:  finish(classes),
+	}
+}
+
+// ExposureByDevice is Table X: which device classes account for each
+// exposure type. Percentages are of servers showing that exposure.
+type ExposureByDevice struct {
+	// Rows map exposure type → class name → percentage.
+	Rows map[string]map[string]float64
+	// Totals is the number of servers per exposure type.
+	Totals map[string]int
+}
+
+// exposureClass maps a record to Table X's column set.
+func exposureClass(in *Input, r *dataset.HostRecord) string {
+	c := in.Classify(r)
+	switch {
+	case !c.Known():
+		return "Unk"
+	case c.Category == personality.CategoryHosted:
+		return "Hosting"
+	case c.Category == personality.CategoryGeneric:
+		return "Generic"
+	case c.DeviceClass == personality.DeviceNAS || c.DeviceClass == personality.DeviceStorage:
+		return "NAS"
+	case c.DeviceClass == personality.DeviceHomeRouter:
+		return "Router"
+	default:
+		return "Other Embedded"
+	}
+}
+
+// ComputeExposureByDevice derives Table X from the exposure analyses.
+func ComputeExposureByDevice(in *Input) ExposureByDevice {
+	exp := ComputeExposure(in)
+	out := ExposureByDevice{
+		Rows:   make(map[string]map[string]float64),
+		Totals: make(map[string]int),
+	}
+	types := map[string]map[*dataset.HostRecord]bool{
+		"Sensitive Documents": exp.sensitiveServers,
+		"Photo Libraries":     exp.photoServers,
+		"Root File Systems":   exp.osRootServers,
+		"Scripting Source":    exp.scriptingServers,
+	}
+	all := make(map[*dataset.HostRecord]bool)
+	for _, set := range types {
+		for r := range set {
+			all[r] = true
+		}
+	}
+	types["All"] = all
+	for name, set := range types {
+		classCounts := make(map[string]int)
+		for r := range set {
+			classCounts[exposureClass(in, r)]++
+		}
+		row := make(map[string]float64)
+		for class, n := range classCounts {
+			row[class] = percent(n, len(set))
+		}
+		out.Rows[name] = row
+		out.Totals[name] = len(set)
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"sort"
+
+	"ftpcloud/internal/cvedb"
+)
+
+// CVECount is one Table XI row.
+type CVECount struct {
+	Implementation string
+	ID             string
+	CVSS           float64
+	IPs            int
+}
+
+// CVEExposure is Table XI plus the headline "more than one million servers
+// are vulnerable to known attacks".
+type CVEExposure struct {
+	Rows []CVECount
+	// VulnerableIPs counts hosts matching at least one CVE.
+	VulnerableIPs int
+	TotalFTP      int
+}
+
+// ComputeCVEs derives Table XI from banner version strings.
+func ComputeCVEs(in *Input) CVEExposure {
+	counts := map[string]*CVECount{}
+	var vulnerable, total int
+	for _, r := range in.FTPRecords() {
+		total++
+		c := in.Classify(r)
+		if c.Software == "" || c.Version == "" {
+			continue
+		}
+		matches := cvedb.Match(c.Software, c.Version)
+		if len(matches) > 0 {
+			vulnerable++
+		}
+		for _, m := range matches {
+			row, ok := counts[m.ID]
+			if !ok {
+				row = &CVECount{Implementation: m.Software, ID: m.ID, CVSS: m.CVSS}
+				counts[m.ID] = row
+			}
+			row.IPs++
+		}
+	}
+	out := CVEExposure{VulnerableIPs: vulnerable, TotalFTP: total}
+	for _, row := range counts {
+		out.Rows = append(out.Rows, *row)
+	}
+	sort.Slice(out.Rows, func(i, j int) bool {
+		if out.Rows[i].Implementation != out.Rows[j].Implementation {
+			return out.Rows[i].Implementation < out.Rows[j].Implementation
+		}
+		return out.Rows[i].ID > out.Rows[j].ID // newest CVE first, as the paper lists
+	})
+	return out
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/personality"
+)
+
+// ExtensionCount is one Table VIII row.
+type ExtensionCount struct {
+	Ext     string
+	Files   int
+	Servers int
+}
+
+// SensitiveClass is one Table IX row.
+type SensitiveClass struct {
+	Type        string // "Financial Information", "Password Databases", ...
+	Name        string // "TurboTax Export", ...
+	Servers     int
+	Files       int
+	Readable    int
+	NonReadable int
+	UnkReadable int
+}
+
+// Exposure aggregates §V: what anonymous FTP leaks.
+type Exposure struct {
+	// Extensions is Table VIII, computed over identified SOHO devices.
+	Extensions []ExtensionCount
+	// Sensitive is Table IX.
+	Sensitive []SensitiveClass
+	// IndexHTMLFiles/Servers mirror the "index.html is the most common
+	// file" observation.
+	IndexHTMLFiles   int
+	IndexHTMLServers int
+	// Photo library stats.
+	PhotoFiles    int
+	PhotoReadable int
+	PhotoServers  int
+	// OS-root exposure counts.
+	OSRootLinux   int
+	OSRootWindows int
+	// Scripting-source exposure.
+	HtaccessFiles   int
+	HtaccessServers int
+	ScriptFiles     int
+	ScriptServers   int
+	// ExposingServers counts anonymous servers listing any entry at all
+	// ("24% exposed some form of data").
+	ExposingServers int
+	AnonServers     int
+	// RobotsSeen / RobotsExcludeAll mirror the robots.txt adoption stats.
+	RobotsSeen       int
+	RobotsExcludeAll int
+	// Truncated counts hosts whose tree exceeded the request cap.
+	Truncated int
+
+	// Per-server sets feeding Table X.
+	sensitiveServers map[*dataset.HostRecord]bool
+	photoServers     map[*dataset.HostRecord]bool
+	osRootServers    map[*dataset.HostRecord]bool
+	scriptingServers map[*dataset.HostRecord]bool
+}
+
+var photoNamePattern = regexp.MustCompile(`^(?i)(DSC|DSCN|IMG|IMGP|P|PICT)[-_]?\d{3,}\.(jpe?g)$`)
+
+var scriptExtensions = map[string]bool{
+	"php": true, "asp": true, "aspx": true, "jsp": true, "cgi": true, "pl": true,
+}
+
+// sensitiveMatcher classifies a filename into a Table IX class.
+type sensitiveMatcher struct {
+	typ, name string
+	match     func(name, lower string) bool
+}
+
+var sensitiveMatchers = []sensitiveMatcher{
+	{"Financial Information", "TurboTax Export", func(name, lower string) bool {
+		return strings.HasSuffix(lower, ".txf") || strings.Contains(lower, "turbotax")
+	}},
+	{"Financial Information", "Quicken Data", func(name, lower string) bool {
+		return strings.HasSuffix(lower, ".qdf")
+	}},
+	{"Password Databases", "KeePass/KeePassX", func(name, lower string) bool {
+		return strings.HasSuffix(lower, ".kdbx") || strings.HasSuffix(lower, ".kdb")
+	}},
+	{"Password Databases", "1Password", func(name, lower string) bool {
+		return strings.Contains(lower, "agilekeychain")
+	}},
+	{"Key Material", "SSH host private keys", func(name, lower string) bool {
+		return strings.Contains(lower, "ssh_host_") && !strings.HasSuffix(lower, ".pub")
+	}},
+	{"Key Material", "Putty SSH client keys", func(name, lower string) bool {
+		return strings.HasSuffix(lower, ".ppk")
+	}},
+	{"Key Material", `"priv" .pem files`, func(name, lower string) bool {
+		return strings.HasSuffix(lower, ".pem") && strings.Contains(lower, "priv")
+	}},
+	{"Other", "shadow files", func(name, lower string) bool {
+		return lower == "shadow" || strings.HasPrefix(lower, "shadow.")
+	}},
+	{"Other", ".pst files", func(name, lower string) bool {
+		return strings.HasSuffix(lower, ".pst")
+	}},
+}
+
+// linuxRootMarkers / windowsRootMarkers follow §V's detection method.
+var (
+	linuxRootMarkers   = []string{"/bin", "/var", "/boot", "/etc"}
+	windowsRootMarkers = [][]string{
+		{"/Windows", "/Program Files", "/Users"},
+		{"/WINDOWS", "/Program Files", "/Documents and Settings"},
+	}
+)
+
+// ComputeExposure derives Tables VIII and IX plus §V's prose statistics.
+func ComputeExposure(in *Input) Exposure {
+	e := Exposure{
+		sensitiveServers: make(map[*dataset.HostRecord]bool),
+		photoServers:     make(map[*dataset.HostRecord]bool),
+		osRootServers:    make(map[*dataset.HostRecord]bool),
+		scriptingServers: make(map[*dataset.HostRecord]bool),
+	}
+	extFiles := map[string]int{}
+	extServers := map[string]map[*dataset.HostRecord]bool{}
+	sens := map[string]*SensitiveClass{}
+	for _, m := range sensitiveMatchers {
+		sens[m.name] = &SensitiveClass{Type: m.typ, Name: m.name}
+	}
+
+	for _, r := range in.AnonRecords() {
+		e.AnonServers++
+		if r.RobotsTxt != "" {
+			e.RobotsSeen++
+			if r.RobotsExcludeAll {
+				e.RobotsExcludeAll++
+			}
+		}
+		if r.ListingTruncated {
+			e.Truncated++
+		}
+		if len(r.Files) == 0 {
+			continue
+		}
+		e.ExposingServers++
+
+		c := in.Classify(r)
+		isSOHO := c.Category == personality.CategoryEmbedded && !c.ProviderDeployed
+
+		dirs := map[string]bool{}
+		indexSeen, photoSeen := false, false
+		scriptSeen, htaccessSeen := false, false
+		sensSeen := map[string]bool{}
+
+		for i := range r.Files {
+			f := &r.Files[i]
+			if f.IsDir {
+				dirs[f.Path] = true
+				continue
+			}
+			lower := strings.ToLower(f.Name)
+
+			if isSOHO {
+				if dot := strings.LastIndexByte(lower, '.'); dot >= 0 && dot < len(lower)-1 {
+					ext := lower[dot+1:]
+					extFiles["."+ext]++
+					set, ok := extServers["."+ext]
+					if !ok {
+						set = make(map[*dataset.HostRecord]bool)
+						extServers["."+ext] = set
+					}
+					set[r] = true
+				}
+			}
+
+			if lower == "index.html" {
+				e.IndexHTMLFiles++
+				indexSeen = true
+			}
+			if photoNamePattern.MatchString(f.Name) {
+				e.PhotoFiles++
+				if f.Read == dataset.ReadYes || f.Read == dataset.ReadUnknown {
+					e.PhotoReadable++
+				}
+				photoSeen = true
+			}
+			if lower == ".htaccess" {
+				e.HtaccessFiles++
+				htaccessSeen = true
+			}
+			if dot := strings.LastIndexByte(lower, '.'); dot >= 0 {
+				if scriptExtensions[lower[dot+1:]] {
+					e.ScriptFiles++
+					scriptSeen = true
+				}
+			}
+
+			for _, m := range sensitiveMatchers {
+				if !m.match(f.Name, lower) {
+					continue
+				}
+				sc := sens[m.name]
+				sc.Files++
+				switch f.Read {
+				case dataset.ReadYes:
+					sc.Readable++
+				case dataset.ReadNo:
+					sc.NonReadable++
+				default:
+					sc.UnkReadable++
+				}
+				if !sensSeen[m.name] {
+					sensSeen[m.name] = true
+					sc.Servers++
+				}
+				break
+			}
+		}
+
+		if indexSeen {
+			e.IndexHTMLServers++
+		}
+		if photoSeen {
+			e.PhotoServers++
+			e.photoServers[r] = true
+		}
+		if scriptSeen {
+			e.ScriptServers++
+			e.scriptingServers[r] = true
+		}
+		if htaccessSeen {
+			e.HtaccessServers++
+			if !scriptSeen {
+				e.scriptingServers[r] = true
+			}
+		}
+		if len(sensSeen) > 0 {
+			e.sensitiveServers[r] = true
+		}
+
+		if countMarkers(dirs, linuxRootMarkers) >= 3 {
+			e.OSRootLinux++
+			e.osRootServers[r] = true
+		} else {
+			for _, markers := range windowsRootMarkers {
+				if countMarkers(dirs, markers) >= 2 {
+					e.OSRootWindows++
+					e.osRootServers[r] = true
+					break
+				}
+			}
+		}
+	}
+
+	for ext, n := range extFiles {
+		e.Extensions = append(e.Extensions, ExtensionCount{
+			Ext: ext, Files: n, Servers: len(extServers[ext]),
+		})
+	}
+	sort.Slice(e.Extensions, func(i, j int) bool {
+		if e.Extensions[i].Files != e.Extensions[j].Files {
+			return e.Extensions[i].Files > e.Extensions[j].Files
+		}
+		return e.Extensions[i].Ext < e.Extensions[j].Ext
+	})
+
+	for _, m := range sensitiveMatchers {
+		e.Sensitive = append(e.Sensitive, *sens[m.name])
+	}
+	return e
+}
+
+func countMarkers(dirs map[string]bool, markers []string) int {
+	n := 0
+	for _, m := range markers {
+		if dirs[m] {
+			n++
+		}
+	}
+	return n
+}

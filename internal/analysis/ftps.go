@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"sort"
+)
+
+// CertCount is one Table XII row: one distinct certificate and its spread.
+type CertCount struct {
+	CommonName  string
+	Fingerprint string
+	Servers     int
+	SelfSigned  bool
+}
+
+// DeviceCert is one Table XIII row: a device family shipping one cert.
+type DeviceCert struct {
+	Device     string
+	CommonName string
+	Servers    int
+}
+
+// FTPS aggregates §IX and Tables XII/XIII.
+type FTPS struct {
+	// Supported counts servers completing AUTH TLS (paper: 3.4M = 25%).
+	Supported    int
+	PctSupported float64
+	// RequirePreLogin counts servers demanding TLS before USER (85K).
+	RequirePreLogin int
+	// UniqueCerts counts distinct certificates (paper: 793K across 3.4M).
+	UniqueCerts int
+	// SelfSigned counts servers presenting self-signed certs (50%).
+	SelfSigned    int
+	PctSelfSigned float64
+	// TopCerts is Table XII.
+	TopCerts []CertCount
+	// DeviceCerts is Table XIII: certificate sharing by device families.
+	DeviceCerts []DeviceCert
+	TotalFTP    int
+}
+
+// ComputeFTPS derives §IX, Table XII, and Table XIII.
+func ComputeFTPS(in *Input, topN int) FTPS {
+	var f FTPS
+	type certAgg struct {
+		cn         string
+		selfSigned bool
+		servers    int
+		devices    map[string]int
+	}
+	byFP := map[string]*certAgg{}
+
+	for _, r := range in.FTPRecords() {
+		f.TotalFTP++
+		if !r.FTPS.Supported {
+			continue
+		}
+		f.Supported++
+		if r.FTPS.RequiredPreLogin {
+			f.RequirePreLogin++
+		}
+		cert := r.FTPS.Cert
+		if cert == nil {
+			continue
+		}
+		if cert.SelfSigned {
+			f.SelfSigned++
+		}
+		agg, ok := byFP[cert.FingerprintSHA256]
+		if !ok {
+			agg = &certAgg{cn: cert.CommonName, selfSigned: cert.SelfSigned, devices: map[string]int{}}
+			byFP[cert.FingerprintSHA256] = agg
+		}
+		agg.servers++
+		if c := in.Classify(r); c.DeviceModel != "" {
+			agg.devices[c.DeviceModel]++
+		}
+	}
+
+	f.UniqueCerts = len(byFP)
+	f.PctSupported = percent(f.Supported, f.TotalFTP)
+	f.PctSelfSigned = percent(f.SelfSigned, f.Supported)
+
+	for fp, agg := range byFP {
+		f.TopCerts = append(f.TopCerts, CertCount{
+			CommonName:  agg.cn,
+			Fingerprint: fp,
+			Servers:     agg.servers,
+			SelfSigned:  agg.selfSigned,
+		})
+		// A certificate dominated by one device family is a shared
+		// device certificate (Table XIII).
+		for device, n := range agg.devices {
+			if n*2 >= agg.servers && n > 1 {
+				f.DeviceCerts = append(f.DeviceCerts, DeviceCert{
+					Device:     device,
+					CommonName: agg.cn,
+					Servers:    n,
+				})
+			}
+		}
+	}
+	sort.Slice(f.TopCerts, func(i, j int) bool {
+		if f.TopCerts[i].Servers != f.TopCerts[j].Servers {
+			return f.TopCerts[i].Servers > f.TopCerts[j].Servers
+		}
+		return f.TopCerts[i].CommonName < f.TopCerts[j].CommonName
+	})
+	if len(f.TopCerts) > topN {
+		f.TopCerts = f.TopCerts[:topN]
+	}
+	sort.Slice(f.DeviceCerts, func(i, j int) bool {
+		if f.DeviceCerts[i].Servers != f.DeviceCerts[j].Servers {
+			return f.DeviceCerts[i].Servers > f.DeviceCerts[j].Servers
+		}
+		return f.DeviceCerts[i].Device < f.DeviceCerts[j].Device
+	})
+	return f
+}

@@ -1,0 +1,36 @@
+package analysis
+
+// Funnel is Table I: the discovery-to-anonymous scan funnel.
+type Funnel struct {
+	IPsScanned   uint64
+	OpenPort21   int
+	FTPServers   int
+	AnonServers  int
+	PctOpen      float64 // of scanned
+	PctFTP       float64 // of open
+	PctAnonymous float64 // of FTP
+}
+
+// ComputeFunnel derives Table I.
+func ComputeFunnel(in *Input) Funnel {
+	f := Funnel{IPsScanned: in.IPsScanned}
+	for _, r := range in.Records {
+		if !r.PortOpen {
+			continue
+		}
+		f.OpenPort21++
+		if !r.FTP {
+			continue
+		}
+		f.FTPServers++
+		if r.AnonymousOK {
+			f.AnonServers++
+		}
+	}
+	if f.IPsScanned > 0 {
+		f.PctOpen = 100 * float64(f.OpenPort21) / float64(f.IPsScanned)
+	}
+	f.PctFTP = percent(f.FTPServers, f.OpenPort21)
+	f.PctAnonymous = percent(f.AnonServers, f.FTPServers)
+	return f
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"ftpcloud/internal/asdb"
+	"ftpcloud/internal/campaigns"
+	"ftpcloud/internal/dataset"
+)
+
+// CampaignHit is per-campaign prevalence.
+type CampaignHit struct {
+	Key     string
+	Name    string
+	Servers int
+	Files   int
+}
+
+// Malicious aggregates §VI: world-writability evidence and the campaigns
+// found on anonymous servers.
+type Malicious struct {
+	// WritableServers / WritableASes mirror "19.4K servers in 3.4K ASes
+	// appear to be world-writable".
+	WritableServers int
+	WritableASes    int
+	// AnonUploadConfirmed counts servers that confirmed anonymous
+	// uploads via the Pure-FTPd RETR refusal (§VI.A's first evidence
+	// type).
+	AnonUploadConfirmed int
+	// Campaigns is per-campaign prevalence, sorted by server count.
+	Campaigns []CampaignHit
+	// RATFiles / RATServers mirror "6K RAT related files on 724 servers".
+	RATFiles   int
+	RATServers int
+	// DDoSServers mirrors the history.php/phzLtoxn.php total (1,792).
+	DDoSServers int
+	// HolyBibleServers and the fraction that also carry write evidence
+	// (paper: 1,131 servers, 55.35%).
+	HolyBibleServers     int
+	HolyBiblePctWritable float64
+	// WaReZServers mirrors the timestamped-directory campaign (4,868).
+	WaReZServers int
+	// RamnitServers counts the botnet's banner (1,051).
+	RamnitServers int
+	// HTTPOverlap / ScriptingOverlap are the Censys-join statistics:
+	// FTP hosts that also run a web server / advertise scripting.
+	HTTPOverlap      int
+	ScriptingOverlap int
+	TotalFTP         int
+}
+
+// ComputeMalicious derives §VI.
+func ComputeMalicious(in *Input) Malicious {
+	var m Malicious
+	writableASes := map[*asdb.AS]bool{}
+	campServers := map[string]int{}
+	campFiles := map[string]int{}
+	holyBibleWritable := 0
+
+	for _, r := range in.FTPRecords() {
+		m.TotalFTP++
+		if info, ok := in.HTTP[r.IP]; ok && info.HTTP {
+			m.HTTPOverlap++
+			if info.Scripting {
+				m.ScriptingOverlap++
+			}
+		}
+		if in.Classify(r).Ramnit {
+			m.RamnitServers++
+		}
+		if !r.AnonymousOK {
+			continue
+		}
+
+		if Writable(r) {
+			m.WritableServers++
+			if as := in.AS(r); as != nil {
+				writableASes[as] = true
+			}
+		}
+		if r.AnonUploadConfirmed {
+			m.AnonUploadConfirmed++
+		}
+
+		seenHere := map[string]bool{}
+		ratSeen := false
+		warezSeen := false
+		for i := range r.Files {
+			f := &r.Files[i]
+			if f.IsDir {
+				if campaigns.IsWaReZDir(f.Name) {
+					warezSeen = true
+				}
+				continue
+			}
+			for _, key := range campaigns.DetectFilename(f.Name) {
+				campFiles[key]++
+				if !seenHere[key] {
+					seenHere[key] = true
+					campServers[key]++
+				}
+				if key == campaigns.KeyRATEval {
+					m.RATFiles++
+					ratSeen = true
+				}
+			}
+		}
+		if ratSeen {
+			m.RATServers++
+		}
+		if warezSeen {
+			m.WaReZServers++
+			if !seenHere[campaigns.KeyWaReZ] {
+				campServers[campaigns.KeyWaReZ]++
+			}
+		}
+		if seenHere[campaigns.KeyDDoSHistory] || seenHere[campaigns.KeyDDoSPhzLtoxn] {
+			m.DDoSServers++
+		}
+		if hasHolyBible(r) {
+			m.HolyBibleServers++
+			if Writable(r) {
+				holyBibleWritable++
+			}
+		}
+	}
+
+	m.WritableASes = len(writableASes)
+	m.HolyBiblePctWritable = percent(holyBibleWritable, m.HolyBibleServers)
+	for key, n := range campServers {
+		c := campaigns.ByKey(key)
+		name := key
+		if c != nil {
+			name = c.Name
+		}
+		m.Campaigns = append(m.Campaigns, CampaignHit{
+			Key: key, Name: name, Servers: n, Files: campFiles[key],
+		})
+	}
+	sort.Slice(m.Campaigns, func(i, j int) bool {
+		if m.Campaigns[i].Servers != m.Campaigns[j].Servers {
+			return m.Campaigns[i].Servers > m.Campaigns[j].Servers
+		}
+		return m.Campaigns[i].Key < m.Campaigns[j].Key
+	})
+	return m
+}
+
+func hasHolyBible(r *dataset.HostRecord) bool {
+	for i := range r.Files {
+		if strings.EqualFold(r.Files[i].Name, "Holy-Bible.html") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+// Package asdb models the autonomous-system layer of the simulated
+// Internet: AS records with announced prefixes and operator types, plus a
+// fast IP→AS lookup table. The paper's concentration analyses (Tables III
+// and VI, Figure 1) all join scan observations against this database.
+package asdb
+
+import (
+	"fmt"
+	"sort"
+
+	"ftpcloud/internal/simnet"
+)
+
+// Type categorizes an AS operator the way the paper's Table III does.
+type Type int
+
+// AS operator types.
+const (
+	TypeOther Type = iota
+	TypeHosting
+	TypeISP
+	TypeAcademic
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeHosting:
+		return "Hosting"
+	case TypeISP:
+		return "ISP"
+	case TypeAcademic:
+		return "Academic"
+	default:
+		return "Other"
+	}
+}
+
+// AS is one autonomous system.
+type AS struct {
+	Number   uint32
+	Name     string
+	Type     Type
+	Prefixes []simnet.Prefix
+}
+
+// Advertised returns the total number of addresses the AS announces.
+func (a *AS) Advertised() uint64 {
+	var total uint64
+	for _, p := range a.Prefixes {
+		total += p.Size()
+	}
+	return total
+}
+
+// DB is an immutable AS database with O(log n) IP lookup.
+type DB struct {
+	ases []*AS
+
+	// starts/ends/owner are parallel arrays of disjoint address
+	// intervals sorted by start.
+	starts []uint32
+	ends   []uint32 // inclusive
+	owner  []int    // index into ases
+}
+
+// NewDB builds a database. Prefixes must be disjoint across ASes; overlap is
+// reported as an error since the world generator allocates disjoint space.
+func NewDB(ases []*AS) (*DB, error) {
+	db := &DB{ases: ases}
+	type interval struct {
+		start, end uint32
+		owner      int
+	}
+	var ivs []interval
+	for i, as := range ases {
+		for _, p := range as.Prefixes {
+			size := p.Size()
+			start := uint32(p.Base)
+			if p.Bits > 0 && p.Bits < 32 {
+				mask := ^uint32(0) << (32 - p.Bits)
+				start = uint32(p.Base) & mask
+			}
+			end := start + uint32(size-1)
+			ivs = append(ivs, interval{start: start, end: end, owner: i})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].start <= ivs[i-1].end {
+			return nil, fmt.Errorf(
+				"asdb: overlapping prefixes: AS%d and AS%d share %s",
+				ases[ivs[i-1].owner].Number, ases[ivs[i].owner].Number,
+				simnet.IP(ivs[i].start))
+		}
+	}
+	db.starts = make([]uint32, len(ivs))
+	db.ends = make([]uint32, len(ivs))
+	db.owner = make([]int, len(ivs))
+	for i, iv := range ivs {
+		db.starts[i] = iv.start
+		db.ends[i] = iv.end
+		db.owner[i] = iv.owner
+	}
+	return db, nil
+}
+
+// Lookup maps an IP to its announcing AS.
+func (db *DB) Lookup(ip simnet.IP) (*AS, bool) {
+	v := uint32(ip)
+	i := sort.Search(len(db.starts), func(i int) bool { return db.starts[i] > v })
+	if i == 0 {
+		return nil, false
+	}
+	i--
+	if v > db.ends[i] {
+		return nil, false
+	}
+	return db.ases[db.owner[i]], true
+}
+
+// All returns every AS in the database.
+func (db *DB) All() []*AS { return db.ases }
+
+// ByNumber finds an AS by its number.
+func (db *DB) ByNumber(n uint32) (*AS, bool) {
+	for _, as := range db.ases {
+		if as.Number == n {
+			return as, true
+		}
+	}
+	return nil, false
+}
+
+// Len returns the number of ASes.
+func (db *DB) Len() int { return len(db.ases) }

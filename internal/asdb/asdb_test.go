@@ -1,0 +1,140 @@
+package asdb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftpcloud/internal/simnet"
+)
+
+func mustDB(t *testing.T, ases []*AS) *DB {
+	t.Helper()
+	db, err := NewDB(ases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func testASes() []*AS {
+	return []*AS{
+		{
+			Number: 12824, Name: "home.pl S.A.", Type: TypeHosting,
+			Prefixes: []simnet.Prefix{{Base: simnet.MustParseIP("10.0.0.0"), Bits: 16}},
+		},
+		{
+			Number: 4134, Name: "Chinanet", Type: TypeISP,
+			Prefixes: []simnet.Prefix{
+				{Base: simnet.MustParseIP("20.0.0.0"), Bits: 16},
+				{Base: simnet.MustParseIP("20.5.0.0"), Bits: 16},
+			},
+		},
+		{
+			Number: 36375, Name: "UMich", Type: TypeAcademic,
+			Prefixes: []simnet.Prefix{{Base: simnet.MustParseIP("30.0.0.0"), Bits: 24}},
+		},
+	}
+}
+
+func TestLookup(t *testing.T) {
+	db := mustDB(t, testASes())
+	tests := []struct {
+		ip     string
+		wantAS uint32
+		found  bool
+	}{
+		{"10.0.0.1", 12824, true},
+		{"10.0.255.255", 12824, true},
+		{"10.1.0.0", 0, false},
+		{"20.0.5.5", 4134, true},
+		{"20.5.1.1", 4134, true},
+		{"20.4.0.1", 0, false},
+		{"30.0.0.77", 36375, true},
+		{"30.0.1.0", 0, false},
+		{"0.0.0.1", 0, false},
+		{"255.255.255.255", 0, false},
+	}
+	for _, tt := range tests {
+		as, found := db.Lookup(simnet.MustParseIP(tt.ip))
+		if found != tt.found {
+			t.Errorf("Lookup(%s) found = %v, want %v", tt.ip, found, tt.found)
+			continue
+		}
+		if found && as.Number != tt.wantAS {
+			t.Errorf("Lookup(%s) = AS%d, want AS%d", tt.ip, as.Number, tt.wantAS)
+		}
+	}
+}
+
+func TestOverlapDetection(t *testing.T) {
+	bad := []*AS{
+		{Number: 1, Prefixes: []simnet.Prefix{{Base: simnet.MustParseIP("10.0.0.0"), Bits: 8}}},
+		{Number: 2, Prefixes: []simnet.Prefix{{Base: simnet.MustParseIP("10.5.0.0"), Bits: 16}}},
+	}
+	if _, err := NewDB(bad); err == nil {
+		t.Fatal("overlapping prefixes accepted")
+	}
+}
+
+func TestAdvertised(t *testing.T) {
+	ases := testASes()
+	if got := ases[0].Advertised(); got != 1<<16 {
+		t.Errorf("home.pl advertised = %d", got)
+	}
+	if got := ases[1].Advertised(); got != 2<<16 {
+		t.Errorf("chinanet advertised = %d", got)
+	}
+}
+
+func TestByNumberAndLen(t *testing.T) {
+	db := mustDB(t, testASes())
+	if db.Len() != 3 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	as, ok := db.ByNumber(4134)
+	if !ok || as.Name != "Chinanet" {
+		t.Errorf("ByNumber(4134) = %v, %v", as, ok)
+	}
+	if _, ok := db.ByNumber(99999); ok {
+		t.Error("phantom AS found")
+	}
+	if len(db.All()) != 3 {
+		t.Error("All() wrong length")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeHosting.String() != "Hosting" || TypeISP.String() != "ISP" ||
+		TypeAcademic.String() != "Academic" || TypeOther.String() != "Other" {
+		t.Error("type names wrong")
+	}
+}
+
+// Property: an IP maps to an AS iff one of that AS's prefixes contains it,
+// and never to an AS whose prefixes don't.
+func TestLookupConsistencyProperty(t *testing.T) {
+	ases := testASes()
+	db := mustDB(t, ases)
+	f := func(v uint32) bool {
+		ip := simnet.IP(v)
+		got, found := db.Lookup(ip)
+		for _, as := range ases {
+			for _, p := range as.Prefixes {
+				if p.Contains(ip) {
+					return found && got.Number == as.Number
+				}
+			}
+		}
+		return !found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyDB(t *testing.T) {
+	db := mustDB(t, nil)
+	if _, found := db.Lookup(simnet.MustParseIP("1.2.3.4")); found {
+		t.Error("empty DB found an AS")
+	}
+}

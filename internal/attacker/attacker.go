@@ -1,0 +1,428 @@
+// Package attacker simulates the malicious traffic §VIII's honeypots
+// observed: Internet-background scanners, HTTP probes against port 21,
+// credential guessers, anonymous write probers, staged ftpchk3 infections,
+// PORT bouncers sharing one third-party target, CVE-2015-3306 probes, the
+// Seagate root-login exploit, AUTH TLS device fingerprinting, and WaReZ
+// directory creation.
+//
+// Bot behaviour profiles and their mix are calibrated to the paper's
+// observed population: 457 unique scanning IPs, ~30% from one network, 85
+// speaking FTP, 8 PORT bouncers aiming at the same address, 36 AUTH TLS
+// fingerprinters, one CVE attempt, one Seagate attempt.
+package attacker
+
+import (
+	"context"
+	"crypto/tls"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ftpcloud/internal/ftp"
+	"ftpcloud/internal/simnet"
+)
+
+// Profile selects a bot behaviour.
+type Profile int
+
+// Bot profiles.
+const (
+	ProfileScannerOnly Profile = iota + 1
+	ProfileHTTPProbe
+	ProfileCredGuesser
+	ProfileWriteProber
+	ProfileTraverser
+	ProfileFtpchk3
+	ProfilePortBouncer
+	ProfileCVEExploit
+	ProfileSeagateRAT
+	ProfileTLSFingerprint
+	ProfileWarezMkdir
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	switch p {
+	case ProfileScannerOnly:
+		return "scanner-only"
+	case ProfileHTTPProbe:
+		return "http-probe"
+	case ProfileCredGuesser:
+		return "credential-guesser"
+	case ProfileWriteProber:
+		return "write-prober"
+	case ProfileTraverser:
+		return "traverser"
+	case ProfileFtpchk3:
+		return "ftpchk3"
+	case ProfilePortBouncer:
+		return "port-bouncer"
+	case ProfileCVEExploit:
+		return "cve-exploit"
+	case ProfileSeagateRAT:
+		return "seagate-rat"
+	case ProfileTLSFingerprint:
+		return "tls-fingerprint"
+	case ProfileWarezMkdir:
+		return "warez-mkdir"
+	default:
+		return "unknown"
+	}
+}
+
+// Bot is one attacking host.
+type Bot struct {
+	Source  simnet.IP
+	Profile Profile
+	// Seed varies per-bot choices (credentials, directory names).
+	Seed uint64
+}
+
+// Fleet drives a set of bots against targets.
+type Fleet struct {
+	Network *simnet.Network
+	Bots    []Bot
+	Targets []simnet.IP
+	// BounceTarget is the shared third-party address PORT bouncers use
+	// (the paper saw all eight aim at one IP).
+	BounceTarget ftp.HostPort
+	// Timeout bounds each bot's control operations.
+	Timeout time.Duration
+}
+
+// weakCredentials is the guessing dictionary; combined with per-bot suffix
+// variation it yields the >1,400 unique pairs the paper observed.
+var weakCredentials = [][2]string{
+	{"admin", "admin"}, {"admin", "password"}, {"admin", "1234"},
+	{"root", "root"}, {"root", "toor"}, {"user", "user"},
+	{"test", "test"}, {"ftp", "ftp"}, {"guest", "guest"},
+	{"admin", "admin123"}, {"administrator", "password"},
+	{"www", "www"}, {"web", "web"}, {"oracle", "oracle"},
+	{"pi", "raspberry"}, {"ubnt", "ubnt"},
+}
+
+// DefaultMix builds the §VIII-calibrated bot population: n total bots with
+// concentrated sources (share from one /8) and the paper's profile counts
+// scaled proportionally.
+func DefaultMix(n int, seed uint64, concentratedShare float64) []Bot {
+	if n <= 0 {
+		n = 457
+	}
+	bots := make([]Bot, 0, n)
+	// Profile mix per the paper: of 457 scanners, 85 spoke FTP; the
+	// rest probed HTTP or only connected.
+	counts := map[Profile]int{
+		ProfilePortBouncer:    8 * n / 457,
+		ProfileTLSFingerprint: 36 * n / 457,
+		ProfileCVEExploit:     1,
+		ProfileSeagateRAT:     1,
+		ProfileCredGuesser:    24 * n / 457,
+		ProfileWriteProber:    8 * n / 457,
+		ProfileFtpchk3:        3 * n / 457,
+		ProfileTraverser:      16 * n / 457,
+		ProfileWarezMkdir:     3 * n / 457,
+		ProfileHTTPProbe:      290 * n / 457,
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	counts[ProfileScannerOnly] = n - total
+	if counts[ProfileScannerOnly] < 0 {
+		counts[ProfileScannerOnly] = 0
+	}
+
+	state := seed
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	idx := 0
+	for _, profile := range []Profile{
+		ProfileScannerOnly, ProfileHTTPProbe, ProfileCredGuesser,
+		ProfileWriteProber, ProfileTraverser, ProfileFtpchk3,
+		ProfilePortBouncer, ProfileCVEExploit, ProfileSeagateRAT,
+		ProfileTLSFingerprint, ProfileWarezMkdir,
+	} {
+		for i := 0; i < counts[profile]; i++ {
+			var src simnet.IP
+			if float64(idx) < concentratedShare*float64(n) {
+				// The concentrated network: one /8 (the paper's
+				// "China Unicom Henan Province Network" analogue).
+				src = simnet.IPFromOctets(61, byte(next()%200), byte(next()%250), byte(1+next()%250))
+			} else {
+				src = simnet.IPFromOctets(byte(80+next()%100), byte(next()%250), byte(next()%250), byte(1+next()%250))
+			}
+			bots = append(bots, Bot{Source: src, Profile: profile, Seed: next()})
+			idx++
+		}
+	}
+	return bots
+}
+
+// Stats summarizes a fleet run.
+type Stats struct {
+	BotsRun   int
+	Sessions  int
+	Errors    int
+	ByProfile map[Profile]int
+}
+
+// Run executes every bot against every target (scanners hit all targets;
+// heavier profiles hit a subset to mirror observed behaviour).
+func (f *Fleet) Run(ctx context.Context) Stats {
+	stats := Stats{ByProfile: make(map[Profile]int)}
+	timeout := f.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 32)
+	for _, bot := range f.Bots {
+		wg.Add(1)
+		go func(b Bot) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sessions, errs := f.runBot(ctx, b, timeout)
+			mu.Lock()
+			stats.BotsRun++
+			stats.Sessions += sessions
+			stats.Errors += errs
+			stats.ByProfile[b.Profile]++
+			mu.Unlock()
+		}(bot)
+	}
+	wg.Wait()
+	return stats
+}
+
+// runBot visits targets per the bot's profile.
+func (f *Fleet) runBot(ctx context.Context, b Bot, timeout time.Duration) (sessions, errs int) {
+	for _, target := range f.Targets {
+		select {
+		case <-ctx.Done():
+			return sessions, errs
+		default:
+		}
+		if err := f.visit(b, target, timeout); err != nil {
+			errs++
+		}
+		sessions++
+	}
+	return sessions, errs
+}
+
+// visit runs one bot session against one honeypot.
+func (f *Fleet) visit(b Bot, target simnet.IP, timeout time.Duration) error {
+	nc, err := f.Network.DialFrom(b.Source, target, 21)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	c := ftp.NewConn(nc)
+	c.Timeout = timeout
+
+	if _, err := c.ReadReply(); err != nil {
+		return err
+	}
+	switch b.Profile {
+	case ProfileScannerOnly:
+		return nil
+	case ProfileHTTPProbe:
+		// Raw HTTP against the FTP port; the server logs the verb.
+		if err := c.SendCommand("GET", "/ HTTP/1.0"); err != nil {
+			return err
+		}
+		c.ReadReply()
+		return nil
+	case ProfileCredGuesser:
+		return f.guessCredentials(c, b, target)
+	case ProfileWriteProber:
+		return f.writeProbe(c, b, target)
+	case ProfileTraverser:
+		return f.traverse(c, b)
+	case ProfileFtpchk3:
+		return f.ftpchk3(c, b, target)
+	case ProfilePortBouncer:
+		return f.portBounce(c)
+	case ProfileCVEExploit:
+		return f.cveProbe(c)
+	case ProfileSeagateRAT:
+		return f.seagate(c)
+	case ProfileTLSFingerprint:
+		return f.tlsFingerprint(c)
+	case ProfileWarezMkdir:
+		return f.warezMkdir(c, b)
+	default:
+		return fmt.Errorf("attacker: unknown profile %v", b.Profile)
+	}
+}
+
+func anonLogin(c *ftp.Conn) error {
+	if r, err := c.Cmd("USER", "anonymous"); err != nil || r.Code != ftp.CodeNeedPassword {
+		return fmt.Errorf("attacker: USER rejected")
+	}
+	if r, err := c.Cmd("PASS", "mozilla@example.com"); err != nil || r.Code != ftp.CodeLoggedIn {
+		return fmt.Errorf("attacker: PASS rejected")
+	}
+	return nil
+}
+
+func (f *Fleet) guessCredentials(c *ftp.Conn, b Bot, target simnet.IP) error {
+	// Each guesser tries a slice of the dictionary plus variants salted
+	// by bot and target — real campaigns rotate passwords per victim,
+	// which is how the paper accumulated >1,400 unique pairs.
+	for i := 0; i < 8; i++ {
+		pair := weakCredentials[(int(b.Seed%uint64(len(weakCredentials)))+i)%len(weakCredentials)]
+		user, pass := pair[0], pair[1]
+		if i >= 3 {
+			pass = fmt.Sprintf("%s%d", pass, (b.Seed>>8+uint64(target)*31+uint64(i))%100000)
+		}
+		if r, err := c.Cmd("USER", user); err != nil || r.Negative() {
+			return err
+		}
+		if r, err := c.Cmd("PASS", pass); err != nil {
+			return err
+		} else if r.Code == ftp.CodeLoggedIn {
+			return nil
+		}
+	}
+	return nil
+}
+
+// openDataAndStore uploads content via PASV.
+func openDataAndStore(f *Fleet, c *ftp.Conn, src simnet.IP, name string, content []byte) error {
+	r, err := c.Cmd("PASV", "")
+	if err != nil || r.Code != ftp.CodePassive {
+		return fmt.Errorf("attacker: PASV failed")
+	}
+	hp, err := ftp.ParsePASVReply(r.Text())
+	if err != nil {
+		return err
+	}
+	dc, err := f.Network.Dial(src, hp.Addr())
+	if err != nil {
+		return err
+	}
+	defer dc.Close()
+	if r, err := c.Cmd("STOR", name); err != nil || !r.Preliminary() {
+		return fmt.Errorf("attacker: STOR refused")
+	}
+	if _, err := dc.Write(content); err != nil {
+		return err
+	}
+	dc.Close()
+	_, err = c.ReadReply()
+	return err
+}
+
+func (f *Fleet) writeProbe(c *ftp.Conn, b Bot, target simnet.IP) error {
+	if err := anonLogin(c); err != nil {
+		return err
+	}
+	if err := openDataAndStore(f, c, b.Source, "hello.world.txt", []byte("aGVsbG8gd29ybGQ=")); err != nil {
+		return err
+	}
+	// Probe campaigns delete their marker afterwards (§VIII.B).
+	_, err := c.Cmd("DELE", "hello.world.txt")
+	return err
+}
+
+func (f *Fleet) traverse(c *ftp.Conn, b Bot) error {
+	if err := anonLogin(c); err != nil {
+		return err
+	}
+	// Blind traversal of web-root paths, as observed.
+	for _, dir := range []string{"cgi-bin", "www", "public_html", "htdocs"} {
+		c.Cmd("CWD", "/"+dir)
+		c.Cmd("CWD", "/")
+	}
+	r, err := c.Cmd("PASV", "")
+	if err != nil || r.Code != ftp.CodePassive {
+		return err
+	}
+	hp, err := ftp.ParsePASVReply(r.Text())
+	if err != nil {
+		return err
+	}
+	dc, err := f.Network.Dial(b.Source, hp.Addr())
+	if err != nil {
+		return err
+	}
+	defer dc.Close()
+	if r, err := c.Cmd("LIST", "/"); err != nil || !r.Preliminary() {
+		return err
+	}
+	io.Copy(io.Discard, dc)
+	c.ReadReply()
+	return nil
+}
+
+func (f *Fleet) ftpchk3(c *ftp.Conn, b Bot, target simnet.IP) error {
+	if err := anonLogin(c); err != nil {
+		return err
+	}
+	if err := openDataAndStore(f, c, b.Source, "ftpchk3.txt", []byte("ftpchk3")); err != nil {
+		return err
+	}
+	return openDataAndStore(f, c, b.Source, "ftpchk3.php", []byte(`<?php echo "OK"; ?>`))
+}
+
+func (f *Fleet) portBounce(c *ftp.Conn) error {
+	if err := anonLogin(c); err != nil {
+		return err
+	}
+	if r, err := c.Cmd("PORT", f.BounceTarget.Encode()); err != nil || r.Negative() {
+		return err
+	}
+	if r, err := c.Cmd("LIST", "/"); err == nil && r.Preliminary() {
+		c.ReadReply()
+	}
+	return nil
+}
+
+func (f *Fleet) cveProbe(c *ftp.Conn) error {
+	// CVE-2015-3306: unauthenticated mod_copy SITE CPFR/CPTO.
+	c.Cmd("SITE", "CPFR /etc/passwd")
+	c.Cmd("SITE", "CPTO /tmp/.x")
+	return nil
+}
+
+func (f *Fleet) seagate(c *ftp.Conn) error {
+	// Seagate Central: root account without a password grants access.
+	if r, err := c.Cmd("USER", "root"); err != nil || r.Negative() {
+		return err
+	}
+	if r, err := c.Cmd("PASS", ""); err != nil || r.Code != ftp.CodeLoggedIn {
+		return nil // honeypot rejects; the attempt is what gets recorded
+	}
+	return nil
+}
+
+func (f *Fleet) tlsFingerprint(c *ftp.Conn) error {
+	r, err := c.Cmd("AUTH", "TLS")
+	if err != nil || r.Code != ftp.CodeAuthOK {
+		return err
+	}
+	tc := tls.Client(c.NetConn(), &tls.Config{InsecureSkipVerify: true})
+	tc.SetDeadline(time.Now().Add(3 * time.Second))
+	if err := tc.Handshake(); err != nil {
+		return err
+	}
+	tc.Close()
+	return nil
+}
+
+func (f *Fleet) warezMkdir(c *ftp.Conn, b Bot) error {
+	if err := anonLogin(c); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%012dp", b.Seed%1_000_000_000_000)
+	_, err := c.Cmd("MKD", "/"+name)
+	return err
+}

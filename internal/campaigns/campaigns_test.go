@@ -1,0 +1,138 @@
+package campaigns
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	all := All()
+	if len(all) != 11 {
+		t.Fatalf("catalog has %d campaigns, want 11", len(all))
+	}
+	keys := make(map[string]bool)
+	for _, c := range all {
+		if c.Key == "" || c.Name == "" || c.Kind == 0 {
+			t.Errorf("incomplete campaign: %+v", c)
+		}
+		if keys[c.Key] {
+			t.Errorf("duplicate key %q", c.Key)
+		}
+		keys[c.Key] = true
+	}
+	for _, want := range []string{
+		KeyProbeW0000000t, KeyProbeSjutd, KeyProbeHelloWorld, KeyFtpchk3,
+		KeyRATEval, KeyDDoSHistory, KeyDDoSPhzLtoxn, KeyHolyBible,
+		KeyCrackFlier, KeyWaReZ, KeyRamnit,
+	} {
+		if !keys[want] {
+			t.Errorf("missing campaign %q", want)
+		}
+	}
+}
+
+func TestByKey(t *testing.T) {
+	c := ByKey(KeyFtpchk3)
+	if c == nil || c.Kind != KindMultiStage {
+		t.Fatalf("ByKey(ftpchk3) = %+v", c)
+	}
+	if len(c.Artifacts) != 3 {
+		t.Errorf("ftpchk3 stages = %d, want 3 (paper's observed stages)", len(c.Artifacts))
+	}
+	if ByKey("nope") != nil {
+		t.Error("phantom campaign")
+	}
+}
+
+func TestReferenceSet(t *testing.T) {
+	set := ReferenceSet()
+	// The probes and RAT files are the paper's write evidence.
+	for _, want := range []string{
+		"w0000000t.txt", "w0000000t.php", "sjutd.txt", "hello.world.txt",
+		"ftpchk3.txt", "ftpchk3.php", "history.php", "phzLtoxn.php", "sh3ll.php",
+	} {
+		if !set[want] {
+			t.Errorf("reference set missing %q", want)
+		}
+	}
+	// The SEO tag and fliers are NOT write evidence per the paper.
+	for _, no := range []string{"Holy-Bible.html", "Software-Cracking-Service.pdf", "index.php"} {
+		if set[no] {
+			t.Errorf("reference set wrongly includes %q", no)
+		}
+	}
+}
+
+func TestIsWaReZDir(t *testing.T) {
+	good := []string{"150618120000p", "040101235959p"}
+	bad := []string{"", "150618120000", "150618120000x", "15061812000p", "1506181200000p", "abc"}
+	for _, g := range good {
+		if !IsWaReZDir(g) {
+			t.Errorf("IsWaReZDir(%q) = false", g)
+		}
+	}
+	for _, b := range bad {
+		if IsWaReZDir(b) {
+			t.Errorf("IsWaReZDir(%q) = true", b)
+		}
+	}
+}
+
+// Property: WaReZ signature requires exactly 12 digits plus 'p'.
+func TestWaReZDirProperty(t *testing.T) {
+	f := func(digits [12]uint8, extra bool) bool {
+		name := ""
+		for _, d := range digits {
+			name += string(rune('0' + d%10))
+		}
+		if extra {
+			name += "x"
+		} else {
+			name += "p"
+		}
+		return IsWaReZDir(name) == !extra
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRamnitBanner(t *testing.T) {
+	if !IsRamnitBanner("220 220 RMNetwork FTP") {
+		t.Error("wire-format Ramnit banner not detected")
+	}
+	if IsRamnitBanner("220 ProFTPD Server ready") {
+		t.Error("false positive on ProFTPD")
+	}
+}
+
+func TestDetectFilename(t *testing.T) {
+	keys := DetectFilename("w0000000t.txt")
+	if len(keys) != 1 || keys[0] != KeyProbeW0000000t {
+		t.Errorf("DetectFilename(w0000000t.txt) = %v", keys)
+	}
+	if DetectFilename("innocent.jpg") != nil {
+		t.Error("false positive on innocent file")
+	}
+	// ftpchk3.php is shared by multiple stages of one campaign — must
+	// report the campaign exactly once.
+	keys = DetectFilename("ftpchk3.php")
+	if len(keys) != 1 || keys[0] != KeyFtpchk3 {
+		t.Errorf("DetectFilename(ftpchk3.php) = %v", keys)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindWriteProbe, KindRAT, KindDDoS, KindMultiStage, KindSEO, KindFlier, KindWaReZ, KindBotnet, Kind(0)}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" {
+			t.Errorf("Kind(%d) has empty name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}

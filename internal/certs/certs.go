@@ -1,0 +1,247 @@
+// Package certs generates the X.509 certificate population of a simulated
+// world. The paper's FTPS findings hinge on certificate *sharing*: hosting
+// providers reuse one browser-trusted wildcard certificate across all shared
+// servers, and device manufacturers ship one identical certificate (and
+// private key) in every unit. A Pool therefore holds a small set of named
+// certificates that the world generator assigns to many hosts.
+//
+// Certificates are real (crypto/x509, ECDSA P-256). Key material and
+// subjects are fully deterministic for a given seed so worlds reproduce;
+// only the outer ECDSA signature bytes vary run to run (Go's signer is
+// intentionally randomized), which nothing in the toolchain depends on.
+package certs
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/sha256"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+)
+
+// Spec describes one certificate to mint.
+type Spec struct {
+	// Name is the pool key the world generator assigns to hosts.
+	Name string
+	// CommonName is the certificate subject CN, e.g. "*.home.pl".
+	CommonName string
+	// SelfSigned certificates are their own issuer; others are signed by
+	// the pool's simulated CA and count as browser-trusted.
+	SelfSigned bool
+}
+
+// Cert is one minted certificate with its private key.
+type Cert struct {
+	Name        string
+	CommonName  string
+	SelfSigned  bool
+	DER         []byte
+	Leaf        *x509.Certificate
+	PrivateKey  *ecdsa.PrivateKey
+	Fingerprint [32]byte // SHA-256 of the DER encoding
+}
+
+// TLSCertificate adapts the cert for use in a tls.Config.
+func (c *Cert) TLSCertificate() tls.Certificate {
+	return tls.Certificate{
+		Certificate: [][]byte{c.DER},
+		PrivateKey:  c.PrivateKey,
+		Leaf:        c.Leaf,
+	}
+}
+
+// Pool is a named collection of certificates plus the CA that signed the
+// trusted ones.
+type Pool struct {
+	CA    *Cert
+	certs map[string]*Cert
+	order []string
+}
+
+// seededReader is a deterministic byte stream for key generation. It is NOT
+// cryptographically secure — the simulation needs reproducibility, not
+// secrecy.
+type seededReader struct {
+	state [4]uint64
+}
+
+func newSeededReader(seed uint64) *seededReader {
+	r := &seededReader{}
+	// splitmix64 expansion of the seed into xoshiro-like state.
+	s := seed
+	for i := range r.state {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.state[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func (r *seededReader) next() uint64 {
+	// xoshiro256**
+	s := &r.state
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Read implements io.Reader.
+func (r *seededReader) Read(p []byte) (int, error) {
+	for i := 0; i < len(p); i += 8 {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], r.next())
+		copy(p[i:], buf[:])
+	}
+	return len(p), nil
+}
+
+var _ io.Reader = (*seededReader)(nil)
+
+// deriveKey builds an ECDSA P-256 key directly from the seeded stream.
+// ecdsa.GenerateKey cannot be used: Go's crypto intentionally perturbs its
+// reader (randutil.MaybeReadByte) to defeat exactly this kind of
+// determinism, but reproducible worlds require stable keys per seed.
+func deriveKey(rng io.Reader) (*ecdsa.PrivateKey, error) {
+	curve := elliptic.P256()
+	buf := make([]byte, 40)
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return nil, err
+	}
+	n := curve.Params().N
+	d := new(big.Int).SetBytes(buf)
+	d.Mod(d, new(big.Int).Sub(n, big.NewInt(1)))
+	d.Add(d, big.NewInt(1))
+	key := &ecdsa.PrivateKey{D: d}
+	key.Curve = curve
+	key.X, key.Y = curve.ScalarBaseMult(d.Bytes())
+	return key, nil
+}
+
+// notBefore anchors certificate validity around the paper's scan window.
+var notBefore = time.Date(2014, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// GeneratePool mints all specified certificates deterministically from seed.
+//
+// Each certificate draws key material from its own reader derived from
+// (seed, index): the x509 signing path consumes a nondeterministic number of
+// bytes from whatever reader it is given (crypto/internal/randutil), so a
+// single shared stream would let one cert's signing perturb the next cert's
+// key.
+func GeneratePool(seed uint64, specs []Spec) (*Pool, error) {
+	pool := &Pool{certs: make(map[string]*Cert, len(specs))}
+
+	ca, err := mint(newSeededReader(seed), "ca", "Simulated Trust Services CA", nil, nil, true)
+	if err != nil {
+		return nil, fmt.Errorf("certs: minting CA: %w", err)
+	}
+	pool.CA = ca
+
+	for i, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("certs: spec with empty name (CN %q)", spec.CommonName)
+		}
+		if _, dup := pool.certs[spec.Name]; dup {
+			return nil, fmt.Errorf("certs: duplicate spec name %q", spec.Name)
+		}
+		var issuer *Cert
+		if !spec.SelfSigned {
+			issuer = ca
+		}
+		rng := newSeededReader(seed ^ (0x5bf03635 + uint64(i+1)*0x9e3779b97f4a7c15))
+		c, err := mint(rng, spec.Name, spec.CommonName, issuer, nil, false)
+		if err != nil {
+			return nil, fmt.Errorf("certs: minting %q: %w", spec.Name, err)
+		}
+		c.SelfSigned = spec.SelfSigned
+		pool.certs[spec.Name] = c
+		pool.order = append(pool.order, spec.Name)
+	}
+	return pool, nil
+}
+
+// mint creates one certificate. A nil issuer produces a self-signed cert;
+// isCA marks CA certificates.
+func mint(rng io.Reader, name, cn string, issuer *Cert, _ []string, isCA bool) (*Cert, error) {
+	key, err := deriveKey(rng)
+	if err != nil {
+		return nil, err
+	}
+	var serialBytes [8]byte
+	if _, err := io.ReadFull(rng, serialBytes[:]); err != nil {
+		return nil, err
+	}
+	serial := new(big.Int).SetBytes(serialBytes[:])
+
+	tmpl := &x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: cn, Organization: []string{"ftpcloud-sim"}},
+		NotBefore:             notBefore,
+		NotAfter:              notBefore.AddDate(10, 0, 0),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		DNSNames:              []string{cn},
+		IsCA:                  isCA,
+		BasicConstraintsValid: true,
+	}
+	if isCA {
+		tmpl.KeyUsage |= x509.KeyUsageCertSign
+	}
+
+	parent := tmpl
+	signKey := key
+	if issuer != nil {
+		parent = issuer.Leaf
+		signKey = issuer.PrivateKey
+	}
+	der, err := x509.CreateCertificate(rng, tmpl, parent, &key.PublicKey, signKey)
+	if err != nil {
+		return nil, err
+	}
+	leaf, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Cert{
+		Name:        name,
+		CommonName:  cn,
+		SelfSigned:  issuer == nil,
+		DER:         der,
+		Leaf:        leaf,
+		PrivateKey:  key,
+		Fingerprint: sha256.Sum256(der),
+	}, nil
+}
+
+// Get returns the named certificate, or nil.
+func (p *Pool) Get(name string) *Cert { return p.certs[name] }
+
+// Names returns the pool's certificate names in creation order.
+func (p *Pool) Names() []string { return append([]string(nil), p.order...) }
+
+// Len returns the number of certificates (excluding the CA).
+func (p *Pool) Len() int { return len(p.certs) }
+
+// IsTrusted reports whether a presented certificate chains to the pool CA
+// (the simulation's notion of "browser-trusted").
+func (p *Pool) IsTrusted(leaf *x509.Certificate) bool {
+	if p.CA == nil {
+		return false
+	}
+	return leaf.CheckSignatureFrom(p.CA.Leaf) == nil
+}

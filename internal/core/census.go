@@ -1,0 +1,296 @@
+// Package core is the library's public face: it wires the substrates into
+// the paper's end-to-end measurement pipeline. A Census builds a simulated
+// world, performs ZMap-style host discovery on TCP/21, runs the enumerator
+// fleet against every responsive host, and hands the dataset to the
+// analysis layer that regenerates each of the paper's tables and figures.
+//
+// The same package exposes the honeypot study (§VIII) runner.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ftpcloud/internal/analysis"
+	"ftpcloud/internal/attacker"
+	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/enumerator"
+	"ftpcloud/internal/ftp"
+	"ftpcloud/internal/honeypot"
+	"ftpcloud/internal/simnet"
+	"ftpcloud/internal/worldgen"
+	"ftpcloud/internal/zmap"
+)
+
+// Infrastructure addresses live far above the world generator's
+// allocations (which grow upward from 1.0.0.0).
+var (
+	// ScannerBase is the first source address of the measurement fleet.
+	ScannerBase = simnet.MustParseIP("250.0.0.1")
+	// CollectorIP hosts the PORT-validation collector.
+	CollectorIP = simnet.MustParseIP("250.0.255.1")
+	// HoneypotBase is where the honeypot study deploys.
+	HoneypotBase = simnet.MustParseIP("250.1.0.1")
+)
+
+// CensusConfig sizes a census run.
+type CensusConfig struct {
+	// Seed derandomizes the world and the scan order.
+	Seed uint64
+	// Scale divides the paper's full-Internet population (see worldgen).
+	Scale int
+	// ScanWorkers / EnumWorkers set stage parallelism.
+	ScanWorkers int
+	EnumWorkers int
+	// Retries resends discovery probes to absorb simulated loss.
+	Retries int
+	// LossRate injects deterministic probe loss.
+	LossRate float64
+	// PortProbe enables the PORT-validation test (on by default in
+	// Run; disable for ablations).
+	DisablePortProbe bool
+	// DisableTLS skips certificate collection.
+	DisableTLS bool
+	// RequestCap bounds enumerator requests per connection (default 500).
+	RequestCap int
+	// RealisticLatency applies the world's deterministic 5–150ms
+	// per-pair connection-setup latency; off by default because it
+	// costs real wall-clock time.
+	RealisticLatency bool
+	// Params overrides the generated world's parameters entirely when
+	// non-nil.
+	Params *worldgen.Params
+}
+
+// Census is a ready-to-run measurement pipeline over one world.
+type Census struct {
+	Config  CensusConfig
+	World   *worldgen.World
+	Network *simnet.Network
+}
+
+// NewCensus synthesizes the world and network.
+func NewCensus(cfg CensusConfig) (*Census, error) {
+	if cfg.Scale < 1 {
+		cfg.Scale = 2048
+	}
+	params := worldgen.DefaultParams(cfg.Seed, cfg.Scale)
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	world, err := worldgen.New(params)
+	if err != nil {
+		return nil, fmt.Errorf("core: building world: %w", err)
+	}
+	nw := simnet.NewNetwork(world)
+	nw.LossRate = cfg.LossRate
+	nw.LossSeed = cfg.Seed
+	if cfg.RealisticLatency {
+		nw.Latency = world.LatencyModel()
+	}
+	return &Census{Config: cfg, World: world, Network: nw}, nil
+}
+
+// Result is a completed census.
+type Result struct {
+	Input   *analysis.Input
+	Records []*dataset.HostRecord
+
+	// ScanDuration is the time until discovery finished; EnumDuration
+	// the time until the last enumeration finished. The stages overlap
+	// (enumeration follows discovery host by host), so both measure
+	// from the same start.
+	ScanDuration time.Duration
+	EnumDuration time.Duration
+	Probed       uint64
+	Responded    uint64
+}
+
+// Run executes discovery and enumeration as an overlapping pipeline — the
+// enumerator fleet follows up on hosts as the scanner discovers them, the
+// way the paper's toolchain chained ZMap with its libevent enumerator —
+// and returns the assembled dataset.
+func (c *Census) Run(ctx context.Context) (*Result, error) {
+	start := time.Now()
+	scanner, err := zmap.NewScanner(zmap.Config{
+		Network: c.Network,
+		Base:    c.World.ScanBase,
+		Size:    c.World.ScanSize,
+		Port:    21,
+		Seed:    c.Config.Seed,
+		Workers: c.Config.ScanWorkers,
+		Retries: c.Config.Retries,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: scanner: %w", err)
+	}
+
+	var collector enumerator.Collector
+	if !c.Config.DisablePortProbe {
+		simCollector, err := enumerator.NewSimCollector(c.Network, CollectorIP, 3100)
+		if err != nil {
+			return nil, fmt.Errorf("core: collector: %w", err)
+		}
+		defer simCollector.Close()
+		collector = simCollector
+	}
+
+	fleet := &enumerator.Fleet{
+		Cfg: enumerator.Config{
+			Collector:  collector,
+			RequestCap: c.Config.RequestCap,
+			TryTLS:     !c.Config.DisableTLS,
+			Timeout:    15 * time.Second,
+		},
+		Network:    c.Network,
+		SourceBase: ScannerBase,
+		Workers:    c.Config.EnumWorkers,
+	}
+
+	// Pipeline: scanner results flow straight into the fleet's intake.
+	found := make(chan zmap.Result, 1024)
+	in := make(chan simnet.IP, 1024)
+	out := make(chan *dataset.HostRecord, 1024)
+
+	scanErr := make(chan error, 1)
+	var scanDur time.Duration
+	go func() {
+		err := scanner.Run(ctx, found)
+		scanDur = time.Since(start)
+		scanErr <- err
+	}()
+	go func() {
+		defer close(in)
+		for r := range found {
+			select {
+			case in <- r.IP:
+			case <-ctx.Done():
+				// Drain so the scanner can finish closing.
+				for range found {
+				}
+				return
+			}
+		}
+	}()
+	done := make(chan []*dataset.HostRecord, 1)
+	go func() {
+		var records []*dataset.HostRecord
+		for rec := range out {
+			records = append(records, rec)
+		}
+		done <- records
+	}()
+	fleet.Run(ctx, in, out)
+	records := <-done
+	if err := <-scanErr; err != nil {
+		return nil, fmt.Errorf("core: discovery scan: %w", err)
+	}
+
+	result := &Result{
+		Records:      records,
+		ScanDuration: scanDur,
+		EnumDuration: time.Since(start),
+		Probed:       scanner.Stats.Probed.Load(),
+		Responded:    scanner.Stats.Responded.Load(),
+	}
+	result.Input = &analysis.Input{
+		IPsScanned: c.World.ScanSize,
+		Records:    records,
+		ASDB:       c.World.ASDB,
+		HTTP:       c.HTTPJoin(records),
+	}
+	return result, ctx.Err()
+}
+
+// HTTPJoin plays the role of the paper's Censys HTTP dataset: an external
+// scan of the same address space reporting web servers and their scripting
+// headers. In the simulation the web-scan ground truth comes from the world
+// generator, exactly as Censys is generated independently of the FTP scan.
+func (c *Census) HTTPJoin(records []*dataset.HostRecord) map[string]analysis.HTTPInfo {
+	join := make(map[string]analysis.HTTPInfo, len(records))
+	for _, rec := range records {
+		if !rec.FTP {
+			continue
+		}
+		ip, err := simnet.ParseIP(rec.IP)
+		if err != nil {
+			continue
+		}
+		truth, ok := c.World.Truth(ip)
+		if !ok || !truth.FTP {
+			continue
+		}
+		join[rec.IP] = analysis.HTTPInfo{HTTP: truth.HTTP, Scripting: truth.Scripting}
+	}
+	return join
+}
+
+// Tables bundles every computed experiment.
+type Tables struct {
+	Funnel           analysis.Funnel
+	Classification   analysis.Classification
+	ASConcentration  analysis.ASConcentration
+	Devices          analysis.DeviceBreakdown
+	TopASes          []analysis.TopAS
+	Exposure         analysis.Exposure
+	ExposureByDevice analysis.ExposureByDevice
+	CVEs             analysis.CVEExposure
+	Malicious        analysis.Malicious
+	PortBounce       analysis.PortBounce
+	FTPS             analysis.FTPS
+}
+
+// ComputeTables runs every analysis over the result.
+func (r *Result) ComputeTables() Tables {
+	in := r.Input
+	return Tables{
+		Funnel:           analysis.ComputeFunnel(in),
+		Classification:   analysis.ComputeClassification(in),
+		ASConcentration:  analysis.ComputeASConcentration(in),
+		Devices:          analysis.ComputeDevices(in),
+		TopASes:          analysis.ComputeTopASes(in, 10),
+		Exposure:         analysis.ComputeExposure(in),
+		ExposureByDevice: analysis.ComputeExposureByDevice(in),
+		CVEs:             analysis.ComputeCVEs(in),
+		Malicious:        analysis.ComputeMalicious(in),
+		PortBounce:       analysis.ComputePortBounce(in),
+		FTPS:             analysis.ComputeFTPS(in, 10),
+	}
+}
+
+// HoneypotStudyConfig sizes a §VIII run.
+type HoneypotStudyConfig struct {
+	Seed         uint64
+	Honeypots    int     // paper: 8
+	Attackers    int     // paper: 457 unique IPs
+	Concentrated float64 // share of attackers from one network (paper: ~0.30)
+}
+
+// HoneypotStudy deploys honeypots on a fresh network, runs the attacker
+// fleet, and summarizes.
+func HoneypotStudy(ctx context.Context, cfg HoneypotStudyConfig) (honeypot.Summary, error) {
+	if cfg.Honeypots <= 0 {
+		cfg.Honeypots = 8
+	}
+	if cfg.Attackers <= 0 {
+		cfg.Attackers = 457
+	}
+	if cfg.Concentrated == 0 {
+		cfg.Concentrated = 0.30
+	}
+	provider := simnet.NewStaticProvider()
+	dep, err := honeypot.Deploy(provider, HoneypotBase, cfg.Honeypots, nil)
+	if err != nil {
+		return honeypot.Summary{}, err
+	}
+	nw := simnet.NewNetwork(provider)
+	fleet := &attacker.Fleet{
+		Network:      nw,
+		Bots:         attacker.DefaultMix(cfg.Attackers, cfg.Seed, cfg.Concentrated),
+		Targets:      dep.IPs,
+		BounceTarget: ftp.HostPort{IP: [4]byte{203, 0, 113, 66}, Port: 9999},
+	}
+	fleet.Run(ctx)
+	return honeypot.Summarize(dep), nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ftpcloud/internal/dataset"
+)
+
+// testCensus runs a small end-to-end census: scale 32768 scans ~112K
+// addresses holding ~420 FTP servers.
+func testCensus(t *testing.T, scale int) (*Census, *Result) {
+	t.Helper()
+	c, err := NewCensus(CensusConfig{Seed: 7, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, res
+}
+
+func TestCensusEndToEnd(t *testing.T) {
+	c, res := testCensus(t, 32768)
+
+	if res.Probed != c.World.ScanSize {
+		t.Errorf("probed %d of %d addresses", res.Probed, c.World.ScanSize)
+	}
+	if len(res.Records) == 0 {
+		t.Fatal("no hosts discovered")
+	}
+	if uint64(len(res.Records)) != res.Responded {
+		t.Errorf("records %d != responded %d", len(res.Records), res.Responded)
+	}
+
+	tables := res.ComputeTables()
+
+	// The measured funnel must match the generator's ground truth.
+	audit := c.World.Audit(1)
+	f := tables.Funnel
+	if f.OpenPort21 != audit.Open {
+		t.Errorf("open: measured %d, truth %d", f.OpenPort21, audit.Open)
+	}
+	if f.FTPServers != audit.FTP {
+		t.Errorf("ftp: measured %d, truth %d", f.FTPServers, audit.FTP)
+	}
+	// Anonymous measurement is a lower bound: banner opt-outs stop the
+	// login attempt on some anonymous-capable hosts (ethics behaviour),
+	// so measured ≤ truth, within a modest margin.
+	if f.AnonServers > audit.Anonymous {
+		t.Errorf("anon: measured %d exceeds truth %d", f.AnonServers, audit.Anonymous)
+	}
+	if audit.Anonymous > 0 && float64(f.AnonServers) < 0.5*float64(audit.Anonymous) {
+		t.Errorf("anon: measured %d far below truth %d", f.AnonServers, audit.Anonymous)
+	}
+
+	// FTPS support must be measured on non-anonymous hosts too.
+	if tables.FTPS.Supported == 0 {
+		t.Error("no FTPS hosts measured")
+	}
+	ftpsTruth := audit.FTPS
+	if tables.FTPS.Supported > ftpsTruth {
+		t.Errorf("ftps: measured %d exceeds truth %d", tables.FTPS.Supported, ftpsTruth)
+	}
+
+	// PORT validation: home.pl's default stack fails it, so failures
+	// must exist and concentrate there.
+	if tables.PortBounce.Tested == 0 {
+		t.Error("no PORT probes ran")
+	}
+
+	if tables.Classification.TotalFTP != f.FTPServers {
+		t.Error("classification total mismatch")
+	}
+
+	// Rendering must not panic and must carry every section.
+	out := tables.Render()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III", "Table VI", "Table VIII",
+		"Table IX", "Table X", "Table XI", "Table XII", "Table XIII",
+		"Section V", "Section VI", "Section VII.B", "Section IX", "Figure 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestCensusDeterministicDiscovery(t *testing.T) {
+	_, res1 := testCensus(t, 65536)
+	_, res2 := testCensus(t, 65536)
+	if len(res1.Records) != len(res2.Records) {
+		t.Errorf("same seed found %d vs %d hosts", len(res1.Records), len(res2.Records))
+	}
+	f1 := res1.ComputeTables().Funnel
+	f2 := res2.ComputeTables().Funnel
+	if f1 != f2 {
+		t.Errorf("funnels diverge: %+v vs %+v", f1, f2)
+	}
+}
+
+func TestCensusWithLossAndRetries(t *testing.T) {
+	c, err := NewCensus(CensusConfig{Seed: 7, Scale: 65536, LossRate: 0.2, Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := c.World.Audit(1)
+	// Retries should recover nearly all hosts despite 20% probe loss.
+	if len(res.Records) < audit.Open*9/10 {
+		t.Errorf("loss recovery: found %d of %d", len(res.Records), audit.Open)
+	}
+}
+
+func TestHTTPJoin(t *testing.T) {
+	c, res := testCensus(t, 65536)
+	join := c.HTTPJoin(res.Records)
+	if len(join) == 0 {
+		t.Fatal("empty HTTP join")
+	}
+	withHTTP := 0
+	for _, info := range join {
+		if info.HTTP {
+			withHTTP++
+		}
+	}
+	// Around 65% of FTP hosts also serve HTTP.
+	rate := float64(withHTTP) / float64(len(join))
+	if rate < 0.4 || rate > 0.9 {
+		t.Errorf("HTTP overlap rate = %.2f, want ≈0.65", rate)
+	}
+}
+
+func TestCensusCancellation(t *testing.T) {
+	c, err := NewCensus(CensusConfig{Seed: 7, Scale: 2048, ScanWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Run(ctx); err == nil {
+		t.Error("cancelled census returned nil error")
+	}
+}
+
+func TestHoneypotStudyViaCore(t *testing.T) {
+	s, err := HoneypotStudy(context.Background(), HoneypotStudyConfig{
+		Seed: 3, Honeypots: 4, Attackers: 60, Concentrated: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UniqueScanners != 60 {
+		t.Errorf("scanners = %d", s.UniqueScanners)
+	}
+	if s.SpokeFTP == 0 {
+		t.Error("no FTP speakers")
+	}
+}
+
+func TestWriteEvidenceFlowsThrough(t *testing.T) {
+	_, res := testCensus(t, 8192)
+	writable := 0
+	for _, rec := range res.Records {
+		if len(rec.WriteEvidence) > 0 {
+			writable++
+		}
+	}
+	tables := res.ComputeTables()
+	if tables.Malicious.WritableServers != writable {
+		t.Errorf("writable: analysis %d vs records %d",
+			tables.Malicious.WritableServers, writable)
+	}
+}
+
+func TestDatasetRoundTripFromCensus(t *testing.T) {
+	_, res := testCensus(t, 65536)
+	var sb strings.Builder
+	w := dataset.NewWriter(&sb)
+	for _, rec := range res.Records {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	back, err := dataset.ReadAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Records) {
+		t.Errorf("round trip: %d vs %d", len(back), len(res.Records))
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"strings"
+
+	"ftpcloud/internal/report"
+)
+
+// Render formats every table and figure as the full census report.
+func (t Tables) Render() string {
+	var b strings.Builder
+	sections := []string{
+		report.Funnel(t.Funnel),
+		report.Classification(t.Classification),
+		report.ASConcentration(t.ASConcentration),
+		report.Devices(t.Devices),
+		report.TopASes(t.TopASes),
+		report.Extensions(t.Exposure, 10),
+		report.Sensitive(t.Exposure),
+		report.ExposureProse(t.Exposure),
+		report.ExposureByDevice(t.ExposureByDevice),
+		report.CVEs(t.CVEs),
+		report.Malicious(t.Malicious),
+		report.PortBounce(t.PortBounce),
+		report.FTPS(t.FTPS),
+		report.Figure1(t.ASConcentration),
+	}
+	for i, s := range sections {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(s)
+	}
+	return b.String()
+}

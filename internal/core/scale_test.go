@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestScaleInvariance is the reproduction's validity check: the headline
+// percentages must be stable across world scales, because the paper's
+// findings are rates over a population, not artifacts of a particular
+// sample size. Counts scale linearly; rates stay put.
+func TestScaleInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scale sweep is slow")
+	}
+	type point struct {
+		scale   int
+		pctOpen float64
+		pctFTP  float64
+		pctAnon float64
+		pctFTPS float64
+		ftp     int
+	}
+	scales := []int{4096, 16384, 65536}
+	points := make([]point, 0, len(scales))
+	for _, scale := range scales {
+		c, err := NewCensus(CensusConfig{Seed: 42, Scale: scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := res.ComputeTables()
+		points = append(points, point{
+			scale:   scale,
+			pctOpen: tab.Funnel.PctOpen,
+			pctFTP:  tab.Funnel.PctFTP,
+			pctAnon: tab.Funnel.PctAnonymous,
+			pctFTPS: tab.FTPS.PctSupported,
+			ftp:     tab.Funnel.FTPServers,
+		})
+	}
+
+	base := points[0]
+	for _, p := range points[1:] {
+		// Percentages: small-sample noise grows at high scales, so the
+		// tolerance is generous but still catches systematic drift.
+		if math.Abs(p.pctOpen-base.pctOpen) > 0.15 {
+			t.Errorf("pctOpen drifts: %.2f at 1:%d vs %.2f at 1:%d",
+				p.pctOpen, p.scale, base.pctOpen, base.scale)
+		}
+		if math.Abs(p.pctFTP-base.pctFTP) > 6 {
+			t.Errorf("pctFTP drifts: %.2f at 1:%d vs %.2f at 1:%d",
+				p.pctFTP, p.scale, base.pctFTP, base.scale)
+		}
+		if math.Abs(p.pctAnon-base.pctAnon) > 4 {
+			t.Errorf("pctAnon drifts: %.2f at 1:%d vs %.2f at 1:%d",
+				p.pctAnon, p.scale, base.pctAnon, base.scale)
+		}
+		if math.Abs(p.pctFTPS-base.pctFTPS) > 8 {
+			t.Errorf("pctFTPS drifts: %.2f at 1:%d vs %.2f at 1:%d",
+				p.pctFTPS, p.scale, base.pctFTPS, base.scale)
+		}
+	}
+	// Counts scale ~linearly with 1/scale.
+	ratio := float64(points[0].ftp) / float64(points[2].ftp)
+	wantRatio := float64(scales[2]) / float64(scales[0])
+	if ratio < wantRatio*0.6 || ratio > wantRatio*1.6 {
+		t.Errorf("FTP count ratio %.1f across 16x scale change, want ≈%.0f", ratio, wantRatio)
+	}
+}

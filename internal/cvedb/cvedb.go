@@ -1,0 +1,208 @@
+// Package cvedb holds the known-vulnerability database the paper matches
+// against FTP banner version strings (Table XI), plus the version-string
+// extraction and comparison machinery that matching requires.
+//
+// As in the paper, matching is purely banner-based: no exploitation is ever
+// attempted; a host "matches" a CVE when its advertised implementation and
+// version fall inside the vulnerable range.
+package cvedb
+
+import (
+	"strings"
+)
+
+// CVE is one known vulnerability affecting an FTP implementation.
+type CVE struct {
+	ID       string
+	Software string
+	CVSS     float64
+	// Description summarizes the flaw.
+	Description string
+	// AffectedMax is the highest vulnerable version (inclusive).
+	AffectedMax string
+	// AffectedMin, when non-empty, is the lowest vulnerable version
+	// (inclusive); empty means all versions up to AffectedMax.
+	AffectedMin string
+}
+
+// Database returns the CVE set from the paper's Table XI. The returned slice
+// is freshly allocated each call.
+func Database() []CVE {
+	return []CVE{
+		{
+			ID: "CVE-2015-3306", Software: "ProFTPD", CVSS: 10.0,
+			Description: "mod_copy unauthenticated SITE CPFR/CPTO file read/write",
+			AffectedMin: "1.3.5", AffectedMax: "1.3.5",
+		},
+		{
+			ID: "CVE-2013-4359", Software: "ProFTPD", CVSS: 5.0,
+			Description: "mod_sftp/mod_sftp_pam integer overflow denial of service",
+			AffectedMin: "1.3.4", AffectedMax: "1.3.4c",
+		},
+		{
+			ID: "CVE-2012-6095", Software: "ProFTPD", CVSS: 1.2,
+			Description: "MKD/symlink race allows group-permission escalation",
+			AffectedMax: "1.3.4b",
+		},
+		{
+			ID: "CVE-2011-4130", Software: "ProFTPD", CVSS: 9.0,
+			Description: "Response pool use-after-free allows remote code execution",
+			AffectedMax: "1.3.3f",
+		},
+		{
+			ID: "CVE-2011-1137", Software: "ProFTPD", CVSS: 5.0,
+			Description: "mod_sftp malformed SSH message denial of service",
+			AffectedMax: "1.3.3d",
+		},
+		{
+			ID: "CVE-2011-1575", Software: "Pure-FTPd", CVSS: 5.8,
+			Description: "STARTTLS command injection into the TLS session",
+			AffectedMax: "1.0.29",
+		},
+		{
+			ID: "CVE-2011-0418", Software: "Pure-FTPd", CVSS: 4.0,
+			Description: "glob_() resource exhaustion denial of service",
+			AffectedMax: "1.0.31",
+		},
+		{
+			ID: "CVE-2015-1419", Software: "vsFTPd", CVSS: 5.0,
+			Description: "deny_file filtering bypass via unspecified vectors",
+			AffectedMax: "3.0.2",
+		},
+		{
+			ID: "CVE-2011-0762", Software: "vsFTPd", CVSS: 4.0,
+			Description: "vsf_filename_passes_filter glob denial of service",
+			AffectedMax: "2.3.2",
+		},
+		{
+			ID: "CVE-2011-4800", Software: "Serv-U", CVSS: 9.0,
+			Description: "Directory traversal allows arbitrary file access",
+			AffectedMax: "11.1.0.2",
+		},
+	}
+}
+
+// Match returns every CVE whose software and version range cover the given
+// implementation. Software names compare case-insensitively.
+func Match(software, version string) []CVE {
+	if software == "" || version == "" {
+		return nil
+	}
+	var out []CVE
+	for _, c := range Database() {
+		if !strings.EqualFold(c.Software, software) {
+			continue
+		}
+		if CompareVersions(version, c.AffectedMax) > 0 {
+			continue
+		}
+		if c.AffectedMin != "" && CompareVersions(version, c.AffectedMin) < 0 {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// CompareVersions orders dotted, letter-suffixed version strings the way
+// FTP implementations use them: "1.3.4a" < "1.3.4b" < "1.3.5" and
+// "1.3.5" < "1.3.10". Numeric segments compare numerically, alphabetic
+// suffixes lexicographically, and a missing segment sorts before any
+// present one ("1.3.4" < "1.3.4a").
+func CompareVersions(a, b string) int {
+	ta := tokenize(a)
+	tb := tokenize(b)
+	for i := 0; i < len(ta) || i < len(tb); i++ {
+		var x, y token
+		if i < len(ta) {
+			x = ta[i]
+		}
+		if i < len(tb) {
+			y = tb[i]
+		}
+		if c := x.compare(y); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// token is one version segment: numeric or alphabetic.
+type token struct {
+	present bool
+	numeric bool
+	num     int64
+	str     string
+}
+
+func (t token) compare(o token) int {
+	switch {
+	case !t.present && !o.present:
+		return 0
+	case !t.present:
+		return -1
+	case !o.present:
+		return 1
+	}
+	// Numeric sorts before alphabetic when kinds differ (rare; keeps
+	// ordering total).
+	if t.numeric != o.numeric {
+		if t.numeric {
+			return -1
+		}
+		return 1
+	}
+	if t.numeric {
+		switch {
+		case t.num < o.num:
+			return -1
+		case t.num > o.num:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(t.str, o.str)
+}
+
+// tokenize splits "1.3.4a" into [1 3 4 a], treating '.', '-', '_' as
+// separators and splitting at digit/letter boundaries.
+func tokenize(v string) []token {
+	var out []token
+	i := 0
+	for i < len(v) {
+		c := v[i]
+		switch {
+		case c >= '0' && c <= '9':
+			j := i
+			var n int64
+			for j < len(v) && v[j] >= '0' && v[j] <= '9' {
+				n = n*10 + int64(v[j]-'0')
+				j++
+			}
+			out = append(out, token{present: true, numeric: true, num: n})
+			i = j
+		case (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(v) && ((v[j] >= 'a' && v[j] <= 'z') || (v[j] >= 'A' && v[j] <= 'Z')) {
+				j++
+			}
+			out = append(out, token{present: true, str: strings.ToLower(v[i:j])})
+			i = j
+		default:
+			i++
+		}
+	}
+	return out
+}
+
+// HighestCVSS returns the maximum CVSS score among the matches, or 0.
+func HighestCVSS(matches []CVE) float64 {
+	var top float64
+	for _, m := range matches {
+		if m.CVSS > top {
+			top = m.CVSS
+		}
+	}
+	return top
+}

@@ -1,0 +1,159 @@
+package cvedb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareVersions(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"1.3.5", "1.3.5", 0},
+		{"1.3.4", "1.3.5", -1},
+		{"1.3.5", "1.3.4", 1},
+		{"1.3.4a", "1.3.4b", -1},
+		{"1.3.4", "1.3.4a", -1},
+		{"1.3.5", "1.3.10", -1},
+		{"2.3.2", "3.0.2", -1},
+		{"1.0.29", "1.0.31", -1},
+		{"11.1.0.2", "6.4", 1},
+		{"1.3.3f", "1.3.3d", 1},
+		{"1.3-4", "1.3.4", 0}, // separators equivalent
+		{"", "1.0", -1},
+	}
+	for _, tt := range tests {
+		if got := CompareVersions(tt.a, tt.b); got != tt.want {
+			t.Errorf("CompareVersions(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Properties: comparison is reflexive and antisymmetric over realistic
+// version shapes.
+func TestCompareVersionsProperties(t *testing.T) {
+	gen := func(maj, min, patch uint8, suffix uint8) string {
+		v := ""
+		v += string(rune('0' + maj%4))
+		v += "."
+		v += string(rune('0' + min%10))
+		v += "."
+		v += string(rune('0' + patch%10))
+		if suffix%3 == 1 {
+			v += string(rune('a' + suffix%26))
+		}
+		return v
+	}
+	reflexive := func(a, b, c, d uint8) bool {
+		v := gen(a, b, c, d)
+		return CompareVersions(v, v) == 0
+	}
+	if err := quick.Check(reflexive, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	antisym := func(a1, b1, c1, d1, a2, b2, c2, d2 uint8) bool {
+		x := gen(a1, b1, c1, d1)
+		y := gen(a2, b2, c2, d2)
+		return CompareVersions(x, y) == -CompareVersions(y, x)
+	}
+	if err := quick.Check(antisym, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchProFTPD135(t *testing.T) {
+	matches := Match("ProFTPD", "1.3.5")
+	ids := make(map[string]bool)
+	for _, m := range matches {
+		ids[m.ID] = true
+	}
+	if !ids["CVE-2015-3306"] {
+		t.Errorf("ProFTPD 1.3.5 must match CVE-2015-3306: %v", ids)
+	}
+	if ids["CVE-2012-6095"] || ids["CVE-2011-4130"] {
+		t.Errorf("ProFTPD 1.3.5 must not match old-version CVEs: %v", ids)
+	}
+}
+
+func TestMatchProFTPDOld(t *testing.T) {
+	matches := Match("ProFTPD", "1.3.2")
+	ids := make(map[string]bool)
+	for _, m := range matches {
+		ids[m.ID] = true
+	}
+	for _, want := range []string{"CVE-2012-6095", "CVE-2011-4130", "CVE-2011-1137"} {
+		if !ids[want] {
+			t.Errorf("ProFTPD 1.3.2 must match %s: %v", want, ids)
+		}
+	}
+	if ids["CVE-2015-3306"] || ids["CVE-2013-4359"] {
+		t.Errorf("ProFTPD 1.3.2 matched newer-range CVEs: %v", ids)
+	}
+}
+
+func TestMatchVsftpd(t *testing.T) {
+	m302 := Match("vsFTPd", "3.0.2")
+	if len(m302) != 1 || m302[0].ID != "CVE-2015-1419" {
+		t.Errorf("vsFTPd 3.0.2: %v", m302)
+	}
+	m232 := Match("vsftpd", "2.3.2") // case-insensitive
+	if len(m232) != 2 {
+		t.Errorf("vsFTPd 2.3.2 should match both CVEs: %v", m232)
+	}
+	if len(Match("vsFTPd", "3.0.3")) != 0 {
+		t.Error("vsFTPd 3.0.3 should be clean")
+	}
+}
+
+func TestMatchServU(t *testing.T) {
+	if len(Match("Serv-U", "6.4")) != 1 {
+		t.Error("Serv-U 6.4 should match CVE-2011-4800")
+	}
+	if len(Match("Serv-U", "15.1")) != 0 {
+		t.Error("Serv-U 15.1 should be clean")
+	}
+}
+
+func TestMatchPureFTPd(t *testing.T) {
+	m := Match("Pure-FTPd", "1.0.29")
+	if len(m) != 2 {
+		t.Errorf("Pure-FTPd 1.0.29: %v", m)
+	}
+	if len(Match("Pure-FTPd", "1.0.36")) != 0 {
+		t.Error("Pure-FTPd 1.0.36 should be clean")
+	}
+}
+
+func TestMatchEdgeCases(t *testing.T) {
+	if Match("", "1.0") != nil {
+		t.Error("empty software matched")
+	}
+	if Match("ProFTPD", "") != nil {
+		t.Error("empty version matched")
+	}
+	if Match("UnknownFTPd", "1.0") != nil {
+		t.Error("unknown software matched")
+	}
+}
+
+func TestHighestCVSS(t *testing.T) {
+	if got := HighestCVSS(Match("ProFTPD", "1.3.5")); got != 10.0 {
+		t.Errorf("HighestCVSS ProFTPD 1.3.5 = %v", got)
+	}
+	if got := HighestCVSS(nil); got != 0 {
+		t.Errorf("HighestCVSS(nil) = %v", got)
+	}
+}
+
+func TestDatabaseComplete(t *testing.T) {
+	db := Database()
+	if len(db) != 10 {
+		t.Fatalf("database has %d CVEs, want the paper's 10", len(db))
+	}
+	for _, c := range db {
+		if c.ID == "" || c.Software == "" || c.CVSS <= 0 || c.AffectedMax == "" {
+			t.Errorf("incomplete CVE record: %+v", c)
+		}
+	}
+}

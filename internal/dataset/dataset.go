@@ -1,0 +1,168 @@
+// Package dataset defines the measurement records the census produces and a
+// JSONL store for persisting them. The schema mirrors what the paper's
+// toolchain captured per host: banner, login outcome, robots.txt, directory
+// listings with permissions, HELP/FEAT/SITE output, FTPS certificate, PASV
+// posture, and PORT-validation results.
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Readability mirrors listparse's tri-state as a stable wire enum.
+type Readability string
+
+// Readability values.
+const (
+	ReadUnknown Readability = "unk"
+	ReadYes     Readability = "yes"
+	ReadNo      Readability = "no"
+)
+
+// FileEntry is one observed file or directory.
+type FileEntry struct {
+	Path    string      `json:"path"`
+	Name    string      `json:"name"`
+	IsDir   bool        `json:"is_dir,omitempty"`
+	Size    int64       `json:"size,omitempty"`
+	Read    Readability `json:"read,omitempty"`
+	Write   Readability `json:"write,omitempty"`
+	Owner   string      `json:"owner,omitempty"`
+	ModTime time.Time   `json:"mtime,omitempty"`
+}
+
+// CertInfo describes a collected FTPS certificate.
+type CertInfo struct {
+	FingerprintSHA256 string `json:"fingerprint"`
+	CommonName        string `json:"common_name"`
+	SelfSigned        bool   `json:"self_signed"`
+}
+
+// FTPSInfo captures the AUTH TLS observations for one host.
+type FTPSInfo struct {
+	Supported        bool      `json:"supported"`
+	RequiredPreLogin bool      `json:"required_pre_login,omitempty"`
+	Cert             *CertInfo `json:"cert,omitempty"`
+}
+
+// PortValidation is the host's PORT-command posture.
+type PortValidation string
+
+// PORT validation outcomes.
+const (
+	PortNotTested    PortValidation = "not-tested"
+	PortValidated    PortValidation = "validated"
+	PortNotValidated PortValidation = "not-validated"
+)
+
+// HostRecord is everything the enumerator learned about one address.
+type HostRecord struct {
+	IP        string    `json:"ip"`
+	ScannedAt time.Time `json:"scanned_at,omitempty"`
+
+	// PortOpen is true for every record (hosts come from discovery);
+	// FTP marks hosts whose banner was FTP-compliant.
+	PortOpen bool   `json:"port_open"`
+	FTP      bool   `json:"ftp"`
+	Banner   string `json:"banner,omitempty"`
+
+	// BannerIP is an IP address embedded in the banner, if any (devices
+	// frequently display their own, often RFC 1918, address).
+	BannerIP        string `json:"banner_ip,omitempty"`
+	BannerIPPrivate bool   `json:"banner_ip_private,omitempty"`
+
+	// BannerOptOut marks banners that declare anonymous access
+	// unavailable; the enumerator honors them by not attempting login.
+	BannerOptOut bool `json:"banner_opt_out,omitempty"`
+
+	AnonymousOK bool   `json:"anonymous_ok"`
+	LoginReply  string `json:"login_reply,omitempty"`
+
+	Syst string   `json:"syst,omitempty"`
+	Feat []string `json:"feat,omitempty"`
+	Help string   `json:"help,omitempty"`
+	Site string   `json:"site,omitempty"`
+
+	RobotsTxt        string `json:"robots_txt,omitempty"`
+	RobotsExcludeAll bool   `json:"robots_exclude_all,omitempty"`
+
+	Files            []FileEntry `json:"files,omitempty"`
+	RequestsUsed     int         `json:"requests_used,omitempty"`
+	ListingTruncated bool        `json:"listing_truncated,omitempty"`
+	ConnTerminated   bool        `json:"conn_terminated,omitempty"`
+
+	// PASVIP is the address advertised in the first PASV reply; a
+	// mismatch with IP reveals NAT.
+	PASVIP       string `json:"pasv_ip,omitempty"`
+	PASVMismatch bool   `json:"pasv_mismatch,omitempty"`
+
+	PortCheck PortValidation `json:"port_check,omitempty"`
+
+	FTPS FTPSInfo `json:"ftps,omitempty"`
+
+	// WriteEvidence lists reference-set filenames observed in listings
+	// (§VI.A's world-writability indicator).
+	WriteEvidence []string `json:"write_evidence,omitempty"`
+	// AnonUploadConfirmed marks hosts whose server confirmed an
+	// anonymous upload via the Pure-FTPd-style RETR refusal message —
+	// §VI.A's strongest write evidence.
+	AnonUploadConfirmed bool `json:"anon_upload_confirmed,omitempty"`
+
+	// Error records a fatal enumeration failure, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// Writer persists records as JSON lines.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	enc *json.Encoder
+}
+
+// NewWriter wraps an io.Writer.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(rec *HostRecord) error {
+	if err := w.enc.Encode(rec); err != nil {
+		return fmt.Errorf("dataset: encoding record for %s: %w", rec.IP, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// ReadAll parses a JSONL stream back into records.
+func ReadAll(r io.Reader) ([]*HostRecord, error) {
+	var out []*HostRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		rec := &HostRecord{}
+		if err := json.Unmarshal(sc.Bytes(), rec); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: scanning: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,610 @@
+// Package enumerator implements the paper's core contribution: a robust FTP
+// enumerator that, for each discovered host, attempts an RFC 1635 anonymous
+// login, honors robots.txt, traverses the directory structure breadth-first
+// under a request cap and rate limit, collects HELP/FEAT/SITE output,
+// performs the PORT-validation probe, and grabs the FTPS certificate via
+// AUTH TLS before disconnecting.
+//
+// Ethics machinery from the paper is implemented and enforced: banner
+// opt-outs stop login attempts, robots.txt exclusions prune traversal, a
+// per-connection request cap bounds load, server-initiated disconnects are
+// treated as refusal of service, and files are never bulk-downloaded — only
+// robots.txt is ever retrieved.
+package enumerator
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/tls"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"regexp"
+	"strings"
+	"time"
+
+	"ftpcloud/internal/campaigns"
+	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/ftp"
+	"ftpcloud/internal/listparse"
+	"ftpcloud/internal/robots"
+	"ftpcloud/internal/vfs"
+)
+
+// UserAgent identifies the crawler to robots.txt.
+const UserAgent = "ftp-enumerator"
+
+// AnonPassword is the password sent for anonymous logins, per RFC 1635 an
+// abuse-contact address.
+const AnonPassword = "ftp-census@research.example.edu"
+
+// Dialer abstracts connection establishment so the enumerator runs over the
+// simulation and over real TCP unchanged.
+type Dialer interface {
+	Dial(network, address string) (net.Conn, error)
+}
+
+// Collector verifies PORT-bounce connections: the enumerator directs the
+// server's data channel at the collector and asks whether the connection
+// arrived.
+type Collector interface {
+	// Addr is the collector endpoint to place in PORT arguments.
+	Addr() ftp.HostPort
+	// Saw reports whether serverIP connected within the wait window.
+	Saw(serverIP string, wait time.Duration) bool
+}
+
+// Config controls enumeration.
+type Config struct {
+	Dialer Dialer
+	// Collector enables the PORT-validation probe when non-nil.
+	Collector Collector
+	// RequestCap bounds protocol requests per connection (paper: 500).
+	RequestCap int
+	// RequestDelay spaces consecutive requests (paper: 2/s; zero in
+	// simulation runs).
+	RequestDelay time.Duration
+	// Timeout bounds individual control-channel operations.
+	Timeout time.Duration
+	// MaxListBytes bounds a single LIST body read.
+	MaxListBytes int64
+	// TryTLS collects the FTPS certificate before disconnecting.
+	TryTLS bool
+	// Port is the control-channel port; 0 means 21. Non-standard ports
+	// matter for testbeds (and for Ramnit-style rogue servers).
+	Port uint16
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.RequestCap == 0 {
+		c.RequestCap = 500
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxListBytes == 0 {
+		c.MaxListBytes = 4 << 20
+	}
+	if c.Port == 0 {
+		c.Port = 21
+	}
+	return c
+}
+
+// bannerOptOutMarkers are banner phrases that declare anonymous access
+// unavailable; per the paper's ethics, seeing one stops the login attempt.
+var bannerOptOutMarkers = []string{
+	"no anonymous login",
+	"no anonymous access",
+	"anonymous access denied",
+	"private system",
+}
+
+var bannerIPPattern = regexp.MustCompile(`\b(\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})\b`)
+
+// session carries one enumeration's state.
+type session struct {
+	cfg    Config
+	conn   *ftp.Conn
+	rec    *dataset.HostRecord
+	target string // control IP
+	used   int    // requests consumed
+}
+
+// Enumerate performs the full follow-up protocol against one discovered
+// host. It always returns a record — partial data plus an Error field on
+// failure.
+func Enumerate(ctx context.Context, cfg Config, targetIP string) *dataset.HostRecord {
+	cfg = cfg.withDefaults()
+	rec := &dataset.HostRecord{
+		IP:        targetIP,
+		ScannedAt: time.Now().UTC(),
+		PortOpen:  true,
+		PortCheck: dataset.PortNotTested,
+	}
+
+	nc, err := cfg.Dialer.Dial("tcp", net.JoinHostPort(targetIP, fmt.Sprintf("%d", cfg.Port)))
+	if err != nil {
+		rec.PortOpen = false
+		rec.Error = fmt.Sprintf("connect: %v", err)
+		return rec
+	}
+	defer nc.Close()
+
+	c := ftp.NewConn(nc)
+	c.Timeout = cfg.Timeout
+	s := &session{cfg: cfg, conn: c, rec: rec, target: targetIP}
+
+	banner, err := c.ReadReply()
+	if err != nil || banner.Code != ftp.CodeReady {
+		rec.Error = "no FTP banner"
+		return rec
+	}
+	rec.FTP = true
+	rec.Banner = banner.Text()
+	if m := bannerIPPattern.FindString(rec.Banner); m != "" {
+		rec.BannerIP = m
+		rec.BannerIPPrivate = isPrivateIP(m)
+	}
+
+	lower := strings.ToLower(rec.Banner)
+	for _, marker := range bannerOptOutMarkers {
+		if strings.Contains(lower, marker) {
+			rec.BannerOptOut = true
+			break
+		}
+	}
+
+	if !rec.BannerOptOut {
+		s.login(ctx)
+	}
+
+	// FEAT is collected before traversal so the crawler can prefer
+	// RFC 3659 MLSD listings (explicit permission facts) when offered.
+	s.collectMeta()
+	if rec.AnonymousOK {
+		s.fetchRobots(ctx)
+		s.traverse(ctx)
+		s.confirmAnonUploads()
+		s.probePortValidation()
+	}
+
+	if cfg.TryTLS {
+		s.tryTLS()
+	}
+	s.cmd("QUIT", "")
+	return rec
+}
+
+// isPrivateIP reports RFC 1918 membership for a dotted quad.
+func isPrivateIP(sIP string) bool {
+	ip := net.ParseIP(sIP)
+	if ip == nil {
+		return false
+	}
+	return ip.IsPrivate()
+}
+
+// cmd issues one request, accounting against the cap and honoring the rate
+// limit. A nil error with ok=false means the cap is exhausted.
+func (s *session) cmd(name, arg string) (ftp.Reply, bool) {
+	if s.used >= s.cfg.RequestCap {
+		s.rec.ListingTruncated = true
+		return ftp.Reply{}, false
+	}
+	if s.cfg.RequestDelay > 0 && s.used > 0 {
+		time.Sleep(s.cfg.RequestDelay)
+	}
+	s.used++
+	s.rec.RequestsUsed = s.used
+	r, err := s.conn.Cmd(name, arg)
+	if err != nil {
+		// Server-initiated termination is an explicit refusal of
+		// service; record and stop.
+		s.rec.ConnTerminated = true
+		return ftp.Reply{}, false
+	}
+	if r.Code == ftp.CodeServiceNotAvail {
+		s.rec.ConnTerminated = true
+		return r, false
+	}
+	return r, true
+}
+
+// login attempts the RFC 1635 anonymous login, upgrading to TLS first when
+// the server demands it.
+func (s *session) login(ctx context.Context) {
+	r, ok := s.cmd("USER", "anonymous")
+	if !ok {
+		return
+	}
+	s.rec.LoginReply = r.Text()
+	if r.Code == ftp.CodeNotLoggedIn && strings.Contains(strings.ToUpper(r.Text()), "TLS") {
+		// "FTPS required prior to login" — one of the four meanings the
+		// paper attributes to login replies.
+		s.rec.FTPS.RequiredPreLogin = true
+		if !s.upgradeTLS() {
+			return
+		}
+		r, ok = s.cmd("USER", "anonymous")
+		if !ok {
+			return
+		}
+		s.rec.LoginReply = r.Text()
+	}
+	if r.Code != ftp.CodeNeedPassword && r.Code != ftp.CodeLoggedIn {
+		return
+	}
+	if r.Code == ftp.CodeNeedPassword {
+		r, ok = s.cmd("PASS", AnonPassword)
+		if !ok {
+			return
+		}
+	}
+	if r.Code == ftp.CodeLoggedIn {
+		s.rec.AnonymousOK = true
+	}
+	_ = ctx
+}
+
+// upgradeTLS performs AUTH TLS and records the certificate.
+func (s *session) upgradeTLS() bool {
+	r, ok := s.cmd("AUTH", "TLS")
+	if !ok || r.Code != ftp.CodeAuthOK {
+		return false
+	}
+	tc := tls.Client(s.conn.NetConn(), &tls.Config{
+		// The enumerator collects certificates; it never trusts them.
+		InsecureSkipVerify: true,
+	})
+	tc.SetDeadline(time.Now().Add(s.cfg.Timeout))
+	if err := tc.Handshake(); err != nil {
+		s.rec.ConnTerminated = true
+		return false
+	}
+	tc.SetDeadline(time.Time{})
+	s.recordTLSState(tc)
+	s.conn.Upgrade(tc)
+	return true
+}
+
+// recordTLSState captures the peer certificate.
+func (s *session) recordTLSState(tc *tls.Conn) {
+	s.rec.FTPS.Supported = true
+	peer := tc.ConnectionState().PeerCertificates
+	if len(peer) == 0 {
+		return
+	}
+	leaf := peer[0]
+	fp := fingerprintHex(leaf.Raw)
+	s.rec.FTPS.Cert = &dataset.CertInfo{
+		FingerprintSHA256: fp,
+		CommonName:        leaf.Subject.CommonName,
+		SelfSigned:        leaf.Issuer.CommonName == leaf.Subject.CommonName,
+	}
+}
+
+// tryTLS attempts AUTH TLS at the end of the session (the paper collects
+// certificates from every host, anonymous or not).
+func (s *session) tryTLS() {
+	if s.rec.FTPS.Cert != nil {
+		return // already collected during a required-TLS login
+	}
+	s.upgradeTLS()
+}
+
+// openDataConn negotiates a passive data channel (PASV, falling back to
+// RFC 2428 EPSV) and dials it, recording NAT evidence from the advertised
+// address. When the advertised IP differs from the control IP, the
+// enumerator falls back to the control IP — the smart-client recovery real
+// crawlers need behind NATs.
+func (s *session) openDataConn() (net.Conn, bool) {
+	var port uint16
+	r, ok := s.cmd("PASV", "")
+	if !ok {
+		return nil, false
+	}
+	switch {
+	case r.Code == ftp.CodePassive:
+		hp, err := ftp.ParsePASVReply(r.Text())
+		if err != nil {
+			return nil, false
+		}
+		if s.rec.PASVIP == "" {
+			s.rec.PASVIP = hp.IPString()
+			s.rec.PASVMismatch = hp.IPString() != s.target
+		}
+		if hp.IPString() == s.target {
+			return s.dialData(hp.Addr())
+		}
+		port = hp.Port
+	default:
+		// Some implementations support only extended passive mode.
+		r, ok = s.cmd("EPSV", "")
+		if !ok || r.Code != ftp.CodeExtendedPassive {
+			return nil, false
+		}
+		p, err := ftp.ParseEPSVReply(r.Text())
+		if err != nil {
+			return nil, false
+		}
+		port = p
+	}
+	return s.dialData(net.JoinHostPort(s.target, fmt.Sprintf("%d", port)))
+}
+
+// dialData opens the data connection with a deadline.
+func (s *session) dialData(addr string) (net.Conn, bool) {
+	dc, err := s.cfg.Dialer.Dial("tcp", addr)
+	if err != nil {
+		return nil, false
+	}
+	dc.SetDeadline(time.Now().Add(s.cfg.Timeout))
+	return dc, true
+}
+
+// retrieve downloads one small file over a data connection (used only for
+// robots.txt).
+func (s *session) retrieve(path string) (string, bool) {
+	dc, ok := s.openDataConn()
+	if !ok {
+		return "", false
+	}
+	defer dc.Close()
+	r, ok := s.cmd("RETR", path)
+	if !ok || !r.Preliminary() {
+		return "", false
+	}
+	body, err := io.ReadAll(io.LimitReader(dc, 64<<10))
+	dc.Close()
+	if err != nil {
+		return "", false
+	}
+	// Drain the completion reply; tolerate unusual codes — the body is
+	// what matters.
+	if _, err := s.conn.ReadReply(); err != nil {
+		s.rec.ConnTerminated = true
+	}
+	return string(body), true
+}
+
+// fetchRobots retrieves and parses robots.txt per the Robots Exclusion
+// Standard.
+func (s *session) fetchRobots(ctx context.Context) {
+	_ = ctx
+	body, ok := s.retrieve("robots.txt")
+	if !ok || body == "" {
+		return
+	}
+	s.rec.RobotsTxt = body
+	rules := robots.Parse(body)
+	if rules.ExcludesAll(UserAgent) {
+		s.rec.RobotsExcludeAll = true
+	}
+}
+
+// featHasMLST reports whether the collected FEAT body advertises RFC 3659
+// machine-readable listings.
+func (s *session) featHasMLST() bool {
+	for _, f := range s.rec.Feat {
+		if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(f)), "MLST") {
+			return true
+		}
+	}
+	return false
+}
+
+// list retrieves one directory listing using the given verb (LIST or MLSD).
+func (s *session) list(verb, dir string) (string, bool) {
+	dc, ok := s.openDataConn()
+	if !ok {
+		return "", false
+	}
+	defer dc.Close()
+	r, ok := s.cmd(verb, dir)
+	if !ok {
+		return "", false
+	}
+	if !r.Preliminary() {
+		return "", true // directory refused; connection still healthy
+	}
+	body, err := io.ReadAll(io.LimitReader(dc, s.cfg.MaxListBytes))
+	dc.Close()
+	if err != nil {
+		return "", false
+	}
+	if reply, err := s.conn.ReadReply(); err != nil {
+		s.rec.ConnTerminated = true
+		return string(body), false
+	} else if reply.Code != ftp.CodeTransferOK && !reply.Negative() {
+		// Unexpected but non-fatal completion.
+		_ = reply
+	}
+	return string(body), true
+}
+
+// traverse walks the accessible tree breadth-first, respecting robots rules
+// and the request cap, and harvesting write evidence.
+func (s *session) traverse(ctx context.Context) {
+	var rules *robots.Rules
+	if s.rec.RobotsTxt != "" {
+		rules = robots.Parse(s.rec.RobotsTxt)
+		if s.rec.RobotsExcludeAll {
+			return
+		}
+	}
+
+	// Prefer MLSD when advertised: its explicit permission facts remove
+	// the "unk-readability" ambiguity of DOS-style listings.
+	verb := "LIST"
+	if s.featHasMLST() {
+		verb = "MLSD"
+	}
+
+	type dirItem struct{ path string }
+	queue := []dirItem{{path: "/"}}
+	visited := map[string]bool{"/": true}
+	evidence := map[string]bool{}
+	refSet := campaigns.ReferenceSet()
+	now := time.Now()
+
+	for len(queue) > 0 {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		item := queue[0]
+		queue = queue[1:]
+
+		body, ok := s.list(verb, item.path)
+		if body == "" && !ok {
+			return
+		}
+		var entries []listparse.Entry
+		if verb == "MLSD" {
+			entries, _ = listparse.ParseMLSDListing(body)
+			if len(entries) == 0 && body != "" {
+				// Advertised but broken MLSD: fall back to LIST for
+				// the remainder of the crawl.
+				verb = "LIST"
+				body, ok = s.list(verb, item.path)
+				if body == "" && !ok {
+					return
+				}
+				entries, _ = listparse.ParseListing(body, now)
+			}
+		} else {
+			entries, _ = listparse.ParseListing(body, now)
+		}
+		for _, e := range entries {
+			full := vfs.Join(item.path, e.Name)
+			s.rec.Files = append(s.rec.Files, dataset.FileEntry{
+				Path:    full,
+				Name:    e.Name,
+				IsDir:   e.IsDir,
+				Size:    e.Size,
+				Read:    toDatasetRead(e.Read),
+				Write:   toDatasetRead(e.Write),
+				Owner:   e.Owner,
+				ModTime: e.ModTime,
+			})
+			if !e.IsDir && refSet[e.Name] && !evidence[e.Name] {
+				evidence[e.Name] = true
+				s.rec.WriteEvidence = append(s.rec.WriteEvidence, e.Name)
+			}
+			if e.IsDir && !visited[full] {
+				if rules != nil && !rules.Allowed(UserAgent, full) {
+					continue
+				}
+				visited[full] = true
+				queue = append(queue, dirItem{path: full})
+			}
+		}
+		if !ok {
+			return
+		}
+	}
+}
+
+// confirmAnonUploads verifies write evidence the way the paper's §VI.A
+// reference set was built: Pure-FTPd-style servers refuse RETR of
+// anonymously uploaded files with a distinctive message ("has not yet been
+// approved"). The probe sends RETR without a data connection, so no file
+// content is ever transferred — only the refusal text is observed.
+func (s *session) confirmAnonUploads() {
+	if len(s.rec.WriteEvidence) == 0 {
+		return
+	}
+	evidence := make(map[string]bool, len(s.rec.WriteEvidence))
+	for _, name := range s.rec.WriteEvidence {
+		evidence[name] = true
+	}
+	probes := 0
+	for i := range s.rec.Files {
+		f := &s.rec.Files[i]
+		if f.IsDir || !evidence[f.Name] {
+			continue
+		}
+		if probes >= 2 {
+			return
+		}
+		probes++
+		r, ok := s.cmd("RETR", f.Path)
+		if !ok {
+			return
+		}
+		if r.Negative() && strings.Contains(strings.ToLower(r.Text()), "uploaded by an anonymous user") {
+			s.rec.AnonUploadConfirmed = true
+			return
+		}
+	}
+}
+
+// collectMeta gathers HELP, FEAT, SITE, and SYST output.
+func (s *session) collectMeta() {
+	if r, ok := s.cmd("SYST", ""); ok && r.Positive() {
+		s.rec.Syst = r.Text()
+	}
+	if r, ok := s.cmd("FEAT", ""); ok && r.Code == ftp.FeatureListCode {
+		lines := r.Lines
+		// Strip the "Features:"/"End" framing.
+		if len(lines) >= 2 {
+			lines = lines[1 : len(lines)-1]
+		}
+		s.rec.Feat = append([]string(nil), lines...)
+	}
+	if r, ok := s.cmd("HELP", ""); ok && r.Code == ftp.CodeHelp {
+		s.rec.Help = r.Text()
+	}
+	if r, ok := s.cmd("SITE", "HELP"); ok && r.Code == ftp.CodeHelp {
+		s.rec.Site = r.Text()
+	}
+}
+
+// probePortValidation asks the server to open a data connection to the
+// collector — a third-party address — and records whether it complied.
+func (s *session) probePortValidation() {
+	if s.cfg.Collector == nil {
+		return
+	}
+	hp := s.cfg.Collector.Addr()
+	r, ok := s.cmd("PORT", hp.Encode())
+	if !ok {
+		return
+	}
+	if r.Negative() {
+		s.rec.PortCheck = dataset.PortValidated
+		return
+	}
+	// The PORT was accepted; LIST triggers the outbound connection.
+	if r, ok := s.cmd("LIST", "/"); ok && r.Preliminary() {
+		// Drain the completion reply.
+		if _, err := s.conn.ReadReply(); err != nil {
+			s.rec.ConnTerminated = true
+		}
+	}
+	if s.cfg.Collector.Saw(s.target, 2*time.Second) {
+		s.rec.PortCheck = dataset.PortNotValidated
+	} else {
+		s.rec.PortCheck = dataset.PortValidated
+	}
+}
+
+func toDatasetRead(r listparse.Readability) dataset.Readability {
+	switch r {
+	case listparse.ReadYes:
+		return dataset.ReadYes
+	case listparse.ReadNo:
+		return dataset.ReadNo
+	default:
+		return dataset.ReadUnknown
+	}
+}
+
+func fingerprintHex(der []byte) string {
+	sum := sha256.Sum256(der)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,152 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/personality"
+)
+
+func rec(banner string) *dataset.HostRecord {
+	return &dataset.HostRecord{Banner: banner, FTP: true}
+}
+
+func TestClassifyDevices(t *testing.T) {
+	tests := []struct {
+		banner   string
+		model    string
+		class    personality.DeviceClass
+		provider bool
+	}{
+		{"NASFTPD Turbo station 1.3.1e Server (ProFTPD) [192.168.1.5]", "QNAP Turbo NAS", personality.DeviceNAS, false},
+		{"Welcome to ASUS RT-AC66U FTP service.", "ASUS wireless routers", personality.DeviceHomeRouter, false},
+		{"Synology DiskStation FTP server ready.", "Synology NAS devices", personality.DeviceNAS, false},
+		{"LinkStation FTP server ready.", "Buffalo NAS storage", personality.DeviceNAS, false},
+		{"RICOH Aficio MP C3003 FTP server (RICOH-FTPD) ready.", "RICOH Printers", personality.DevicePrinter, false},
+		{"FRITZ!Box7490 FTP server ready.", "FRITZ!Box DSL modem", personality.DeviceDSLModem, true},
+		{"AXIS 221 Network Camera 4.45 (2015) ready.", "AXIS Physical Security Device", personality.DeviceCamera, true},
+		{"Lutron HomeWorks Processor FTP server ready.", "Lutron HomeWorks Processor", personality.DeviceAutomation, false},
+		{"Seagate Central Shared Storage FTP server ready.", "Seagate Storage devices", personality.DeviceStorage, false},
+	}
+	for _, tt := range tests {
+		c := Classify(rec(tt.banner))
+		if c.Category != personality.CategoryEmbedded {
+			t.Errorf("%q: category = %v", tt.banner, c.Category)
+		}
+		if c.DeviceModel != tt.model || c.DeviceClass != tt.class || c.ProviderDeployed != tt.provider {
+			t.Errorf("%q: got %+v", tt.banner, c)
+		}
+	}
+}
+
+func TestClassifySoftwareVersions(t *testing.T) {
+	tests := []struct {
+		banner   string
+		software string
+		version  string
+	}{
+		{"ProFTPD 1.3.5 Server (Debian) [1.2.3.4]", "ProFTPD", "1.3.5"},
+		{"(vsFTPd 3.0.2)", "vsFTPd", "3.0.2"},
+		{"Welcome to Pure-FTPd 1.0.29 ----------", "Pure-FTPd", "1.0.29"},
+		{"-FileZilla Server version 0.9.41 beta", "FileZilla Server", "0.9.41"},
+		{"Serv-U FTP Server v6.4 ready...", "Serv-U", "6.4"},
+		{"files.example.net FTP server (Version wu-2.6.2-5) ready.", "wu-ftpd", "2.6.2"},
+		{"Microsoft FTP Service", "Microsoft FTP Service", ""},
+	}
+	for _, tt := range tests {
+		c := Classify(rec(tt.banner))
+		if c.Software != tt.software || c.Version != tt.version {
+			t.Errorf("%q: software %q/%q, want %q/%q",
+				tt.banner, c.Software, c.Version, tt.software, tt.version)
+		}
+		if c.Category != personality.CategoryGeneric {
+			t.Errorf("%q: category = %v, want generic", tt.banner, c.Category)
+		}
+	}
+}
+
+func TestClassifyHosted(t *testing.T) {
+	c := Classify(rec("home.pl FTP server ready [h1.example.net]"))
+	if c.Category != personality.CategoryHosted {
+		t.Errorf("home.pl banner: %+v", c)
+	}
+	c = Classify(rec("ProFTPD 1.3.5 Server (Plesk FTP server) [1.2.3.4]"))
+	if c.Category != personality.CategoryHosted || c.Software != "ProFTPD" {
+		t.Errorf("plesk banner: %+v", c)
+	}
+	// Hosting identified through a shared wildcard certificate.
+	r := rec("---------- Welcome to Pure-FTPd [privsep] [TLS] ----------")
+	r.FTPS.Cert = &dataset.CertInfo{CommonName: "*.bluehost.com"}
+	c = Classify(r)
+	if c.Category != personality.CategoryHosted {
+		t.Errorf("cert-based hosting: %+v", c)
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	c := Classify(rec("FTP server ready."))
+	if c.Known() {
+		t.Errorf("bare banner classified: %+v", c)
+	}
+	if c.Software != "" || c.Version != "" {
+		t.Errorf("bare banner yielded software: %+v", c)
+	}
+}
+
+func TestClassifyRamnit(t *testing.T) {
+	c := Classify(rec("220 RMNetwork FTP"))
+	if !c.Ramnit {
+		t.Error("Ramnit banner not flagged")
+	}
+}
+
+func TestClassifyPureFTPdNoVersion(t *testing.T) {
+	c := Classify(rec("---------- Welcome to Pure-FTPd [privsep] [TLS] ----------"))
+	if c.Software != "Pure-FTPd" || c.Version != "" {
+		t.Errorf("got %+v", c)
+	}
+	if c.Category != personality.CategoryGeneric {
+		t.Errorf("category = %v", c.Category)
+	}
+}
+
+// TestRegistryBannersClassifiable sanity-checks that the fingerprints cover
+// the personalities the world generator deploys: every device personality's
+// banner must classify as embedded with the right model name.
+func TestRegistryBannersClassifiable(t *testing.T) {
+	for _, p := range personality.All() {
+		if p.DeviceModel == "" {
+			continue
+		}
+		banner := p.ExpandBanner("192.0.2.1", "h.example.net")
+		c := Classify(rec(banner))
+		if c.Category != personality.CategoryEmbedded {
+			t.Errorf("%s: banner %q classified as %v", p.Key, banner, c.Category)
+			continue
+		}
+		if c.DeviceModel != p.DeviceModel {
+			t.Errorf("%s: model %q, want %q", p.Key, c.DeviceModel, p.DeviceModel)
+		}
+		if c.ProviderDeployed != p.ProviderDeployed {
+			t.Errorf("%s: provider %v, want %v", p.Key, c.ProviderDeployed, p.ProviderDeployed)
+		}
+	}
+}
+
+// TestRegistryVersionsExtracted ensures version extraction works for every
+// versioned generic personality (CVE matching depends on it).
+func TestRegistryVersionsExtracted(t *testing.T) {
+	for _, key := range []string{
+		personality.KeyProFTPD135, personality.KeyProFTPD132,
+		personality.KeyVsftpd232, personality.KeyPureFTPd1029,
+		personality.KeyServU64, personality.KeyFileZilla0941,
+	} {
+		p := personality.ByKey(key)
+		banner := p.ExpandBanner("192.0.2.1", "h.example.net")
+		c := Classify(rec(banner))
+		if c.Software != p.Software || c.Version != p.Version {
+			t.Errorf("%s: extracted %q/%q, want %q/%q",
+				key, c.Software, c.Version, p.Software, p.Version)
+		}
+	}
+}

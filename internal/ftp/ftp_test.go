@@ -1,0 +1,219 @@
+package ftp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCommand(t *testing.T) {
+	tests := []struct {
+		name    string
+		line    string
+		want    Command
+		wantErr bool
+	}{
+		{name: "plain", line: "QUIT", want: Command{Name: "QUIT"}},
+		{name: "lower case verb", line: "user anonymous", want: Command{Name: "USER", Arg: "anonymous"}},
+		{name: "arg preserved", line: "CWD /Pub/Photos", want: Command{Name: "CWD", Arg: "/Pub/Photos"}},
+		{name: "trailing crlf", line: "NOOP\r\n", want: Command{Name: "NOOP"}},
+		{name: "multiple spaces before arg", line: "PASS   secret", want: Command{Name: "PASS", Arg: "secret"}},
+		{name: "arg with spaces", line: "RETR my file.txt", want: Command{Name: "RETR", Arg: "my file.txt"}},
+		{name: "hyphenated verb", line: "X-FOO bar", want: Command{Name: "X-FOO", Arg: "bar"}},
+		{name: "empty", line: "", wantErr: true},
+		{name: "garbage verb", line: "\x01\x02 x", wantErr: true},
+		{name: "numeric verb", line: "123 x", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ParseCommand(tt.line)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("ParseCommand(%q) error = %v, wantErr %v", tt.line, err, tt.wantErr)
+			}
+			if err == nil && got != tt.want {
+				t.Errorf("ParseCommand(%q) = %+v, want %+v", tt.line, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	if got := (Command{Name: "USER", Arg: "anonymous"}).String(); got != "USER anonymous" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Command{Name: "QUIT"}).String(); got != "QUIT" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestReplyString(t *testing.T) {
+	tests := []struct {
+		name  string
+		reply Reply
+		want  string
+	}{
+		{
+			name:  "single line",
+			reply: NewReply(220, "Service ready"),
+			want:  "220 Service ready\r\n",
+		},
+		{
+			name:  "empty text",
+			reply: Reply{Code: 200},
+			want:  "200 \r\n",
+		},
+		{
+			name:  "multi line",
+			reply: NewReply(214, "The following commands are recognized.", "USER PASS QUIT", "Help OK"),
+			want:  "214-The following commands are recognized.\r\n USER PASS QUIT\r\n214 Help OK\r\n",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.reply.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestReplyClassification(t *testing.T) {
+	if r := NewReply(150, "opening"); !r.Preliminary() || r.Positive() {
+		t.Error("150 should be preliminary only")
+	}
+	if r := NewReply(226, "done"); !r.Positive() || r.Negative() {
+		t.Error("226 should be positive")
+	}
+	if r := NewReply(331, "need pass"); !r.Intermediate() {
+		t.Error("331 should be intermediate")
+	}
+	if r := NewReply(421, "bye"); !r.Negative() {
+		t.Error("421 should be negative")
+	}
+	if r := NewReply(550, "no"); !r.Negative() {
+		t.Error("550 should be negative")
+	}
+}
+
+func TestHostPortEncodeDecode(t *testing.T) {
+	hp := HostPort{IP: [4]byte{192, 168, 1, 2}, Port: 51234}
+	enc := hp.Encode()
+	if enc != "192,168,1,2,200,34" {
+		t.Fatalf("Encode() = %q", enc)
+	}
+	back, err := ParseHostPort(enc)
+	if err != nil {
+		t.Fatalf("ParseHostPort: %v", err)
+	}
+	if back != hp {
+		t.Errorf("round trip = %+v, want %+v", back, hp)
+	}
+}
+
+func TestParseHostPortErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "1,2,3,4,5", "1,2,3,4,5,6,7", "256,0,0,1,0,1", "a,b,c,d,e,f", "1,2,3,4,5,-1",
+	} {
+		if _, err := ParseHostPort(bad); err == nil {
+			t.Errorf("ParseHostPort(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestHostPortFromAddr(t *testing.T) {
+	hp, err := HostPortFromAddr("10.0.0.5:2121")
+	if err != nil {
+		t.Fatalf("HostPortFromAddr: %v", err)
+	}
+	want := HostPort{IP: [4]byte{10, 0, 0, 5}, Port: 2121}
+	if hp != want {
+		t.Errorf("got %+v, want %+v", hp, want)
+	}
+	if hp.Addr() != "10.0.0.5:2121" {
+		t.Errorf("Addr() = %q", hp.Addr())
+	}
+	if hp.IPString() != "10.0.0.5" {
+		t.Errorf("IPString() = %q", hp.IPString())
+	}
+	for _, bad := range []string{"nope", "1.2.3.4", "::1:21", "[::1]:21", "1.2.3.4:99999"} {
+		if _, err := HostPortFromAddr(bad); err == nil {
+			t.Errorf("HostPortFromAddr(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParsePASVReplyVariants(t *testing.T) {
+	want := HostPort{IP: [4]byte{10, 1, 2, 3}, Port: 256*4 + 5}
+	variants := []string{
+		"Entering Passive Mode (10,1,2,3,4,5).",
+		"Entering Passive Mode (10,1,2,3,4,5)",
+		"Entering Passive Mode 10,1,2,3,4,5",
+		"=10,1,2,3,4,5",
+		"Passive mode OK (10,1,2,3,4,5);",
+		"Entering Passive Mode. 10,1,2,3,4,5",
+	}
+	for _, v := range variants {
+		hp, err := ParsePASVReply(v)
+		if err != nil {
+			t.Errorf("ParsePASVReply(%q): %v", v, err)
+			continue
+		}
+		if hp != want {
+			t.Errorf("ParsePASVReply(%q) = %+v, want %+v", v, hp, want)
+		}
+	}
+	for _, bad := range []string{"", "Entering Passive Mode", "(1,2,3)", "999,999,999,999,999,999"} {
+		if _, err := ParsePASVReply(bad); err == nil {
+			t.Errorf("ParsePASVReply(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEPSVReplyRoundTrip(t *testing.T) {
+	text := FormatEPSVReply(6446)
+	port, err := ParseEPSVReply(text)
+	if err != nil {
+		t.Fatalf("ParseEPSVReply(%q): %v", text, err)
+	}
+	if port != 6446 {
+		t.Errorf("port = %d, want 6446", port)
+	}
+	for _, bad := range []string{"", "(|||x|)", "(||6446|)", "no block here", "()"} {
+		if _, err := ParseEPSVReply(bad); err == nil {
+			t.Errorf("ParseEPSVReply(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseReplyLine(t *testing.T) {
+	code, text, multi, err := parseReplyLine("220-Welcome")
+	if err != nil || code != 220 || text != "Welcome" || !multi {
+		t.Errorf("got (%d,%q,%v,%v)", code, text, multi, err)
+	}
+	code, text, multi, err = parseReplyLine("230")
+	if err != nil || code != 230 || text != "" || multi {
+		t.Errorf("bare code: got (%d,%q,%v,%v)", code, text, multi, err)
+	}
+	for _, bad := range []string{"", "99 x", "abc hello", "2x0 hi", "600 x", "220x"} {
+		if _, _, _, err := parseReplyLine(bad); err == nil {
+			t.Errorf("parseReplyLine(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestFormatPASVReplyParsesBack(t *testing.T) {
+	hp := HostPort{IP: [4]byte{203, 0, 113, 9}, Port: 65535}
+	got, err := ParsePASVReply(FormatPASVReply(hp))
+	if err != nil {
+		t.Fatalf("ParsePASVReply: %v", err)
+	}
+	if got != hp {
+		t.Errorf("round trip = %+v, want %+v", got, hp)
+	}
+}
+
+func TestReplyTextJoins(t *testing.T) {
+	r := NewReply(211, "Features:", "UTF8", "End")
+	if !strings.Contains(r.Text(), "UTF8") {
+		t.Errorf("Text() = %q", r.Text())
+	}
+}

@@ -1,0 +1,92 @@
+package ftp
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzParsePASVReply: the PASV parser faces arbitrary server text and must
+// never panic; successful parses must produce in-range values.
+func FuzzParsePASVReply(f *testing.F) {
+	for _, s := range []string{
+		"Entering Passive Mode (10,1,2,3,4,5).",
+		"=10,1,2,3,4,5",
+		"227 227 227",
+		"(,,,,,)",
+		"999,999,999,999,999,999",
+		"1,2,3,4,5,6,7,8,9",
+		"",
+		"(((((((",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		hp, err := ParsePASVReply(text)
+		if err != nil {
+			return
+		}
+		// A successful parse must round-trip through its own encoding.
+		back, err := ParseHostPort(hp.Encode())
+		if err != nil || back != hp {
+			t.Errorf("round trip failed for %q → %+v", text, hp)
+		}
+	})
+}
+
+// FuzzParseCommand exercises the server-side command parser.
+func FuzzParseCommand(f *testing.F) {
+	for _, s := range []string{"USER anonymous", "QUIT", "PORT 1,2,3,4,5,6", "A B C", "\xff\xfe"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		cmd, err := ParseCommand(line)
+		if err != nil {
+			return
+		}
+		if cmd.Name == "" {
+			t.Errorf("empty verb accepted from %q", line)
+		}
+		for _, r := range cmd.Name {
+			if r >= 'a' && r <= 'z' {
+				t.Errorf("verb not canonicalized: %q", cmd.Name)
+			}
+		}
+	})
+}
+
+// FuzzReadReply streams arbitrary bytes into the reply reader: it must
+// terminate (no unbounded buffering) and never panic.
+func FuzzReadReply(f *testing.F) {
+	for _, s := range []string{
+		"220 hello\r\n",
+		"220-multi\r\n220 done\r\n",
+		"220-multi\r\nmiddle\r\n220 done\r\n",
+		"999 impossible\r\n",
+		"22",
+		"",
+		"220-never terminated\r\nmore\r\n",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		a, b := net.Pipe()
+		defer a.Close()
+		go func() {
+			b.Write([]byte(input))
+			b.Close()
+		}()
+		c := NewConn(a)
+		c.Timeout = 2 * time.Second
+		r, err := c.ReadReply()
+		if err != nil {
+			return
+		}
+		if r.Code < 100 || r.Code > 599 {
+			t.Errorf("out-of-range code %d from %q", r.Code, input)
+		}
+	})
+}

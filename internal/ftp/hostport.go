@@ -1,0 +1,140 @@
+package ftp
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// HostPort is an IPv4 address and TCP port as carried by PORT commands and
+// PASV replies.
+type HostPort struct {
+	IP   [4]byte
+	Port uint16
+}
+
+// Addr renders the host-port as a dotted "ip:port" dial string.
+func (hp HostPort) Addr() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d", hp.IP[0], hp.IP[1], hp.IP[2], hp.IP[3], hp.Port)
+}
+
+// IPString renders just the IPv4 address in dotted form.
+func (hp HostPort) IPString() string {
+	return fmt.Sprintf("%d.%d.%d.%d", hp.IP[0], hp.IP[1], hp.IP[2], hp.IP[3])
+}
+
+// Encode renders the RFC 959 six-tuple "h1,h2,h3,h4,p1,p2" used as the PORT
+// argument and inside PASV replies.
+func (hp HostPort) Encode() string {
+	return fmt.Sprintf("%d,%d,%d,%d,%d,%d",
+		hp.IP[0], hp.IP[1], hp.IP[2], hp.IP[3], hp.Port>>8, hp.Port&0xff)
+}
+
+// HostPortFromAddr builds a HostPort from an "ip:port" string. Only IPv4
+// addresses are representable in the classic six-tuple encoding.
+func HostPortFromAddr(addr string) (HostPort, error) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return HostPort{}, fmt.Errorf("ftp: bad address %q: %w", addr, err)
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		return HostPort{}, fmt.Errorf("ftp: bad IP in address %q", addr)
+	}
+	v4 := ip.To4()
+	if v4 == nil {
+		return HostPort{}, fmt.Errorf("ftp: %q is not IPv4", host)
+	}
+	port, err := strconv.ParseUint(portStr, 10, 16)
+	if err != nil {
+		return HostPort{}, fmt.Errorf("ftp: bad port in address %q: %w", addr, err)
+	}
+	var hp HostPort
+	copy(hp.IP[:], v4)
+	hp.Port = uint16(port)
+	return hp, nil
+}
+
+// ParseHostPort parses the six-tuple "h1,h2,h3,h4,p1,p2" form.
+func ParseHostPort(s string) (HostPort, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 6 {
+		return HostPort{}, fmt.Errorf("ftp: host-port %q: want 6 comma-separated fields, got %d", s, len(parts))
+	}
+	var vals [6]byte
+	for i, p := range parts {
+		n, err := strconv.ParseUint(strings.TrimSpace(p), 10, 8)
+		if err != nil {
+			return HostPort{}, fmt.Errorf("ftp: host-port %q: field %d: %w", s, i, err)
+		}
+		vals[i] = byte(n)
+	}
+	return HostPort{
+		IP:   [4]byte{vals[0], vals[1], vals[2], vals[3]},
+		Port: uint16(vals[4])<<8 | uint16(vals[5]),
+	}, nil
+}
+
+// ParsePASVReply extracts the HostPort from the text of a 227 reply.
+// Implementations wrap the six-tuple in wildly different text — some use
+// parentheses, some do not, some add trailing punctuation — so the parser
+// scans for the first plausible six-tuple rather than anchoring on syntax.
+func ParsePASVReply(text string) (HostPort, error) {
+	// Find a maximal run of digits and commas containing exactly five
+	// commas; that is the six-tuple regardless of surrounding text.
+	isTupleByte := func(b byte) bool { return b == ',' || (b >= '0' && b <= '9') }
+	for i := 0; i < len(text); i++ {
+		if !isTupleByte(text[i]) {
+			continue
+		}
+		j := i
+		for j < len(text) && isTupleByte(text[j]) {
+			j++
+		}
+		run := strings.Trim(text[i:j], ",")
+		if strings.Count(run, ",") == 5 {
+			hp, err := ParseHostPort(run)
+			if err == nil {
+				return hp, nil
+			}
+		}
+		i = j
+	}
+	return HostPort{}, fmt.Errorf("ftp: no host-port tuple in PASV reply %q", text)
+}
+
+// FormatPASVReply renders a conventional 227 reply text for a host-port.
+func FormatPASVReply(hp HostPort) string {
+	return fmt.Sprintf("Entering Passive Mode (%s).", hp.Encode())
+}
+
+// ParseEPSVReply extracts the listening port from the text of a 229 reply,
+// e.g. "Entering Extended Passive Mode (|||6446|)".
+func ParseEPSVReply(text string) (uint16, error) {
+	open := strings.IndexByte(text, '(')
+	closing := strings.LastIndexByte(text, ')')
+	if open < 0 || closing < open {
+		return 0, fmt.Errorf("ftp: no delimited block in EPSV reply %q", text)
+	}
+	inner := text[open+1 : closing]
+	if len(inner) < 5 {
+		return 0, fmt.Errorf("ftp: EPSV block too short in %q", text)
+	}
+	d := inner[0]
+	fields := strings.Split(inner, string(d))
+	// "|||6446|" splits into ["", "", "", "6446", ""].
+	if len(fields) != 5 {
+		return 0, fmt.Errorf("ftp: malformed EPSV block %q", inner)
+	}
+	port, err := strconv.ParseUint(fields[3], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("ftp: bad EPSV port in %q: %w", inner, err)
+	}
+	return uint16(port), nil
+}
+
+// FormatEPSVReply renders a conventional 229 reply text.
+func FormatEPSVReply(port uint16) string {
+	return fmt.Sprintf("Entering Extended Passive Mode (|||%d|)", port)
+}

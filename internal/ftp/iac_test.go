@@ -1,0 +1,46 @@
+package ftp
+
+import (
+	"net"
+	"testing"
+)
+
+func TestStripIAC(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"plain", "USER anonymous", "USER anonymous"},
+		{"iac ip dm prefix", "\xff\xf4\xff\xf2ABOR", "ABOR"},
+		{"escaped literal ff", "A\xff\xffB", "A\xffB"},
+		{"will option", "\xff\xfb\x01QUIT", "QUIT"},
+		{"dont option", "\xff\xfe\x03NOOP", "NOOP"},
+		{"trailing bare iac", "STAT\xff", "STAT"},
+		{"empty", "", ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := stripIAC(tt.in); got != tt.want {
+				t.Errorf("stripIAC(%q) = %q, want %q", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestIACPrefixedABOR drives the classic client behaviour end to end: ABOR
+// sent with telnet interrupt markers must still parse as a command.
+func TestIACPrefixedABOR(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	server := NewConn(a)
+	go b.Write([]byte("\xff\xf4\xff\xf2ABOR\r\n"))
+	cmd, err := server.ReadCommand()
+	if err != nil {
+		t.Fatalf("ReadCommand: %v", err)
+	}
+	if cmd.Name != "ABOR" {
+		t.Errorf("got %+v", cmd)
+	}
+}

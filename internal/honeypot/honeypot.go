@@ -1,0 +1,282 @@
+// Package honeypot implements §VIII's measurement apparatus: anonymous,
+// world-writable FTP servers that record every interaction, plus the
+// summarizer that turns interaction logs into the paper's reported
+// statistics (scanning IPs, FTP speakers, credential guesses, write probes,
+// PORT-bounce attempts, exploit attempts, AUTH TLS fingerprinting).
+package honeypot
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ftpcloud/internal/certs"
+	"ftpcloud/internal/ftpserver"
+	"ftpcloud/internal/personality"
+	"ftpcloud/internal/simnet"
+	"ftpcloud/internal/vfs"
+)
+
+// Log records one honeypot's observed events. It implements
+// ftpserver.Observer and is safe for concurrent sessions.
+type Log struct {
+	mu     sync.Mutex
+	events []ftpserver.Event
+}
+
+// Event implements ftpserver.Observer.
+func (l *Log) Event(e ftpserver.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of the recorded events.
+func (l *Log) Events() []ftpserver.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]ftpserver.Event(nil), l.events...)
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Deployment is a set of live honeypots on a simulated network.
+type Deployment struct {
+	IPs  []simnet.IP
+	Logs map[simnet.IP]*Log
+}
+
+// baitFS builds the honeypot tree: writable root plus the web-root bait
+// directories the paper populated after observing attackers' blind
+// traversals (cgi-bin, www, public_html).
+func baitFS() *vfs.FS {
+	root := vfs.NewDir("/", vfs.Perm777)
+	for _, name := range []string{"cgi-bin", "www", "public_html", "incoming"} {
+		d := root.Add(vfs.NewDir(name, vfs.Perm777))
+		d.Add(vfs.NewFile("index.html", vfs.Perm644, 1024))
+	}
+	docs := root.Add(vfs.NewDir("files", vfs.Perm755))
+	docs.Add(vfs.NewFile("readme.txt", vfs.Perm644, 512))
+	return vfs.New(root)
+}
+
+// Deploy installs count honeypots starting at base on the provider. The
+// honeypots pose as a ProFTPD server vulnerable-looking enough to attract
+// CVE probes and accept any anonymous activity.
+func Deploy(provider *simnet.StaticProvider, base simnet.IP, count int, cert *certs.Cert) (*Deployment, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("honeypot: count must be positive")
+	}
+	d := &Deployment{Logs: make(map[simnet.IP]*Log, count)}
+	for i := 0; i < count; i++ {
+		ip := simnet.IP(uint64(base) + uint64(i))
+		log := &Log{}
+		cfg := ftpserver.Config{
+			Pers:           personality.ByKey(personality.KeyProFTPD135),
+			FS:             baitFS(),
+			HostName:       fmt.Sprintf("honeypot-%d.example.edu", i),
+			PublicIP:       ip,
+			AllowAnonymous: true,
+			AnonWritable:   true,
+			Users:          map[string]string{}, // all real logins fail but are recorded
+			Cert:           cert,
+			Observer:       log,
+			IdleTimeout:    20 * time.Second,
+		}
+		srv, err := ftpserver.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("honeypot: building server %d: %w", i, err)
+		}
+		provider.Add(ip, 21, srv.SimHandler())
+		d.IPs = append(d.IPs, ip)
+		d.Logs[ip] = log
+	}
+	return d, nil
+}
+
+// Summary aggregates a deployment's logs into §VIII's statistics.
+type Summary struct {
+	// UniqueScanners counts distinct remote IPs that connected at all.
+	UniqueScanners int
+	// SpokeFTP counts remotes that issued at least one FTP command.
+	SpokeFTP int
+	// HTTPGet counts remotes that tried an HTTP GET against port 21.
+	HTTPGet int
+	// Traversed counts remotes that changed directories; Listed counts
+	// remotes that requested listings.
+	Traversed int
+	Listed    int
+	// CredentialPairs counts unique username:password combinations seen.
+	CredentialPairs int
+	// AnonymousLogins counts successful anonymous sessions.
+	AnonymousLogins int
+	// Uploads / Deletes count write activity (probe campaigns upload and
+	// then delete their markers).
+	Uploads int
+	Deletes int
+	// BounceAttempts counts PORT commands naming third parties;
+	// BounceTargets the distinct third-party addresses named.
+	BounceAttempts int
+	BounceTargets  map[string]int
+	// AuthTLS counts remotes that issued AUTH (certificate
+	// fingerprinting per §VIII).
+	AuthTLS int
+	// CVEAttempts counts distinct remotes probing SITE CPFR/CPTO
+	// (CVE-2015-3306; the paper observed one).
+	CVEAttempts int
+	// RootLogins counts distinct remotes attempting the Seagate
+	// root/no-password exploit (the paper observed one).
+	RootLogins int
+	// MkdirOnly counts remotes that created directories without
+	// uploading — the WaReZ-transport signature.
+	MkdirOnly int
+	// TopSourcePrefix reports the /8 with the most scanners and its
+	// share (the paper's "over 30% from China Unicom Henan" analogue).
+	TopSourcePrefix      string
+	TopSourcePrefixShare float64
+}
+
+// Summarize folds all logs into a Summary.
+func Summarize(d *Deployment) Summary {
+	s := Summary{BounceTargets: make(map[string]int)}
+	type remoteState struct {
+		spokeFTP  bool
+		httpGet   bool
+		traversed bool
+		listed    bool
+		authTLS   bool
+		cve       bool
+		rootLogin bool
+		uploads   int
+		mkdirs    int
+	}
+	remotes := map[string]*remoteState{}
+	creds := map[string]bool{}
+	prefixCounts := map[string]int{}
+
+	for _, log := range d.Logs {
+		for _, e := range log.Events() {
+			rs, ok := remotes[e.RemoteIP]
+			if !ok {
+				rs = &remoteState{}
+				remotes[e.RemoteIP] = rs
+			}
+			switch e.Kind {
+			case ftpserver.EventCommand:
+				switch e.Command {
+				case "GET", "POST", "HEAD":
+					rs.httpGet = true
+				case "CWD", "CDUP":
+					rs.spokeFTP = true
+					rs.traversed = true
+				case "LIST", "NLST":
+					rs.spokeFTP = true
+					rs.listed = true
+				case "AUTH":
+					rs.spokeFTP = true
+					rs.authTLS = true
+				case "SITE":
+					rs.spokeFTP = true
+					upper := strings.ToUpper(e.Arg)
+					if strings.HasPrefix(upper, "CPFR") || strings.HasPrefix(upper, "CPTO") {
+						rs.cve = true
+					}
+				case "MKD", "XMKD":
+					rs.spokeFTP = true
+					rs.mkdirs++
+				case "DELE":
+					rs.spokeFTP = true
+					s.Deletes++
+				default:
+					rs.spokeFTP = true
+				}
+			case ftpserver.EventLoginOK:
+				if e.Detail == "anonymous" {
+					s.AnonymousLogins++
+				}
+			case ftpserver.EventLoginFail:
+				if e.User != "" || e.Pass != "" {
+					creds[e.User+":"+e.Pass] = true
+				}
+				if e.User == "root" && e.Pass == "" {
+					rs.rootLogin = true
+				}
+			case ftpserver.EventUpload:
+				rs.uploads++
+				s.Uploads++
+			case ftpserver.EventPortBounceAttempt:
+				s.BounceAttempts++
+				s.BounceTargets[e.Detail]++
+			}
+		}
+	}
+
+	for ip, rs := range remotes {
+		s.UniqueScanners++
+		if rs.spokeFTP {
+			s.SpokeFTP++
+		}
+		if rs.httpGet {
+			s.HTTPGet++
+		}
+		if rs.traversed {
+			s.Traversed++
+		}
+		if rs.listed {
+			s.Listed++
+		}
+		if rs.authTLS {
+			s.AuthTLS++
+		}
+		if rs.cve {
+			s.CVEAttempts++
+		}
+		if rs.rootLogin {
+			s.RootLogins++
+		}
+		if rs.mkdirs > 0 && rs.uploads == 0 {
+			s.MkdirOnly++
+		}
+		if slash := strings.IndexByte(ip, '.'); slash > 0 {
+			prefixCounts[ip[:slash]+".0.0.0/8"]++
+		}
+	}
+	s.CredentialPairs = len(creds)
+	for prefix, n := range prefixCounts {
+		if n > prefixCounts[s.TopSourcePrefix] || s.TopSourcePrefix == "" {
+			s.TopSourcePrefix = prefix
+		}
+	}
+	if s.UniqueScanners > 0 {
+		s.TopSourcePrefixShare = 100 * float64(prefixCounts[s.TopSourcePrefix]) / float64(s.UniqueScanners)
+	}
+	return s
+}
+
+// Render formats the summary as a §VIII-style report.
+func Render(s Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section VIII — Honeypot study\n")
+	fmt.Fprintf(&b, "  unique scanning IPs:      %d\n", s.UniqueScanners)
+	fmt.Fprintf(&b, "  top source prefix:        %s (%.1f%%)\n", s.TopSourcePrefix, s.TopSourcePrefixShare)
+	fmt.Fprintf(&b, "  spoke FTP:                %d\n", s.SpokeFTP)
+	fmt.Fprintf(&b, "  HTTP GET on port 21:      %d\n", s.HTTPGet)
+	fmt.Fprintf(&b, "  traversed directories:    %d\n", s.Traversed)
+	fmt.Fprintf(&b, "  listed directories:       %d\n", s.Listed)
+	fmt.Fprintf(&b, "  credential pairs tried:   %d\n", s.CredentialPairs)
+	fmt.Fprintf(&b, "  anonymous logins:         %d\n", s.AnonymousLogins)
+	fmt.Fprintf(&b, "  uploads / deletes:        %d / %d\n", s.Uploads, s.Deletes)
+	fmt.Fprintf(&b, "  PORT bounce attempts:     %d toward %d distinct targets\n",
+		s.BounceAttempts, len(s.BounceTargets))
+	fmt.Fprintf(&b, "  AUTH TLS fingerprinting:  %d\n", s.AuthTLS)
+	fmt.Fprintf(&b, "  CVE-2015-3306 attempts:   %d\n", s.CVEAttempts)
+	fmt.Fprintf(&b, "  root/no-password logins:  %d\n", s.RootLogins)
+	fmt.Fprintf(&b, "  mkdir-without-upload:     %d\n", s.MkdirOnly)
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package listparse
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseLine hammers the listing parser with arbitrary bytes: it must
+// never panic and must uphold basic invariants on success — the enumerator
+// feeds it raw data from adversarial servers.
+func FuzzParseLine(f *testing.F) {
+	seeds := []string{
+		"-rw-r--r--   1 ftp      ftp          1024 Mar  1  2014 report.pdf",
+		"drwxrwxrwx   5 root     wheel        4096 Jun 10 09:15 incoming",
+		"lrwxrwxrwx   1 ftp ftp 11 Jun  1 08:00 www -> public_html",
+		"06-18-15  03:24PM       <DIR>          wwwroot",
+		"02-14-15  09:01AM                 4096 Data Base.mdb",
+		"total 123",
+		"",
+		"-rw-r--r-- 1 ftp ftp 99999999999999999999 Jun 1 08:00 big",
+		"-rw-r--r-- 1 ftp ftp 10 Jun 99 08:00 f",
+		"\x00\x01\x02\x03",
+		strings.Repeat("-", 100),
+		"-rw-r--r-- 1 a b 1 Jun 1 08:00 " + strings.Repeat("n", 300),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	now := time.Date(2015, 6, 18, 12, 0, 0, 0, time.UTC)
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseLine(line, now)
+		if err != nil {
+			return
+		}
+		if e.Name == "" {
+			t.Errorf("parsed entry with empty name from %q", line)
+		}
+		if e.Size < 0 {
+			t.Errorf("negative size %d from %q", e.Size, line)
+		}
+		if e.Read != ReadYes && e.Read != ReadNo && e.Read != ReadUnknown {
+			t.Errorf("invalid readability %v from %q", e.Read, line)
+		}
+	})
+}
+
+// FuzzParseListing exercises the multi-line path with embedded noise.
+func FuzzParseListing(f *testing.F) {
+	f.Add("total 1\r\n-rw-r--r-- 1 a b 1 Jun 1 08:00 x\r\n")
+	f.Add("garbage\nmore garbage\n")
+	f.Add("\r\n\r\n\r\n")
+	now := time.Date(2015, 6, 18, 12, 0, 0, 0, time.UTC)
+	f.Fuzz(func(t *testing.T, body string) {
+		entries, skipped := ParseListing(body, now)
+		if skipped < 0 {
+			t.Error("negative skip count")
+		}
+		for _, e := range entries {
+			if e.Name == "" || e.Name == "." || e.Name == ".." {
+				t.Errorf("bad entry name %q", e.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// Package listparse parses FTP directory listings back into structured
+// entries. It is the client-side inverse of the vfs package's renderers and
+// handles the two dialects that dominate the real-world server population:
+// Unix "ls -l" output and IIS's MS-DOS format.
+//
+// Permission knowledge is tri-state. Unix listings expose the all-users read
+// bit the paper keys on; DOS listings carry no permissions at all, which is
+// why the paper reports those files as "unk-readability".
+package listparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Readability is the anonymous user's inferred ability to RETR a file.
+type Readability int
+
+// Tri-state readability values.
+const (
+	ReadUnknown Readability = iota // listing carries no permission data
+	ReadYes                        // all-users read bit set
+	ReadNo                         // all-users read bit clear
+)
+
+// String names the readability state.
+func (r Readability) String() string {
+	switch r {
+	case ReadYes:
+		return "readable"
+	case ReadNo:
+		return "non-readable"
+	default:
+		return "unk-readability"
+	}
+}
+
+// Entry is one parsed listing line.
+type Entry struct {
+	Name    string
+	IsDir   bool
+	IsLink  bool
+	Target  string // symlink target, if any
+	Size    int64
+	Owner   string
+	Group   string
+	ModTime time.Time // zero when the line's date could not be resolved
+
+	Read  Readability
+	Write Readability // all-users write bit, same tri-state semantics
+}
+
+var monthNames = map[string]time.Month{
+	"jan": time.January, "feb": time.February, "mar": time.March,
+	"apr": time.April, "may": time.May, "jun": time.June,
+	"jul": time.July, "aug": time.August, "sep": time.September,
+	"oct": time.October, "nov": time.November, "dec": time.December,
+}
+
+// ParseLine parses a single listing line, auto-detecting the dialect.
+// The now parameter resolves Unix listings' yearless timestamps.
+func ParseLine(line string, now time.Time) (Entry, error) {
+	line = strings.TrimRight(line, "\r\n")
+	if strings.TrimSpace(line) == "" {
+		return Entry{}, fmt.Errorf("listparse: empty line")
+	}
+	if isUnixLine(line) {
+		return parseUnixLine(line, now)
+	}
+	if e, err := parseDOSLine(line); err == nil {
+		return e, nil
+	}
+	return Entry{}, fmt.Errorf("listparse: unrecognized listing line %q", line)
+}
+
+// ParseListing parses a full LIST body, skipping "total NNN" headers and
+// unparseable lines (real servers interleave noise); it returns the entries
+// and the count of skipped lines.
+func ParseListing(body string, now time.Time) (entries []Entry, skipped int) {
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "total ") || strings.HasPrefix(line, "Total ") {
+			continue
+		}
+		e, err := ParseLine(line, now)
+		if err != nil {
+			skipped++
+			continue
+		}
+		// "." and ".." entries are navigation noise.
+		if e.Name == "." || e.Name == ".." {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, skipped
+}
+
+func isUnixLine(line string) bool {
+	if len(line) < 10 {
+		return false
+	}
+	switch line[0] {
+	case '-', 'd', 'l', 'b', 'c', 'p', 's':
+	default:
+		return false
+	}
+	for i := 1; i < 10; i++ {
+		switch line[i] {
+		case 'r', 'w', 'x', '-', 's', 'S', 't', 'T':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseUnixLine(line string, now time.Time) (Entry, error) {
+	perms := line[:10]
+	rest := line[10:]
+	fields := strings.Fields(rest)
+	// links owner group size month day (year|time) name...
+	if len(fields) < 7 {
+		return Entry{}, fmt.Errorf("listparse: short unix line %q", line)
+	}
+
+	e := Entry{
+		IsDir:  perms[0] == 'd',
+		IsLink: perms[0] == 'l',
+		Owner:  fields[1],
+		Group:  fields[2],
+	}
+	if perms[7] == 'r' {
+		e.Read = ReadYes
+	} else {
+		e.Read = ReadNo
+	}
+	if perms[8] == 'w' {
+		e.Write = ReadYes
+	} else {
+		e.Write = ReadNo
+	}
+
+	size, err := strconv.ParseInt(fields[3], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("listparse: bad size in %q", line)
+	}
+	e.Size = size
+
+	month, ok := monthNames[strings.ToLower(fields[4])]
+	if !ok {
+		return Entry{}, fmt.Errorf("listparse: bad month in %q", line)
+	}
+	day, err := strconv.Atoi(fields[5])
+	if err != nil || day < 1 || day > 31 {
+		return Entry{}, fmt.Errorf("listparse: bad day in %q", line)
+	}
+	yearOrTime := fields[6]
+	if strings.Contains(yearOrTime, ":") {
+		parts := strings.SplitN(yearOrTime, ":", 2)
+		hh, err1 := strconv.Atoi(parts[0])
+		mm, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return Entry{}, fmt.Errorf("listparse: bad time in %q", line)
+		}
+		t := time.Date(now.Year(), month, day, hh, mm, 0, 0, time.UTC)
+		// A yearless date "in the future" belongs to last year.
+		if t.After(now.Add(48 * time.Hour)) {
+			t = t.AddDate(-1, 0, 0)
+		}
+		e.ModTime = t
+	} else {
+		year, err := strconv.Atoi(yearOrTime)
+		if err != nil {
+			return Entry{}, fmt.Errorf("listparse: bad year in %q", line)
+		}
+		e.ModTime = time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	}
+
+	// The name is everything after the date token in the raw line;
+	// reconstruct from the original to preserve internal spaces.
+	idx := indexOfNthField(rest, 7)
+	if idx < 0 {
+		return Entry{}, fmt.Errorf("listparse: no name in %q", line)
+	}
+	name := rest[idx:]
+	if e.IsLink {
+		if arrow := strings.Index(name, " -> "); arrow >= 0 {
+			e.Target = name[arrow+4:]
+			name = name[:arrow]
+		}
+	}
+	if name == "" {
+		return Entry{}, fmt.Errorf("listparse: empty name in %q", line)
+	}
+	e.Name = name
+	return e, nil
+}
+
+// indexOfNthField returns the byte offset of the n-th (0-based)
+// whitespace-separated field in s, or -1.
+func indexOfNthField(s string, n int) int {
+	field := 0
+	inField := false
+	for i := 0; i < len(s); i++ {
+		isSpace := s[i] == ' ' || s[i] == '\t'
+		if !isSpace && !inField {
+			if field == n {
+				return i
+			}
+			field++
+			inField = true
+		} else if isSpace {
+			inField = false
+		}
+	}
+	return -1
+}
+
+func parseDOSLine(line string) (Entry, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, fmt.Errorf("listparse: short DOS line %q", line)
+	}
+	t, err := time.Parse("01-02-06 03:04PM", fields[0]+" "+fields[1])
+	if err != nil {
+		return Entry{}, fmt.Errorf("listparse: bad DOS date in %q: %w", line, err)
+	}
+	e := Entry{ModTime: t, Read: ReadUnknown, Write: ReadUnknown}
+	sizeOrDir := fields[2]
+	if sizeOrDir == "<DIR>" {
+		e.IsDir = true
+	} else {
+		size, err := strconv.ParseInt(sizeOrDir, 10, 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("listparse: bad DOS size in %q", line)
+		}
+		e.Size = size
+	}
+	// Name is the remainder after the third field, preserving spaces.
+	idx := indexOfNthField(line, 3)
+	if idx < 0 {
+		return Entry{}, fmt.Errorf("listparse: no DOS name in %q", line)
+	}
+	e.Name = line[idx:]
+	return e, nil
+}

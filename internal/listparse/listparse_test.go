@@ -1,0 +1,244 @@
+package listparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ftpcloud/internal/vfs"
+)
+
+var testNow = time.Date(2015, 6, 18, 12, 0, 0, 0, time.UTC)
+
+func TestParseUnixFile(t *testing.T) {
+	line := "-rw-r--r--   1 ftp      ftp          1024 Mar  1  2014 report.pdf"
+	e, err := ParseLine(line, testNow)
+	if err != nil {
+		t.Fatalf("ParseLine: %v", err)
+	}
+	if e.Name != "report.pdf" || e.IsDir || e.Size != 1024 {
+		t.Errorf("got %+v", e)
+	}
+	if e.Read != ReadYes {
+		t.Errorf("Read = %v", e.Read)
+	}
+	if e.Write != ReadNo {
+		t.Errorf("Write = %v", e.Write)
+	}
+	if e.Owner != "ftp" || e.Group != "ftp" {
+		t.Errorf("owner/group = %q/%q", e.Owner, e.Group)
+	}
+	if e.ModTime.Year() != 2014 || e.ModTime.Month() != time.March {
+		t.Errorf("ModTime = %v", e.ModTime)
+	}
+}
+
+func TestParseUnixDir(t *testing.T) {
+	line := "drwxrwxrwx   5 root     wheel        4096 Jun 10 09:15 incoming"
+	e, err := ParseLine(line, testNow)
+	if err != nil {
+		t.Fatalf("ParseLine: %v", err)
+	}
+	if !e.IsDir || e.Name != "incoming" {
+		t.Errorf("got %+v", e)
+	}
+	if e.Write != ReadYes {
+		t.Errorf("world-writable dir not detected: %+v", e)
+	}
+	if e.ModTime.Year() != 2015 || e.ModTime.Hour() != 9 {
+		t.Errorf("ModTime = %v", e.ModTime)
+	}
+}
+
+func TestParseUnixYearlessFutureDateRollsBack(t *testing.T) {
+	// "Dec 25 10:00" seen in June 2015 must resolve to December 2014.
+	line := "-rw-r--r--   1 ftp ftp 1 Dec 25 10:00 holiday.jpg"
+	e, err := ParseLine(line, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ModTime.Year() != 2014 {
+		t.Errorf("ModTime = %v, want year 2014", e.ModTime)
+	}
+}
+
+func TestParseUnixNonReadable(t *testing.T) {
+	line := "-rw-------   1 root     root          718 Jan  5  2013 shadow"
+	e, err := ParseLine(line, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Read != ReadNo {
+		t.Errorf("Read = %v, want ReadNo", e.Read)
+	}
+}
+
+func TestParseUnixSymlink(t *testing.T) {
+	line := "lrwxrwxrwx   1 ftp ftp 11 Jun  1 08:00 www -> public_html"
+	e, err := ParseLine(line, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsLink || e.Name != "www" || e.Target != "public_html" {
+		t.Errorf("got %+v", e)
+	}
+}
+
+func TestParseUnixNameWithSpaces(t *testing.T) {
+	line := "-rw-r--r--   1 ftp ftp 99 Jun  1 08:00 My Tax Return 2014.pdf"
+	e, err := ParseLine(line, testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "My Tax Return 2014.pdf" {
+		t.Errorf("Name = %q", e.Name)
+	}
+}
+
+func TestParseDOS(t *testing.T) {
+	e, err := ParseLine("06-18-15  03:24PM       <DIR>          wwwroot", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsDir || e.Name != "wwwroot" || e.Read != ReadUnknown {
+		t.Errorf("got %+v", e)
+	}
+	e, err = ParseLine("02-14-15  09:01AM                 4096 Data Base.mdb", testNow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.IsDir || e.Size != 4096 || e.Name != "Data Base.mdb" {
+		t.Errorf("got %+v", e)
+	}
+	if e.Read != ReadUnknown || e.Write != ReadUnknown {
+		t.Errorf("DOS readability must be unknown: %+v", e)
+	}
+	if e.ModTime.Year() != 2015 || e.ModTime.Hour() != 9 {
+		t.Errorf("ModTime = %v", e.ModTime)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"   ",
+		"total 123",
+		"garbage line here",
+		"-rw-r--r-- oops",
+		"-rw-r--r-- 1 ftp ftp xyz Jun 1 08:00 f", // bad size
+		"-rw-r--r-- 1 ftp ftp 10 Zzz 1 08:00 f",  // bad month
+		"-rw-r--r-- 1 ftp ftp 10 Jun 99 08:00 f",
+		"99-99-99  03:24PM  <DIR> x",
+		"06-18-15  03:24PM  notasize x",
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line, testNow); err == nil {
+			t.Errorf("ParseLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseListing(t *testing.T) {
+	body := "total 16\r\n" +
+		"drwxr-xr-x   2 ftp ftp 4096 Jun 10 09:15 pub\r\n" +
+		".\r\n" + // noise
+		"-rw-r--r--   1 ftp ftp  123 Jun 10 09:15 readme.txt\r\n" +
+		"drwxr-xr-x   2 ftp ftp 4096 Jun 10 09:15 .\r\n" + // dot entry
+		"drwxr-xr-x   2 ftp ftp 4096 Jun 10 09:15 ..\r\n"
+	entries, skipped := ParseListing(body, testNow)
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d (%+v)", len(entries), entries)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if entries[0].Name != "pub" || entries[1].Name != "readme.txt" {
+		t.Errorf("entries: %+v", entries)
+	}
+}
+
+func TestReadabilityString(t *testing.T) {
+	if ReadYes.String() != "readable" || ReadNo.String() != "non-readable" || ReadUnknown.String() != "unk-readability" {
+		t.Error("readability names wrong")
+	}
+}
+
+// TestRoundTripAgainstVFS ensures every line the vfs renderer produces is
+// parsed back with the same name, kind, size, and readability.
+func TestRoundTripAgainstVFS(t *testing.T) {
+	nodes := []*vfs.Node{
+		vfs.NewDir("pub", vfs.Perm755),
+		vfs.NewFile("index.html", vfs.Perm644, 494),
+		vfs.NewFile("id_rsa", vfs.Perm600, 1679),
+		vfs.NewFile("with space.doc", vfs.Perm644, 20000),
+		vfs.NewDir("incoming drop", vfs.Perm777),
+	}
+	for i, n := range nodes {
+		n.MTime = testNow.AddDate(0, -1-i, 0)
+	}
+	for _, style := range []vfs.ListStyle{vfs.StyleUnix, vfs.StyleDOS} {
+		body := vfs.FormatListing(nodes, style, testNow)
+		entries, skipped := ParseListing(body, testNow)
+		if skipped != 0 {
+			t.Fatalf("%v: skipped %d lines of %q", style, skipped, body)
+		}
+		if len(entries) != len(nodes) {
+			t.Fatalf("%v: parsed %d of %d entries", style, len(entries), len(nodes))
+		}
+		for i, e := range entries {
+			n := nodes[i]
+			if e.Name != n.Name || e.IsDir != n.IsDir {
+				t.Errorf("%v: entry %d = %+v, want name %q dir %v", style, i, e, n.Name, n.IsDir)
+			}
+			if !e.IsDir && e.Size != n.Size {
+				t.Errorf("%v: entry %d size %d, want %d", style, i, e.Size, n.Size)
+			}
+			if style == vfs.StyleUnix {
+				wantRead := ReadNo
+				if n.OtherReadable() {
+					wantRead = ReadYes
+				}
+				if e.Read != wantRead {
+					t.Errorf("unix: entry %d read = %v, want %v", i, e.Read, wantRead)
+				}
+			} else if e.Read != ReadUnknown {
+				t.Errorf("dos: entry %d read = %v, want unknown", i, e.Read)
+			}
+		}
+	}
+}
+
+// Property: rendering a random valid file node and parsing it back preserves
+// name, size, and the all-users read bit (Unix style).
+func TestUnixRoundTripProperty(t *testing.T) {
+	f := func(nameSeed uint16, size uint32, otherRead, isDir bool) bool {
+		name := "f" + strings.Repeat("x", int(nameSeed)%20) // non-empty, no spaces edge
+		perm := vfs.Perm600
+		if otherRead {
+			perm = vfs.Perm644
+		}
+		var n *vfs.Node
+		if isDir {
+			n = vfs.NewDir(name, perm)
+		} else {
+			n = vfs.NewFile(name, perm, int64(size))
+		}
+		n.MTime = testNow.AddDate(-1, 0, 0)
+		e, err := ParseLine(vfs.FormatUnixLine(n, testNow), testNow)
+		if err != nil || e.Name != name || e.IsDir != isDir {
+			return false
+		}
+		if !isDir && e.Size != int64(size) {
+			return false
+		}
+		wantRead := ReadNo
+		if otherRead {
+			wantRead = ReadYes
+		}
+		return e.Read == wantRead
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package listparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseMLSDLine parses one RFC 3659 machine-readable listing line:
+// "fact=value;fact=value; name". MLSD carries explicit permission facts, so
+// entries parsed this way never land in the "unk-readability" bucket that
+// plagues DOS-style listings.
+func ParseMLSDLine(line string) (Entry, error) {
+	line = strings.TrimRight(line, "\r\n")
+	// The name follows the first "; " separator after the fact list.
+	sep := strings.Index(line, "; ")
+	if sep < 0 {
+		return Entry{}, fmt.Errorf("listparse: no name separator in MLSD line %q", line)
+	}
+	facts := line[:sep+1] // keep the trailing ';' for uniform splitting
+	name := line[sep+2:]
+	if name == "" {
+		return Entry{}, fmt.Errorf("listparse: empty name in MLSD line %q", line)
+	}
+	e := Entry{Name: name, Read: ReadUnknown, Write: ReadUnknown}
+	for _, fact := range strings.Split(facts, ";") {
+		fact = strings.TrimSpace(fact)
+		if fact == "" {
+			continue
+		}
+		eq := strings.IndexByte(fact, '=')
+		if eq < 0 {
+			return Entry{}, fmt.Errorf("listparse: malformed fact %q in %q", fact, line)
+		}
+		key := strings.ToLower(fact[:eq])
+		val := fact[eq+1:]
+		switch key {
+		case "type":
+			switch strings.ToLower(val) {
+			case "dir", "cdir", "pdir":
+				e.IsDir = true
+				if strings.EqualFold(val, "cdir") {
+					e.Name = "."
+				}
+				if strings.EqualFold(val, "pdir") {
+					e.Name = ".."
+				}
+			case "os.unix=symlink":
+				e.IsLink = true
+			}
+		case "size":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return Entry{}, fmt.Errorf("listparse: bad MLSD size %q", val)
+			}
+			e.Size = n
+		case "modify":
+			t, err := time.Parse("20060102150405", val)
+			if err == nil {
+				e.ModTime = t.UTC()
+			}
+		case "unix.mode":
+			mode, err := strconv.ParseUint(val, 8, 16)
+			if err == nil {
+				if mode&0o004 != 0 {
+					e.Read = ReadYes
+				} else {
+					e.Read = ReadNo
+				}
+				if mode&0o002 != 0 {
+					e.Write = ReadYes
+				} else {
+					e.Write = ReadNo
+				}
+			}
+		case "unix.owner":
+			e.Owner = val
+		}
+	}
+	return e, nil
+}
+
+// ParseMLSDListing parses a full MLSD body, skipping cdir/pdir entries and
+// unparseable lines.
+func ParseMLSDListing(body string) (entries []Entry, skipped int) {
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		e, err := ParseMLSDLine(line)
+		if err != nil {
+			skipped++
+			continue
+		}
+		if e.Name == "." || e.Name == ".." {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, skipped
+}

@@ -1,0 +1,132 @@
+package listparse
+
+import (
+	"testing"
+	"time"
+
+	"ftpcloud/internal/vfs"
+)
+
+func TestParseMLSDLine(t *testing.T) {
+	e, err := ParseMLSDLine("type=file;size=1024;modify=20150618120000;UNIX.mode=0644;UNIX.owner=ftp; report.pdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "report.pdf" || e.IsDir || e.Size != 1024 {
+		t.Errorf("got %+v", e)
+	}
+	if e.Read != ReadYes || e.Write != ReadNo {
+		t.Errorf("perm facts: read=%v write=%v", e.Read, e.Write)
+	}
+	if e.Owner != "ftp" {
+		t.Errorf("owner = %q", e.Owner)
+	}
+	if e.ModTime.Year() != 2015 || e.ModTime.Month() != time.June {
+		t.Errorf("mtime = %v", e.ModTime)
+	}
+}
+
+func TestParseMLSDDirAndMode600(t *testing.T) {
+	e, err := ParseMLSDLine("type=dir;size=4096;UNIX.mode=0755; pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsDir || e.Name != "pub" || e.Read != ReadYes {
+		t.Errorf("dir: %+v", e)
+	}
+	e, err = ParseMLSDLine("type=file;size=718;UNIX.mode=0600; shadow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Read != ReadNo || e.Write != ReadNo {
+		t.Errorf("600 facts: %+v", e)
+	}
+	// World-writable.
+	e, err = ParseMLSDLine("type=dir;UNIX.mode=0777; incoming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Write != ReadYes {
+		t.Errorf("777 write fact: %+v", e)
+	}
+}
+
+func TestParseMLSDNameWithSemicolonSpace(t *testing.T) {
+	// Names may contain "; " only after the separator; the first "; "
+	// wins.
+	e, err := ParseMLSDLine("type=file;size=1; my file; with oddities.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "my file; with oddities.txt" {
+		t.Errorf("name = %q", e.Name)
+	}
+}
+
+func TestParseMLSDErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "no separator here", "type=file;size=x; f", "size=-5; f",
+		"type=file;badfact; f", "type=file;size=1; ",
+	} {
+		if _, err := ParseMLSDLine(bad); err == nil {
+			t.Errorf("ParseMLSDLine(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseMLSDListingSkipsDots(t *testing.T) {
+	body := "type=cdir;UNIX.mode=0755; .\r\n" +
+		"type=pdir;UNIX.mode=0755; ..\r\n" +
+		"type=file;size=5;UNIX.mode=0644; a.txt\r\n" +
+		"garbage line\r\n"
+	entries, skipped := ParseMLSDListing(body)
+	if len(entries) != 1 || entries[0].Name != "a.txt" {
+		t.Errorf("entries: %+v", entries)
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d", skipped)
+	}
+}
+
+// TestMLSDRoundTripAgainstVFS: every line the vfs MLSD renderer emits must
+// parse back with matching name, kind, size, and permissions.
+func TestMLSDRoundTripAgainstVFS(t *testing.T) {
+	now := time.Date(2015, 6, 18, 12, 0, 0, 0, time.UTC)
+	nodes := []*vfs.Node{
+		vfs.NewDir("pub", vfs.Perm755),
+		vfs.NewFile("index.html", vfs.Perm644, 494),
+		vfs.NewFile("id_rsa", vfs.Perm600, 1679),
+		vfs.NewDir("incoming drop", vfs.Perm777),
+	}
+	for _, n := range nodes {
+		n.MTime = now.AddDate(0, -1, 0)
+	}
+	body := vfs.FormatMLSDListing(nodes, now)
+	entries, skipped := ParseMLSDListing(body)
+	if skipped != 0 || len(entries) != len(nodes) {
+		t.Fatalf("parsed %d (skipped %d) of %d: %q", len(entries), skipped, len(nodes), body)
+	}
+	for i, e := range entries {
+		n := nodes[i]
+		if e.Name != n.Name || e.IsDir != n.IsDir {
+			t.Errorf("entry %d: %+v vs node %q", i, e, n.Name)
+		}
+		wantRead := ReadNo
+		if n.OtherReadable() {
+			wantRead = ReadYes
+		}
+		if e.Read != wantRead {
+			t.Errorf("entry %d read = %v, want %v", i, e.Read, wantRead)
+		}
+		wantWrite := ReadNo
+		if n.OtherWritable() {
+			wantWrite = ReadYes
+		}
+		if e.Write != wantWrite {
+			t.Errorf("entry %d write = %v, want %v", i, e.Write, wantWrite)
+		}
+		if !e.IsDir && e.Size != n.Size {
+			t.Errorf("entry %d size = %d, want %d", i, e.Size, n.Size)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package personality defines behavioural profiles for the FTP server
+// implementations and embedded devices the paper observes in the wild. A
+// Personality captures everything that distinguishes one implementation on
+// the wire: banner, version string, SYST/FEAT/HELP output, reply-text
+// variants, listing dialect, and protocol quirks (PORT validation bugs,
+// upload-rename behaviour, NAT-leaking PASV replies, FTPS support).
+//
+// The ftpserver engine consumes a Personality to impersonate the
+// implementation; the fingerprint package independently re-identifies hosts
+// from wire observations, exactly as the paper's classifiers do.
+package personality
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ftpcloud/internal/vfs"
+)
+
+// Category is the ground-truth server class (Table II in the paper).
+// Fingerprinting may fail to recover it, which is what produces the paper's
+// "Unknown" bucket.
+type Category int
+
+// Server categories.
+const (
+	CategoryGeneric Category = iota + 1
+	CategoryHosted
+	CategoryEmbedded
+)
+
+// String names the category as the paper's tables do.
+func (c Category) String() string {
+	switch c {
+	case CategoryGeneric:
+		return "Generic Server"
+	case CategoryHosted:
+		return "Hosted Server"
+	case CategoryEmbedded:
+		return "Embedded Server"
+	default:
+		return "Unknown"
+	}
+}
+
+// DeviceClass refines embedded devices (Tables V, VII, X).
+type DeviceClass int
+
+// Embedded device classes.
+const (
+	DeviceNone DeviceClass = iota
+	DeviceNAS
+	DeviceHomeRouter
+	DevicePrinter
+	DeviceDSLModem
+	DeviceCamera
+	DeviceSetTopBox
+	DeviceSecurityGateway
+	DeviceWiMaxRouter
+	DeviceMediaPlayer
+	DeviceAutomation
+	DeviceStorage
+)
+
+// String names the device class.
+func (d DeviceClass) String() string {
+	switch d {
+	case DeviceNAS:
+		return "NAS"
+	case DeviceHomeRouter:
+		return "Home Router"
+	case DevicePrinter:
+		return "Printer"
+	case DeviceDSLModem:
+		return "DSL Modem"
+	case DeviceCamera:
+		return "Camera"
+	case DeviceSetTopBox:
+		return "Set-top Box"
+	case DeviceSecurityGateway:
+		return "Security Gateway"
+	case DeviceWiMaxRouter:
+		return "WiMax Router"
+	case DeviceMediaPlayer:
+		return "Media Player"
+	case DeviceAutomation:
+		return "Home Automation"
+	case DeviceStorage:
+		return "Storage"
+	default:
+		return "None"
+	}
+}
+
+// Quirks are the behavioural deviations the enumerator must survive and the
+// vulnerabilities the paper measures.
+type Quirks struct {
+	// ValidatePORT, when false, lets PORT commands target third-party
+	// addresses — the classic FTP bounce vulnerability (§VII.B).
+	ValidatePORT bool
+	// PASVLeaksInternalIP makes PASV replies advertise the device's
+	// RFC 1918 address instead of its public one — the paper's NAT
+	// detection signal.
+	PASVLeaksInternalIP bool
+	// UploadRenameSuffix appends ".1", ".2", … instead of overwriting
+	// existing files on STOR.
+	UploadRenameSuffix bool
+	// AnonUploadNeedsApproval refuses RETR of anonymously uploaded files
+	// with Pure-FTPd's "not yet approved" message — the paper's primary
+	// world-writability evidence.
+	AnonUploadNeedsApproval bool
+	// CaseInsensitive models Windows path semantics.
+	CaseInsensitive bool
+	// ListStyle selects the directory-listing dialect.
+	ListStyle vfs.ListStyle
+	// SupportsFTPS enables AUTH TLS.
+	SupportsFTPS bool
+	// BannerHasIP embeds the host's own address in the banner.
+	BannerHasIP bool
+	// EPSVOnly rejects classic PASV, forcing clients through RFC 2428
+	// extended passive mode (a behaviour some modern stacks exhibit).
+	EPSVOnly bool
+}
+
+// Personality is one implementation or device profile.
+type Personality struct {
+	// Key uniquely identifies the profile, e.g. "proftpd-1.3.5".
+	Key string
+	// Software is the implementation family ("ProFTPD", "vsFTPd", …) as
+	// the cvedb matches it; empty when the banner reveals none.
+	Software string
+	// Version is the advertised version string, when any.
+	Version string
+	// Banner is the 220 greeting; the placeholders %IP% and %HOST% are
+	// substituted per host. Multi-line banners use \n separators.
+	Banner string
+	// Syst is the SYST reply text.
+	Syst string
+	// Features are the FEAT body lines; empty means FEAT unsupported.
+	Features []string
+	// HelpLines are the HELP body lines.
+	HelpLines []string
+	// SiteHelp is the SITE HELP body; empty means SITE unsupported.
+	SiteHelp []string
+	// Reply331 is the text of the 331 reply to USER; %USER% expands to
+	// the login name. The paper notes this reply alone has at least four
+	// incompatible meanings across implementations.
+	Reply331 string
+
+	Category    Category
+	DeviceClass DeviceClass
+	// DeviceModel matches the paper's device-table naming, e.g.
+	// "QNAP Turbo NAS"; empty for plain software.
+	DeviceModel string
+	// ProviderDeployed marks ISP-installed gear (Table V) as opposed to
+	// consumer-purchased devices (Table VII).
+	ProviderDeployed bool
+
+	Quirks Quirks
+}
+
+// ExpandBanner substitutes per-host placeholders into the banner template.
+func (p *Personality) ExpandBanner(ip, host string) string {
+	b := strings.ReplaceAll(p.Banner, "%IP%", ip)
+	return strings.ReplaceAll(b, "%HOST%", host)
+}
+
+// Expand331 substitutes the login name into the 331 reply text.
+func (p *Personality) Expand331(user string) string {
+	if p.Reply331 == "" {
+		return "Password required for " + user + "."
+	}
+	return strings.ReplaceAll(p.Reply331, "%USER%", user)
+}
+
+var (
+	registryInit sync.Once
+	registryList []*Personality
+	registryKey  map[string]*Personality
+)
+
+// loadRegistry builds and indexes the profile list on first use.
+func loadRegistry() {
+	registryInit.Do(func() {
+		list := buildRegistry()
+		byKey := make(map[string]*Personality, len(list))
+		for _, p := range list {
+			if p.Key == "" {
+				panic("personality: empty key")
+			}
+			if _, dup := byKey[p.Key]; dup {
+				panic(fmt.Sprintf("personality: duplicate key %q", p.Key))
+			}
+			if p.Quirks.ListStyle == 0 {
+				p.Quirks.ListStyle = vfs.StyleUnix
+			}
+			if p.Syst == "" {
+				p.Syst = "UNIX Type: L8"
+			}
+			byKey[p.Key] = p
+		}
+		registryList = list
+		registryKey = byKey
+	})
+}
+
+// All returns every registered personality in registration order. The
+// returned slice is shared; callers must not mutate it.
+func All() []*Personality {
+	loadRegistry()
+	return registryList
+}
+
+// ByKey finds a personality by key, or nil.
+func ByKey(key string) *Personality {
+	loadRegistry()
+	return registryKey[key]
+}
+
+// Keys returns all registered keys in order.
+func Keys() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Key
+	}
+	return out
+}

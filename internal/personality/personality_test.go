@@ -1,0 +1,170 @@
+package personality
+
+import (
+	"strings"
+	"testing"
+
+	"ftpcloud/internal/vfs"
+)
+
+func TestRegistryLoads(t *testing.T) {
+	all := All()
+	if len(all) < 35 {
+		t.Fatalf("registry has %d profiles, want at least 35", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, p := range all {
+		if p.Key == "" {
+			t.Error("profile with empty key")
+		}
+		if seen[p.Key] {
+			t.Errorf("duplicate key %q", p.Key)
+		}
+		seen[p.Key] = true
+		if p.Banner == "" {
+			t.Errorf("%s: empty banner", p.Key)
+		}
+		if p.Category < CategoryGeneric || p.Category > CategoryEmbedded {
+			t.Errorf("%s: bad category %d", p.Key, p.Category)
+		}
+		if p.Quirks.ListStyle != vfs.StyleUnix && p.Quirks.ListStyle != vfs.StyleDOS {
+			t.Errorf("%s: no list style", p.Key)
+		}
+		if p.Syst == "" {
+			t.Errorf("%s: no SYST text", p.Key)
+		}
+	}
+}
+
+func TestByKey(t *testing.T) {
+	p := ByKey(KeyProFTPD135)
+	if p == nil || p.Software != "ProFTPD" || p.Version != "1.3.5" {
+		t.Fatalf("ByKey(proftpd-1.3.5) = %+v", p)
+	}
+	if ByKey("no-such-key") != nil {
+		t.Error("phantom key resolved")
+	}
+	if len(Keys()) != len(All()) {
+		t.Error("Keys/All length mismatch")
+	}
+}
+
+func TestExpandBanner(t *testing.T) {
+	p := ByKey(KeyProFTPD135)
+	b := p.ExpandBanner("192.0.2.7", "example.net")
+	if !strings.Contains(b, "192.0.2.7") {
+		t.Errorf("banner %q missing IP", b)
+	}
+	w := ByKey(KeyWuFTPd262)
+	b = w.ExpandBanner("192.0.2.7", "files.example.net")
+	if !strings.Contains(b, "files.example.net") {
+		t.Errorf("banner %q missing host", b)
+	}
+}
+
+func TestExpand331(t *testing.T) {
+	p := ByKey(KeyPureFTPd1036)
+	if got := p.Expand331("anonymous"); !strings.Contains(got, "anonymous") {
+		t.Errorf("331 = %q", got)
+	}
+	empty := &Personality{}
+	if got := empty.Expand331("bob"); !strings.Contains(got, "bob") {
+		t.Errorf("default 331 = %q", got)
+	}
+}
+
+func TestPaperDevicesPresent(t *testing.T) {
+	// Every device model in the paper's Tables V and VII must exist.
+	wantModels := []string{
+		"QNAP Turbo NAS", "ASUS wireless routers", "Synology NAS devices",
+		"Buffalo NAS storage", "ZyXEL/MitraStar NAS", "RICOH Printers",
+		"LaCie storage", "Lexmark Printers", "Xerox Printers", "Dell Printers",
+		"Linksys Wifi Routers", "Lutron HomeWorks Processor", "Seagate Storage devices",
+		"FRITZ!Box DSL modem", "ZyXEL DSL Modem", "AXIS Physical Security Device",
+		"ZTE WiMax Router", "Speedport DSL Modem", "Dreambox Set-top Box",
+		"ZyXEL Unified Security Gateway", "Alcatel Router", "DrayTek Network Devices",
+	}
+	have := make(map[string]bool)
+	for _, p := range All() {
+		if p.DeviceModel != "" {
+			have[p.DeviceModel] = true
+		}
+	}
+	for _, m := range wantModels {
+		if !have[m] {
+			t.Errorf("missing device model %q", m)
+		}
+	}
+}
+
+func TestVulnerableSoftwarePresent(t *testing.T) {
+	// The CVE table needs these software/version combinations to exist.
+	want := map[string]string{
+		KeyProFTPD135:   "ProFTPD",
+		KeyVsftpd302:    "vsFTPd",
+		KeyPureFTPd1029: "Pure-FTPd",
+		KeyServU64:      "Serv-U",
+	}
+	for key, software := range want {
+		p := ByKey(key)
+		if p == nil || p.Software != software || p.Version == "" {
+			t.Errorf("profile %s missing or wrong: %+v", key, p)
+		}
+	}
+}
+
+func TestQuirkAssignments(t *testing.T) {
+	if ByKey(KeyHostedHomePL).Quirks.ValidatePORT {
+		t.Error("home.pl must not validate PORT (paper §VII.B)")
+	}
+	if ByKey(KeyFileZilla0941).Quirks.ValidatePORT {
+		t.Error("old FileZilla must not validate PORT")
+	}
+	if !ByKey(KeyFileZilla0953).Quirks.ValidatePORT {
+		t.Error("new FileZilla must validate PORT")
+	}
+	if !ByKey(KeyPureFTPd1036).Quirks.AnonUploadNeedsApproval {
+		t.Error("Pure-FTPd must gate anonymous uploads")
+	}
+	if !ByKey(KeyIIS75).Quirks.CaseInsensitive || ByKey(KeyIIS75).Quirks.ListStyle != vfs.StyleDOS {
+		t.Error("IIS must be case-insensitive with DOS listings")
+	}
+	if !ByKey(KeyQNAPNAS).Quirks.PASVLeaksInternalIP {
+		t.Error("QNAP NAS should leak internal IPs in PASV")
+	}
+}
+
+func TestRamnitBanner(t *testing.T) {
+	p := ByKey(KeyRamnit)
+	// The full wire banner is "220 220 RMNetwork FTP": the banner text
+	// itself begins with a literal "220".
+	if !strings.HasPrefix(p.Banner, "220 RMNetwork") {
+		t.Errorf("ramnit banner = %q", p.Banner)
+	}
+}
+
+func TestCategoryAndDeviceClassStrings(t *testing.T) {
+	if CategoryGeneric.String() != "Generic Server" ||
+		CategoryHosted.String() != "Hosted Server" ||
+		CategoryEmbedded.String() != "Embedded Server" ||
+		Category(0).String() != "Unknown" {
+		t.Error("category names wrong")
+	}
+	if DeviceNAS.String() != "NAS" || DevicePrinter.String() != "Printer" ||
+		DeviceNone.String() != "None" {
+		t.Error("device class names wrong")
+	}
+}
+
+func TestProviderDeployedFlag(t *testing.T) {
+	for _, key := range []string{KeyFritzBox, KeySpeedport, KeyAXISCamera} {
+		if !ByKey(key).ProviderDeployed {
+			t.Errorf("%s should be provider-deployed", key)
+		}
+	}
+	for _, key := range []string{KeyQNAPNAS, KeyBuffaloNAS, KeyASUSRouter} {
+		if ByKey(key).ProviderDeployed {
+			t.Errorf("%s should not be provider-deployed", key)
+		}
+	}
+}

@@ -1,0 +1,527 @@
+package personality
+
+import "ftpcloud/internal/vfs"
+
+// Profile keys, exported so the world generator and tests reference
+// profiles without string literals.
+const (
+	KeyProFTPD135    = "proftpd-1.3.5"
+	KeyProFTPD134a   = "proftpd-1.3.4a"
+	KeyProFTPD133c   = "proftpd-1.3.3c"
+	KeyProFTPD132    = "proftpd-1.3.2"
+	KeyPureFTPd1036  = "pure-ftpd-1.0.36"
+	KeyPureFTPd1029  = "pure-ftpd-1.0.29"
+	KeyVsftpd302     = "vsftpd-3.0.2"
+	KeyVsftpd235     = "vsftpd-2.3.5"
+	KeyVsftpd232     = "vsftpd-2.3.2"
+	KeyWuFTPd262     = "wu-ftpd-2.6.2"
+	KeyFileZilla0941 = "filezilla-0.9.41"
+	KeyFileZilla0953 = "filezilla-0.9.53"
+	KeyServU64       = "serv-u-6.4"
+	KeyServU15       = "serv-u-15.1"
+	KeyIIS75         = "iis-7.5"
+	KeyGenericUnix   = "generic-unix"
+	KeyRamnit        = "ramnit-backdoor"
+
+	KeyHostedHomePL = "hosted-homepl"
+	KeyHostedCPanel = "hosted-cpanel"
+	KeyHostedPlesk  = "hosted-plesk"
+
+	KeyQNAPNAS        = "qnap-turbo-nas"
+	KeyASUSRouter     = "asus-router"
+	KeySynologyNAS    = "synology-nas"
+	KeyBuffaloNAS     = "buffalo-linkstation"
+	KeyZyXELNAS       = "zyxel-nsa-nas"
+	KeyRicohPrinter   = "ricoh-printer"
+	KeyLaCieNAS       = "lacie-cloudbox"
+	KeyLexmarkPrinter = "lexmark-printer"
+	KeyXeroxPrinter   = "xerox-printer"
+	KeyDellPrinter    = "dell-printer"
+	KeyLinksysRouter  = "linksys-router"
+	KeyLutron         = "lutron-homeworks"
+	KeySeagate        = "seagate-central"
+
+	KeyFritzBox   = "fritzbox-dsl"
+	KeyZyXELDSL   = "zyxel-dsl"
+	KeyAXISCamera = "axis-camera"
+	KeyZTEWiMax   = "zte-wimax"
+	KeySpeedport  = "speedport-dsl"
+	KeyDreambox   = "dreambox-stb"
+	KeyZyXELUSG   = "zyxel-usg"
+	KeyAlcatel    = "alcatel-router"
+	KeyDrayTek    = "draytek-vigor"
+	KeySymonMedia = "symon-media-player"
+	KeyAxentra    = "axentra-hipserv"
+	KeyLGENAS     = "lge-nas"
+	KeyAsusTorNAS = "asustor-nas"
+)
+
+// standardFeatures is the common FEAT body for modern Unix servers.
+func standardFeatures(tls bool) []string {
+	f := []string{"MDTM", "REST STREAM", "SIZE", "UTF8", "EPSV", "PASV"}
+	if tls {
+		f = append(f, "AUTH TLS", "PBSZ", "PROT")
+	}
+	return f
+}
+
+// mlstFeature advertises RFC 3659 machine-readable listings; appended to
+// the FEAT body of implementations modern enough to ship MLSD.
+const mlstFeature = "MLST type*;size*;modify*;UNIX.mode*;UNIX.owner*;"
+
+// withMLST appends the MLST feature line.
+func withMLST(features []string) []string {
+	return append(append([]string(nil), features...), mlstFeature)
+}
+
+var standardHelp = []string{
+	"The following commands are recognized (* =>'s unimplemented):",
+	"USER PASS QUIT PORT PASV TYPE MODE STRU RETR STOR DELE MKD RMD",
+	"PWD CWD CDUP LIST NLST SYST STAT HELP NOOP FEAT SIZE MDTM",
+}
+
+// buildRegistry constructs every profile. Banners and quirks mirror the
+// implementations and devices the paper names; version choices align with
+// the CVE exposure it measures (Table XI).
+func buildRegistry() []*Personality {
+	var list []*Personality
+	add := func(p *Personality) { list = append(list, p) }
+
+	// --- Generic server software -----------------------------------------
+
+	proftpd := func(key, version string, ftps bool) *Personality {
+		features := standardFeatures(ftps)
+		if version >= "1.3.4" {
+			features = withMLST(features)
+		}
+		return &Personality{
+			Key:       key,
+			Software:  "ProFTPD",
+			Version:   version,
+			Banner:    "ProFTPD " + version + " Server (ProFTPD Default Installation) [%IP%]",
+			Features:  features,
+			HelpLines: standardHelp,
+			SiteHelp:  []string{"CHMOD", "HELP"},
+			Reply331:  "Password required for %USER%",
+			Category:  CategoryGeneric,
+			Quirks: Quirks{
+				ValidatePORT: true,
+				SupportsFTPS: ftps,
+				BannerHasIP:  true,
+				ListStyle:    vfs.StyleUnix,
+			},
+		}
+	}
+	add(proftpd(KeyProFTPD135, "1.3.5", true))
+	add(proftpd(KeyProFTPD134a, "1.3.4a", true))
+	add(proftpd(KeyProFTPD133c, "1.3.3c", false))
+	add(proftpd(KeyProFTPD132, "1.3.2", false))
+
+	add(&Personality{
+		Key:      KeyPureFTPd1036,
+		Software: "Pure-FTPd",
+		Version:  "1.0.36",
+		Banner: "---------- Welcome to Pure-FTPd [privsep] [TLS] ----------\n" +
+			"You are user number 1 of 50 allowed.\n" +
+			"This is a private system - No anonymous login",
+		Features:  withMLST(standardFeatures(true)),
+		HelpLines: standardHelp,
+		Reply331:  "User %USER% OK. Password required",
+		Category:  CategoryGeneric,
+		Quirks: Quirks{
+			ValidatePORT:            true,
+			SupportsFTPS:            true,
+			UploadRenameSuffix:      true,
+			AnonUploadNeedsApproval: true,
+			ListStyle:               vfs.StyleUnix,
+		},
+	})
+	add(&Personality{
+		Key:       KeyPureFTPd1029,
+		Software:  "Pure-FTPd",
+		Version:   "1.0.29",
+		Banner:    "Welcome to Pure-FTPd 1.0.29 ----------",
+		Features:  standardFeatures(false),
+		HelpLines: standardHelp,
+		Reply331:  "User %USER% OK. Password required",
+		Category:  CategoryGeneric,
+		Quirks: Quirks{
+			ValidatePORT:            true,
+			UploadRenameSuffix:      true,
+			AnonUploadNeedsApproval: true,
+			ListStyle:               vfs.StyleUnix,
+		},
+	})
+
+	vsftpd := func(key, version string) *Personality {
+		return &Personality{
+			Key:       key,
+			Software:  "vsFTPd",
+			Version:   version,
+			Banner:    "(vsFTPd " + version + ")",
+			Features:  standardFeatures(false),
+			HelpLines: standardHelp,
+			Reply331:  "Please specify the password.",
+			Category:  CategoryGeneric,
+			Quirks:    Quirks{ValidatePORT: true, ListStyle: vfs.StyleUnix},
+		}
+	}
+	add(vsftpd(KeyVsftpd302, "3.0.2"))
+	add(vsftpd(KeyVsftpd235, "2.3.5"))
+	add(vsftpd(KeyVsftpd232, "2.3.2"))
+
+	add(&Personality{
+		Key:       KeyWuFTPd262,
+		Software:  "wu-ftpd",
+		Version:   "2.6.2",
+		Banner:    "%HOST% FTP server (Version wu-2.6.2-5) ready.",
+		HelpLines: standardHelp,
+		Reply331:  "Guest login ok, send your complete e-mail address as password.",
+		Category:  CategoryGeneric,
+		Quirks:    Quirks{ValidatePORT: true, ListStyle: vfs.StyleUnix},
+	})
+
+	filezilla := func(key, version string, validatePORT bool) *Personality {
+		return &Personality{
+			Key:      key,
+			Software: "FileZilla Server",
+			Version:  version,
+			Banner: "-FileZilla Server version " + version + " beta\n" +
+				"-written by Tim Kosse (Tim.Kosse@gmx.de)\n" +
+				"Please visit http://sourceforge.net/projects/filezilla/",
+			Syst:      "UNIX emulated by FileZilla",
+			Features:  withMLST(standardFeatures(true)),
+			HelpLines: standardHelp,
+			Reply331:  "Password required for %USER%",
+			Category:  CategoryGeneric,
+			Quirks: Quirks{
+				// FileZilla failed to validate PORT in every release
+				// from Jan 2003 to May 2015 (§VII.B).
+				ValidatePORT: validatePORT,
+				SupportsFTPS: true,
+				ListStyle:    vfs.StyleUnix,
+			},
+		}
+	}
+	add(filezilla(KeyFileZilla0941, "0.9.41", false))
+	add(filezilla(KeyFileZilla0953, "0.9.53", true))
+
+	servu := func(key, version string) *Personality {
+		return &Personality{
+			Key:       key,
+			Software:  "Serv-U",
+			Version:   version,
+			Banner:    "Serv-U FTP Server v" + version + " ready...",
+			Syst:      "UNIX Type: L8",
+			Features:  standardFeatures(true),
+			HelpLines: standardHelp,
+			Reply331:  "User name okay, need password.",
+			Category:  CategoryGeneric,
+			Quirks:    Quirks{ValidatePORT: true, SupportsFTPS: true, ListStyle: vfs.StyleUnix},
+		}
+	}
+	add(servu(KeyServU64, "6.4"))
+	add(servu(KeyServU15, "15.1"))
+
+	add(&Personality{
+		Key:       KeyIIS75,
+		Software:  "Microsoft FTP Service",
+		Version:   "7.5",
+		Banner:    "Microsoft FTP Service",
+		Syst:      "Windows_NT",
+		Features:  []string{"SIZE", "MDTM", "UTF8"},
+		HelpLines: standardHelp,
+		Reply331:  "Password required for %USER%.",
+		Category:  CategoryGeneric,
+		Quirks: Quirks{
+			ValidatePORT:    true,
+			CaseInsensitive: true,
+			ListStyle:       vfs.StyleDOS,
+		},
+	})
+
+	add(&Personality{
+		Key:       KeyGenericUnix,
+		Software:  "",
+		Version:   "",
+		Banner:    "FTP server ready.",
+		HelpLines: standardHelp,
+		Reply331:  "Password required for %USER%.",
+		Category:  CategoryGeneric,
+		Quirks:    Quirks{ValidatePORT: true, ListStyle: vfs.StyleUnix},
+	})
+
+	// Ramnit victims expose the botnet's characteristic double-220 banner
+	// and never allow anonymous logins (§VI.C).
+	add(&Personality{
+		Key:      KeyRamnit,
+		Software: "RMNetwork",
+		Banner:   "220 RMNetwork FTP",
+		Reply331: "Password required for %USER%.",
+		Category: CategoryGeneric,
+		Quirks:   Quirks{ValidatePORT: false, ListStyle: vfs.StyleUnix},
+	})
+
+	// --- Shared-hosting providers -----------------------------------------
+
+	add(&Personality{
+		Key:       KeyHostedHomePL,
+		Software:  "ProFTPD",
+		Version:   "1.3.4a",
+		Banner:    "home.pl FTP server ready [%HOST%]",
+		Features:  standardFeatures(true),
+		HelpLines: standardHelp,
+		Reply331:  "Password required for %USER%",
+		Category:  CategoryHosted,
+		Quirks: Quirks{
+			// 71.5% of all PORT-validation failures sit in AS12824
+			// home.pl: its default stack does not validate (§VII.B).
+			ValidatePORT: false,
+			SupportsFTPS: true,
+			ListStyle:    vfs.StyleUnix,
+		},
+	})
+	add(&Personality{
+		Key:      KeyHostedCPanel,
+		Software: "Pure-FTPd",
+		Version:  "1.0.36",
+		Banner: "---------- Welcome to Pure-FTPd [privsep] [TLS] ----------\n" +
+			"You are user number 2 of 500 allowed.\n" +
+			"Local time is now 14:02. Server port: 21.",
+		Features:  withMLST(standardFeatures(true)),
+		HelpLines: standardHelp,
+		Reply331:  "User %USER% OK. Password required",
+		Category:  CategoryHosted,
+		Quirks: Quirks{
+			ValidatePORT:            true,
+			SupportsFTPS:            true,
+			UploadRenameSuffix:      true,
+			AnonUploadNeedsApproval: true,
+			ListStyle:               vfs.StyleUnix,
+		},
+	})
+	add(&Personality{
+		Key:       KeyHostedPlesk,
+		Software:  "ProFTPD",
+		Version:   "1.3.5",
+		Banner:    "ProFTPD 1.3.5 Server (Plesk FTP server) [%IP%]",
+		Features:  standardFeatures(true),
+		HelpLines: standardHelp,
+		Reply331:  "Password required for %USER%",
+		Category:  CategoryHosted,
+		Quirks: Quirks{
+			ValidatePORT: true,
+			SupportsFTPS: true,
+			BannerHasIP:  true,
+			ListStyle:    vfs.StyleUnix,
+		},
+	})
+
+	// --- Consumer embedded devices (Table VII) ----------------------------
+
+	add(&Personality{
+		Key:         KeyQNAPNAS,
+		Software:    "ProFTPD",
+		Version:     "1.3.1e",
+		Banner:      "NASFTPD Turbo station 1.3.1e Server (ProFTPD) [%IP%]",
+		Features:    standardFeatures(true),
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceNAS,
+		DeviceModel: "QNAP Turbo NAS",
+		Quirks: Quirks{
+			ValidatePORT:        true,
+			SupportsFTPS:        true,
+			BannerHasIP:         true,
+			PASVLeaksInternalIP: true,
+			ListStyle:           vfs.StyleUnix,
+		},
+	})
+	add(&Personality{
+		Key:         KeyASUSRouter,
+		Software:    "vsFTPd",
+		Version:     "2.0.7",
+		Banner:      "Welcome to ASUS RT-AC66U FTP service.",
+		Features:    standardFeatures(false),
+		HelpLines:   standardHelp,
+		Reply331:    "Please specify the password.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceHomeRouter,
+		DeviceModel: "ASUS wireless routers",
+		Quirks:      Quirks{ValidatePORT: true, ListStyle: vfs.StyleUnix},
+	})
+	add(&Personality{
+		Key:         KeySynologyNAS,
+		Software:    "",
+		Version:     "",
+		Banner:      "Synology DiskStation FTP server ready.",
+		Features:    standardFeatures(true),
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceNAS,
+		DeviceModel: "Synology NAS devices",
+		Quirks: Quirks{
+			ValidatePORT:        true,
+			SupportsFTPS:        true,
+			PASVLeaksInternalIP: true,
+			ListStyle:           vfs.StyleUnix,
+		},
+	})
+	add(&Personality{
+		Key:         KeyBuffaloNAS,
+		Software:    "",
+		Version:     "",
+		Banner:      "LinkStation FTP server ready.",
+		Features:    standardFeatures(false),
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceNAS,
+		DeviceModel: "Buffalo NAS storage",
+		Quirks: Quirks{
+			ValidatePORT:        false,
+			PASVLeaksInternalIP: true,
+			ListStyle:           vfs.StyleUnix,
+		},
+	})
+	add(&Personality{
+		Key:         KeyZyXELNAS,
+		Software:    "",
+		Version:     "",
+		Banner:      "NSA-320 FTP server ready.",
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceNAS,
+		DeviceModel: "ZyXEL/MitraStar NAS",
+		Quirks:      Quirks{ValidatePORT: true, ListStyle: vfs.StyleUnix},
+	})
+	printer := func(key, model, banner string) *Personality {
+		return &Personality{
+			Key:         key,
+			Banner:      banner,
+			HelpLines:   standardHelp,
+			Reply331:    "Password required for %USER%.",
+			Category:    CategoryEmbedded,
+			DeviceClass: DevicePrinter,
+			DeviceModel: model,
+			Quirks:      Quirks{ValidatePORT: true, ListStyle: vfs.StyleUnix},
+		}
+	}
+	add(printer(KeyRicohPrinter, "RICOH Printers", "RICOH Aficio MP C3003 FTP server (RICOH-FTPD) ready."))
+	add(printer(KeyLexmarkPrinter, "Lexmark Printers", "Lexmark MS410dn FTP Server ready."))
+	add(printer(KeyXeroxPrinter, "Xerox Printers", "Xerox WorkCentre 7535 FTP server ready."))
+	add(printer(KeyDellPrinter, "Dell Printers", "Dell Laser MFP 3115cn FTP server ready."))
+	add(&Personality{
+		Key:         KeyLaCieNAS,
+		Banner:      "LaCie CloudBox FTP server ready.",
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceNAS,
+		DeviceModel: "LaCie storage",
+		Quirks:      Quirks{ValidatePORT: true, PASVLeaksInternalIP: true, ListStyle: vfs.StyleUnix},
+	})
+	add(&Personality{
+		Key:         KeyLinksysRouter,
+		Banner:      "Linksys EA6500 FTP server ready.",
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceHomeRouter,
+		DeviceModel: "Linksys Wifi Routers",
+		Quirks:      Quirks{ValidatePORT: true, ListStyle: vfs.StyleUnix},
+	})
+	add(&Personality{
+		Key:         KeyLutron,
+		Banner:      "Lutron HomeWorks Processor FTP server ready.",
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceAutomation,
+		DeviceModel: "Lutron HomeWorks Processor",
+		Quirks:      Quirks{ValidatePORT: true, ListStyle: vfs.StyleUnix},
+	})
+	add(&Personality{
+		Key:         KeySeagate,
+		Banner:      "Seagate Central Shared Storage FTP server ready.",
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceStorage,
+		DeviceModel: "Seagate Storage devices",
+		Quirks:      Quirks{ValidatePORT: true, SupportsFTPS: true, ListStyle: vfs.StyleUnix},
+	})
+
+	// --- Provider-deployed embedded devices (Table V) ----------------------
+
+	providerDev := func(key, model, banner string, class DeviceClass) *Personality {
+		return &Personality{
+			Key:              key,
+			Banner:           banner,
+			HelpLines:        standardHelp,
+			Reply331:         "Password required for %USER%.",
+			Category:         CategoryEmbedded,
+			DeviceClass:      class,
+			DeviceModel:      model,
+			ProviderDeployed: true,
+			Quirks:           Quirks{ValidatePORT: true, ListStyle: vfs.StyleUnix},
+		}
+	}
+	add(providerDev(KeyFritzBox, "FRITZ!Box DSL modem", "FRITZ!Box7490 FTP server ready.", DeviceDSLModem))
+	add(providerDev(KeyZyXELDSL, "ZyXEL DSL Modem", "P-660HN-F1 FTP version 1.0 ready at %HOST%", DeviceDSLModem))
+	add(providerDev(KeyAXISCamera, "AXIS Physical Security Device", "AXIS 221 Network Camera 4.45 (2015) ready.", DeviceCamera))
+	add(providerDev(KeyZTEWiMax, "ZTE WiMax Router", "ZTE WiMax FTP service ready.", DeviceWiMaxRouter))
+	add(providerDev(KeySpeedport, "Speedport DSL Modem", "Speedport W 724V FTP server ready.", DeviceDSLModem))
+	add(providerDev(KeyDreambox, "Dreambox Set-top Box", "Dreambox DM800 FTP server ready.", DeviceSetTopBox))
+	add(providerDev(KeyZyXELUSG, "ZyXEL Unified Security Gateway", "ZyXEL USG-100 FTP server ready.", DeviceSecurityGateway))
+	add(providerDev(KeyAlcatel, "Alcatel Router", "Alcatel-Lucent FTP server ready.", DeviceHomeRouter))
+	add(providerDev(KeyDrayTek, "DrayTek Network Devices", "DrayTek Vigor FTP server ready.", DeviceHomeRouter))
+
+	// --- FTPS-cert-sharing device families (Table XIII) --------------------
+
+	add(&Personality{
+		Key:         KeySymonMedia,
+		Banner:      "Symon Media Player FTP ready.",
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceMediaPlayer,
+		DeviceModel: "Symon Media Player",
+		Quirks:      Quirks{ValidatePORT: true, SupportsFTPS: true, ListStyle: vfs.StyleUnix},
+	})
+	add(&Personality{
+		Key:         KeyAxentra,
+		Banner:      "Axentra HipServ FTP server ready.",
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceNAS,
+		DeviceModel: "Axentra HipServ",
+		Quirks:      Quirks{ValidatePORT: true, SupportsFTPS: true, ListStyle: vfs.StyleUnix},
+	})
+	add(&Personality{
+		Key:         KeyLGENAS,
+		Banner:      "LG Electronics NAS FTP server ready.",
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceNAS,
+		DeviceModel: "LGE NAS",
+		Quirks:      Quirks{ValidatePORT: true, SupportsFTPS: true, ListStyle: vfs.StyleUnix},
+	})
+	add(&Personality{
+		Key:         KeyAsusTorNAS,
+		Banner:      "Welcome to AsusTor FTP service.",
+		HelpLines:   standardHelp,
+		Reply331:    "Password required for %USER%.",
+		Category:    CategoryEmbedded,
+		DeviceClass: DeviceNAS,
+		DeviceModel: "AsusTor NAS",
+		Quirks:      Quirks{ValidatePORT: true, SupportsFTPS: true, ListStyle: vfs.StyleUnix},
+	})
+
+	return list
+}

@@ -1,0 +1,457 @@
+// Package report renders analysis results as aligned text tables and ASCII
+// figures, one renderer per table/figure in the paper. The cmd tools and
+// benchmark harness share these renderers so EXPERIMENTS.md rows come from
+// exactly the code paths under test.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ftpcloud/internal/analysis"
+	"ftpcloud/internal/asdb"
+)
+
+// Table is a minimal aligned-text table builder.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable starts a table with a title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// Row appends one row; values are stringified with %v.
+func (t *Table) Row(values ...any) *Table {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Funnel renders Table I.
+func Funnel(f analysis.Funnel) string {
+	t := NewTable("Table I — General metrics from FTP enumeration", "Metric", "Count", "Percent")
+	t.Row("IPs scanned", commas(int(f.IPsScanned)), "")
+	t.Row("Open port 21", commas(f.OpenPort21), fmt.Sprintf("%.2f%% of scanned", f.PctOpen))
+	t.Row("FTP servers", commas(f.FTPServers), fmt.Sprintf("%.2f%% of open", f.PctFTP))
+	t.Row("Anonymous FTP servers", commas(f.AnonServers), fmt.Sprintf("%.2f%% of FTP", f.PctAnonymous))
+	return t.String()
+}
+
+// Classification renders Table II.
+func Classification(c analysis.Classification) string {
+	t := NewTable("Table II — Breakout of servers in each category",
+		"Classification", "All FTP", "% All", "Anonymous", "% Anon")
+	for _, row := range c.Rows {
+		t.Row(row.Name, commas(row.All), row.PctAll, commas(row.Anon), row.PctAnon)
+	}
+	return t.String()
+}
+
+// ASConcentration renders Table III.
+func ASConcentration(a analysis.ASConcentration) string {
+	t := NewTable("Table III — ASes accounting for 50% of all FTP types",
+		"AS Type", fmt.Sprintf("All FTP (%d)", a.ASesForHalfAll),
+		fmt.Sprintf("Anonymous FTP (%d)", a.ASesForHalfAnon))
+	for _, typ := range []asdb.Type{asdb.TypeHosting, asdb.TypeISP, asdb.TypeAcademic, asdb.TypeOther} {
+		if a.TypeBreakdownAll[typ] == 0 && a.TypeBreakdownAnon[typ] == 0 {
+			continue
+		}
+		t.Row(typ.String(), a.TypeBreakdownAll[typ], a.TypeBreakdownAnon[typ])
+	}
+	return t.String()
+}
+
+// Devices renders Tables IV, V and VII.
+func Devices(d analysis.DeviceBreakdown) string {
+	var b strings.Builder
+	t := NewTable("Table IV — Classes of embedded devices", "Device Type", "All FTP", "Anonymous")
+	for _, row := range d.Classes {
+		t.Row(row.Model, commas(row.Found), commas(row.Anon))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n")
+
+	t = NewTable("Table V — Common provider-deployed devices", "Device", "# Found", "# Anonymous")
+	for _, row := range d.Provider {
+		t.Row(row.Model, commas(row.Found), fmt.Sprintf("%d (%.2f%%)", row.Anon, row.PctAnon))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n")
+
+	t = NewTable("Table VII — Consumer embedded devices", "Device", "# Found", "# Anonymous")
+	for _, row := range d.Consumer {
+		t.Row(row.Model, commas(row.Found), fmt.Sprintf("%d (%.2f%%)", row.Anon, row.PctAnon))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// TopASes renders Table VI.
+func TopASes(rows []analysis.TopAS) string {
+	t := NewTable("Table VI — Top ASes by number of anonymous FTP servers",
+		"AS", "IPs advertised", "FTP servers", "Anonymous FTP")
+	for _, r := range rows {
+		t.Row(fmt.Sprintf("AS%d %s", r.Number, r.Name), commas(int(r.IPsAdvertised)),
+			commas(r.FTPServers), fmt.Sprintf("%s (%.2f%%)", commas(r.AnonServers), r.PctAnon))
+	}
+	return t.String()
+}
+
+// Extensions renders Table VIII.
+func Extensions(e analysis.Exposure, topN int) string {
+	t := NewTable("Table VIII — Most common file extensions across known SOHO devices",
+		"Extension", "# Files", "# Servers")
+	rows := e.Extensions
+	if len(rows) > topN {
+		rows = rows[:topN]
+	}
+	for _, r := range rows {
+		t.Row(r.Ext, commas(r.Files), commas(r.Servers))
+	}
+	return t.String()
+}
+
+// Sensitive renders Table IX.
+func Sensitive(e analysis.Exposure) string {
+	t := NewTable("Table IX — Sensitive exposure via anonymous FTP",
+		"Type", "File", "# Servers", "# Files", "# Readable", "# Non-readable", "# Unk-readable")
+	for _, s := range e.Sensitive {
+		t.Row(s.Type, s.Name, commas(s.Servers), commas(s.Files),
+			commas(s.Readable), commas(s.NonReadable), commas(s.UnkReadable))
+	}
+	return t.String()
+}
+
+// ExposureProse renders §V's prose statistics.
+func ExposureProse(e analysis.Exposure) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section V — Over exposure\n")
+	fmt.Fprintf(&b, "  anonymous servers:       %s\n", commas(e.AnonServers))
+	fmt.Fprintf(&b, "  exposing any data:       %s (%.1f%%)\n", commas(e.ExposingServers),
+		pct(e.ExposingServers, e.AnonServers))
+	fmt.Fprintf(&b, "  robots.txt seen:         %s (exclude-all: %s)\n",
+		commas(e.RobotsSeen), commas(e.RobotsExcludeAll))
+	fmt.Fprintf(&b, "  trees over request cap:  %s\n", commas(e.Truncated))
+	fmt.Fprintf(&b, "  index.html:              %s files on %s servers\n",
+		commas(e.IndexHTMLFiles), commas(e.IndexHTMLServers))
+	fmt.Fprintf(&b, "  photos:                  %s (%s readable) on %s servers\n",
+		commas(e.PhotoFiles), commas(e.PhotoReadable), commas(e.PhotoServers))
+	fmt.Fprintf(&b, "  OS roots:                %s Linux, %s Windows\n",
+		commas(e.OSRootLinux), commas(e.OSRootWindows))
+	fmt.Fprintf(&b, "  .htaccess:               %s files on %s servers\n",
+		commas(e.HtaccessFiles), commas(e.HtaccessServers))
+	fmt.Fprintf(&b, "  scripting source:        %s files on %s servers\n",
+		commas(e.ScriptFiles), commas(e.ScriptServers))
+	return b.String()
+}
+
+// ExposureByDevice renders Table X.
+func ExposureByDevice(x analysis.ExposureByDevice) string {
+	cols := []string{"NAS", "Router", "Other Embedded", "Generic", "Hosting", "Unk"}
+	header := append([]string{"Type of Exposure"}, cols...)
+	t := NewTable("Table X — Breakout of devices exposing user information", header...)
+	order := []string{"Sensitive Documents", "Photo Libraries", "Root File Systems", "Scripting Source", "All"}
+	for _, name := range order {
+		row, ok := x.Rows[name]
+		if !ok {
+			continue
+		}
+		cells := make([]any, 0, len(cols)+1)
+		cells = append(cells, name)
+		for _, c := range cols {
+			cells = append(cells, fmt.Sprintf("%.2f%%", row[c]))
+		}
+		t.Row(cells...)
+	}
+	return t.String()
+}
+
+// CVEs renders Table XI.
+func CVEs(c analysis.CVEExposure) string {
+	t := NewTable("Table XI — Number of servers vulnerable to CVEs",
+		"Implementation", "Vulnerability", "CVSS", "Number IPs")
+	for _, row := range c.Rows {
+		t.Row(row.Implementation, row.ID, fmt.Sprintf("%.1f", row.CVSS), commas(row.IPs))
+	}
+	return t.String() + fmt.Sprintf("Total vulnerable IPs: %s of %s FTP servers\n",
+		commas(c.VulnerableIPs), commas(c.TotalFTP))
+}
+
+// Malicious renders §VI.
+func Malicious(m analysis.Malicious) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section VI — Malicious use\n")
+	fmt.Fprintf(&b, "  world-writable servers:  %s in %s ASes\n", commas(m.WritableServers), commas(m.WritableASes))
+	fmt.Fprintf(&b, "  anon-upload confirmed:   %s (RETR refusal evidence)\n", commas(m.AnonUploadConfirmed))
+	fmt.Fprintf(&b, "  RAT files/servers:       %s / %s\n", commas(m.RATFiles), commas(m.RATServers))
+	fmt.Fprintf(&b, "  DDoS-script servers:     %s\n", commas(m.DDoSServers))
+	fmt.Fprintf(&b, "  Holy Bible SEO servers:  %s (%.2f%% with write evidence)\n",
+		commas(m.HolyBibleServers), m.HolyBiblePctWritable)
+	fmt.Fprintf(&b, "  WaReZ drop servers:      %s\n", commas(m.WaReZServers))
+	fmt.Fprintf(&b, "  Ramnit banners:          %s\n", commas(m.RamnitServers))
+	fmt.Fprintf(&b, "  FTP+HTTP overlap:        %s (%.2f%%), scripting %s (%.2f%%)\n",
+		commas(m.HTTPOverlap), pct(m.HTTPOverlap, m.TotalFTP),
+		commas(m.ScriptingOverlap), pct(m.ScriptingOverlap, m.TotalFTP))
+	t := NewTable("  Campaigns", "Campaign", "Servers", "Files")
+	for _, c := range m.Campaigns {
+		t.Row(c.Name, commas(c.Servers), commas(c.Files))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// PortBounce renders §VII.B.
+func PortBounce(p analysis.PortBounce) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section VII.B — PORT bouncing\n")
+	fmt.Fprintf(&b, "  anonymous servers tested:   %s\n", commas(p.Tested))
+	fmt.Fprintf(&b, "  failed PORT validation:     %s (%.2f%%)\n", commas(p.NotValidated), p.PctNotValidated)
+	fmt.Fprintf(&b, "  share in AS12824 home.pl:   %.1f%%\n", p.HomePLShare)
+	fmt.Fprintf(&b, "  NAT-ed servers (PASV leak): %s, of which %s fail validation\n",
+		commas(p.NATed), commas(p.NATedNotValidated))
+	fmt.Fprintf(&b, "  writable AND unvalidated:   %s\n", commas(p.WritableNotValidated))
+	fmt.Fprintf(&b, "  FileZilla servers seen:     %s\n", commas(p.FileZillaServers))
+	return b.String()
+}
+
+// FTPS renders §IX with Tables XII and XIII.
+func FTPS(f analysis.FTPS) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section IX — FTPS impact\n")
+	fmt.Fprintf(&b, "  support AUTH TLS:        %s (%.2f%% of FTP servers)\n", commas(f.Supported), f.PctSupported)
+	fmt.Fprintf(&b, "  require TLS pre-login:   %s\n", commas(f.RequirePreLogin))
+	fmt.Fprintf(&b, "  unique certificates:     %s across %s FTPS servers\n", commas(f.UniqueCerts), commas(f.Supported))
+	fmt.Fprintf(&b, "  self-signed:             %s (%.2f%%)\n", commas(f.SelfSigned), f.PctSelfSigned)
+	t := NewTable("Table XII — Top most common FTPS certificates",
+		"Certificate CN", "# Servers", "Browser-trusted?")
+	for _, c := range f.TopCerts {
+		trusted := "Yes"
+		if c.SelfSigned {
+			trusted = "No - self-signed"
+		}
+		t.Row(c.CommonName, commas(c.Servers), trusted)
+	}
+	b.WriteString(t.String())
+	t = NewTable("Table XIII — Devices that share FTPS certificates",
+		"Device", "Certificate CN", "# Found")
+	for _, d := range f.DeviceCerts {
+		t.Row(d.Device, d.CommonName, commas(d.Servers))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Figure1 renders the AS-concentration CDF as an ASCII plot with a
+// logarithmic x axis, mirroring the paper's Figure 1.
+func Figure1(a analysis.ASConcentration) string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — Distribution of FTP servers by AS (CDF, log-x)\n")
+	series := []struct {
+		name string
+		cdf  []float64
+	}{
+		{"All FTP Servers", a.CDFAll},
+		{"Anonymous FTP Servers", a.CDFAnon},
+		{"Writable FTP Servers", a.CDFWritable},
+	}
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %-24s", s.name+":")
+		if len(s.cdf) == 0 {
+			b.WriteString(" (no data)\n")
+			continue
+		}
+		// Sample at log-spaced AS ranks.
+		for _, frac := range []float64{0.5} {
+			rank := rankForShare(s.cdf, frac)
+			fmt.Fprintf(&b, " 50%% at %d ASes,", rank)
+		}
+		fmt.Fprintf(&b, " 100%% at %d ASes\n", len(s.cdf))
+	}
+	b.WriteString(plotCDF(series[0].cdf, series[1].cdf, series[2].cdf))
+	return b.String()
+}
+
+// rankForShare finds the first rank whose CDF value reaches the share.
+func rankForShare(cdf []float64, share float64) int {
+	for i, v := range cdf {
+		if v >= share {
+			return i + 1
+		}
+	}
+	return len(cdf)
+}
+
+// plotCDF draws a compact ASCII chart: rows are CDF levels, columns are
+// log-spaced AS ranks; each cell shows which series have crossed.
+func plotCDF(all, anon, writable []float64) string {
+	const width = 48
+	maxRank := len(all)
+	if len(anon) > maxRank {
+		maxRank = len(anon)
+	}
+	if len(writable) > maxRank {
+		maxRank = len(writable)
+	}
+	if maxRank < 2 {
+		return ""
+	}
+	var b strings.Builder
+	ranks := make([]int, width)
+	for i := range ranks {
+		// Log-spaced ranks from 1 to maxRank.
+		ranks[i] = int(math.Round(math.Pow(float64(maxRank), float64(i)/float64(width-1))))
+		if ranks[i] < 1 {
+			ranks[i] = 1
+		}
+	}
+	at := func(cdf []float64, rank int) float64 {
+		if len(cdf) == 0 {
+			return 0
+		}
+		if rank > len(cdf) {
+			rank = len(cdf)
+		}
+		return cdf[rank-1]
+	}
+	for level := 10; level >= 1; level-- {
+		threshold := float64(level) / 10
+		fmt.Fprintf(&b, "  %4.1f |", threshold)
+		for _, rank := range ranks {
+			ch := byte(' ')
+			switch {
+			case at(writable, rank) >= threshold:
+				ch = 'W'
+			case at(anon, rank) >= threshold:
+				ch = 'a'
+			case at(all, rank) >= threshold:
+				ch = '.'
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        1%sASes (log) %d\n", strings.Repeat(" ", width-16), maxRank)
+	fmt.Fprintf(&b, "        legend: . all   a anonymous   W writable\n")
+	return b.String()
+}
+
+// Figure1CSV exports the Figure 1 CDF series as CSV (rank, all, anonymous,
+// writable) for external plotting.
+func Figure1CSV(a analysis.ASConcentration) string {
+	var b strings.Builder
+	b.WriteString("as_rank,cdf_all,cdf_anonymous,cdf_writable\n")
+	maxLen := len(a.CDFAll)
+	if len(a.CDFAnon) > maxLen {
+		maxLen = len(a.CDFAnon)
+	}
+	if len(a.CDFWritable) > maxLen {
+		maxLen = len(a.CDFWritable)
+	}
+	at := func(cdf []float64, i int) float64 {
+		switch {
+		case len(cdf) == 0:
+			return 0
+		case i >= len(cdf):
+			return 1
+		default:
+			return cdf[i]
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		fmt.Fprintf(&b, "%d,%.6f,%.6f,%.6f\n",
+			i+1, at(a.CDFAll, i), at(a.CDFAnon, i), at(a.CDFWritable, i))
+	}
+	return b.String()
+}
+
+// commas formats an integer with thousands separators.
+func commas(n int) string {
+	s := fmt.Sprintf("%d", n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// SortedKeys is a small helper for deterministic map iteration in reports.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

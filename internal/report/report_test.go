@@ -1,0 +1,203 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ftpcloud/internal/analysis"
+	"ftpcloud/internal/asdb"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("Title", "A", "LongHeader")
+	tab.Row("x", 1)
+	tab.Row("longer-cell", 22.5)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines: %q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "Title") {
+		t.Errorf("title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "A") || !strings.Contains(lines[1], "LongHeader") {
+		t.Errorf("header: %q", lines[1])
+	}
+	if !strings.Contains(out, "22.50") {
+		t.Errorf("float formatting: %q", out)
+	}
+}
+
+func TestCommas(t *testing.T) {
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{0, "0"}, {5, "5"}, {999, "999"}, {1000, "1,000"},
+		{13789641, "13,789,641"}, {-4321, "-4,321"},
+	}
+	for _, tt := range tests {
+		if got := commas(tt.n); got != tt.want {
+			t.Errorf("commas(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestFunnelRender(t *testing.T) {
+	out := Funnel(analysis.Funnel{
+		IPsScanned: 1000000, OpenPort21: 5900, FTPServers: 3726, AnonServers: 304,
+		PctOpen: 0.59, PctFTP: 63.15, PctAnonymous: 8.16,
+	})
+	for _, want := range []string{"Table I", "1,000,000", "3,726", "8.16% of FTP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("funnel output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClassificationRender(t *testing.T) {
+	out := Classification(analysis.Classification{
+		Rows: []analysis.CategoryCount{
+			{Name: "Generic Server", All: 100, PctAll: 43.2, Anon: 10, PctAnon: 62.6},
+		},
+		TotalFTP: 231, TotalAnon: 16,
+	})
+	if !strings.Contains(out, "Generic Server") || !strings.Contains(out, "43.20") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestASConcentrationRender(t *testing.T) {
+	out := ASConcentration(analysis.ASConcentration{
+		ASesForHalfAll:  78,
+		ASesForHalfAnon: 42,
+		TypeBreakdownAll: map[asdb.Type]int{
+			asdb.TypeHosting: 50, asdb.TypeISP: 25, asdb.TypeAcademic: 3,
+		},
+		TypeBreakdownAnon: map[asdb.Type]int{
+			asdb.TypeHosting: 29, asdb.TypeISP: 11, asdb.TypeAcademic: 2,
+		},
+	})
+	for _, want := range []string{"All FTP (78)", "Anonymous FTP (42)", "Hosting", "Academic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Render(t *testing.T) {
+	// Concentrated distribution: first AS holds half of everything.
+	cdf := []float64{0.5, 0.65, 0.78, 0.86, 0.92, 0.96, 0.98, 0.99, 0.995, 1.0}
+	out := Figure1(analysis.ASConcentration{
+		CDFAll: cdf, CDFAnon: cdf[:8], CDFWritable: cdf[:4],
+	})
+	for _, want := range []string{"Figure 1", "All FTP Servers", "50% at 1 ASes", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRankForShare(t *testing.T) {
+	cdf := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	if got := rankForShare(cdf, 0.5); got != 3 {
+		t.Errorf("rankForShare = %d", got)
+	}
+	if got := rankForShare(cdf, 1.0); got != 5 {
+		t.Errorf("rankForShare(1.0) = %d", got)
+	}
+	if got := rankForShare(nil, 0.5); got != 0 {
+		t.Errorf("rankForShare(nil) = %d", got)
+	}
+}
+
+func TestRemainingRenderers(t *testing.T) {
+	// Smoke-test every renderer for non-empty, panic-free output.
+	dev := Devices(analysis.DeviceBreakdown{
+		Consumer: []analysis.DeviceCount{{Model: "QNAP Turbo NAS", Found: 57655, Anon: 1637, PctAnon: 2.84}},
+		Provider: []analysis.DeviceCount{{Model: "FRITZ!Box DSL modem", Found: 152520, Anon: 49, PctAnon: 0.03}},
+		Classes:  []analysis.DeviceCount{{Model: "NAS", Found: 198381, Anon: 18116}},
+	})
+	if !strings.Contains(dev, "QNAP") || !strings.Contains(dev, "FRITZ!Box") {
+		t.Errorf("devices:\n%s", dev)
+	}
+	top := TopASes([]analysis.TopAS{{Number: 12824, Name: "home.pl S.A.", FTPServers: 136765, AnonServers: 103175, PctAnon: 75.44}})
+	if !strings.Contains(top, "AS12824") {
+		t.Errorf("top ASes:\n%s", top)
+	}
+	cves := CVEs(analysis.CVEExposure{Rows: []analysis.CVECount{
+		{Implementation: "ProFTPD", ID: "CVE-2015-3306", CVSS: 10, IPs: 300931},
+	}, VulnerableIPs: 1, TotalFTP: 2})
+	if !strings.Contains(cves, "CVE-2015-3306") {
+		t.Errorf("cves:\n%s", cves)
+	}
+	mal := Malicious(analysis.Malicious{WritableServers: 19437, WritableASes: 3425,
+		Campaigns: []analysis.CampaignHit{{Name: "w0000000t write probe", Servers: 5}}})
+	if !strings.Contains(mal, "19,437") || !strings.Contains(mal, "w0000000t") {
+		t.Errorf("malicious:\n%s", mal)
+	}
+	pb := PortBounce(analysis.PortBounce{Tested: 100, NotValidated: 12, PctNotValidated: 12.74})
+	if !strings.Contains(pb, "12.74") {
+		t.Errorf("port bounce:\n%s", pb)
+	}
+	ftps := FTPS(analysis.FTPS{Supported: 3, TopCerts: []analysis.CertCount{
+		{CommonName: "*.home.pl", Servers: 2},
+		{CommonName: "localhost", Servers: 1, SelfSigned: true},
+	}})
+	if !strings.Contains(ftps, "*.home.pl") || !strings.Contains(ftps, "self-signed") {
+		t.Errorf("ftps:\n%s", ftps)
+	}
+	exp := ExposureProse(analysis.Exposure{AnonServers: 10, ExposingServers: 3})
+	if !strings.Contains(exp, "30.0%") {
+		t.Errorf("exposure:\n%s", exp)
+	}
+	sens := Sensitive(analysis.Exposure{Sensitive: []analysis.SensitiveClass{
+		{Type: "Other", Name: ".pst files", Servers: 2419, Files: 12636},
+	}})
+	if !strings.Contains(sens, ".pst files") {
+		t.Errorf("sensitive:\n%s", sens)
+	}
+	ext := Extensions(analysis.Exposure{Extensions: []analysis.ExtensionCount{
+		{Ext: ".jpg", Files: 15962091, Servers: 10187},
+	}}, 10)
+	if !strings.Contains(ext, ".jpg") {
+		t.Errorf("extensions:\n%s", ext)
+	}
+	x := ExposureByDevice(analysis.ExposureByDevice{
+		Rows:   map[string]map[string]float64{"All": {"NAS": 56.05}},
+		Totals: map[string]int{"All": 100},
+	})
+	if !strings.Contains(x, "56.05%") {
+		t.Errorf("exposure by device:\n%s", x)
+	}
+}
+
+func TestFigure1CSV(t *testing.T) {
+	out := Figure1CSV(analysis.ASConcentration{
+		CDFAll:      []float64{0.5, 1.0},
+		CDFAnon:     []float64{0.7},
+		CDFWritable: nil,
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %q", lines)
+	}
+	if lines[0] != "as_rank,cdf_all,cdf_anonymous,cdf_writable" {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,0.500000,0.700000,0.000000") {
+		t.Errorf("row 1: %q", lines[1])
+	}
+	// Shorter series saturate at 1 once exhausted.
+	if !strings.HasPrefix(lines[2], "2,1.000000,1.000000,") {
+		t.Errorf("row 2: %q", lines[2])
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}

@@ -1,0 +1,216 @@
+package robots
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const crawler = "ftp-enumerator"
+
+func TestDisallowAll(t *testing.T) {
+	r := Parse("User-agent: *\nDisallow: /\n")
+	if r.Allowed(crawler, "/") {
+		t.Error("root should be disallowed")
+	}
+	if r.Allowed(crawler, "/pub/file.txt") {
+		t.Error("everything should be disallowed")
+	}
+	if !r.ExcludesAll(crawler) {
+		t.Error("ExcludesAll should be true")
+	}
+}
+
+func TestEmptyAndPermissive(t *testing.T) {
+	for _, content := range []string{
+		"",
+		"# just a comment\n",
+		"User-agent: *\nDisallow:\n", // empty Disallow = allow all
+		"Sitemap: http://x/sitemap.xml\n",
+	} {
+		r := Parse(content)
+		if !r.Allowed(crawler, "/anything") {
+			t.Errorf("content %q should allow", content)
+		}
+		if r.ExcludesAll(crawler) {
+			t.Errorf("content %q should not exclude all", content)
+		}
+	}
+}
+
+func TestPathPrefix(t *testing.T) {
+	r := Parse("User-agent: *\nDisallow: /private\n")
+	if r.Allowed(crawler, "/private") || r.Allowed(crawler, "/private/sub/f.txt") {
+		t.Error("/private subtree should be blocked")
+	}
+	// Prefix semantics: /privateer is also blocked (per spec).
+	if r.Allowed(crawler, "/privateer") {
+		t.Error("prefix match should block /privateer")
+	}
+	if !r.Allowed(crawler, "/public") {
+		t.Error("/public should be allowed")
+	}
+}
+
+func TestAllowOverridesDisallowByLength(t *testing.T) {
+	r := Parse(strings.Join([]string{
+		"User-agent: *",
+		"Disallow: /pub",
+		"Allow: /pub/open",
+	}, "\n"))
+	if r.Allowed(crawler, "/pub/closed") {
+		t.Error("/pub/closed should be blocked")
+	}
+	if !r.Allowed(crawler, "/pub/open/file") {
+		t.Error("longer Allow should win")
+	}
+}
+
+func TestAllowWinsTies(t *testing.T) {
+	r := Parse("User-agent: *\nDisallow: /dir\nAllow: /dir\n")
+	if !r.Allowed(crawler, "/dir/x") {
+		t.Error("equal-length Allow should win the tie")
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	r := Parse("User-agent: *\nDisallow: /*.php\n")
+	if r.Allowed(crawler, "/index.php") {
+		t.Error("*.php should be blocked")
+	}
+	if r.Allowed(crawler, "/a/b/script.php.bak") {
+		t.Error("unanchored pattern blocks longer paths too")
+	}
+	if !r.Allowed(crawler, "/index.html") {
+		t.Error("html should pass")
+	}
+}
+
+func TestDollarAnchor(t *testing.T) {
+	r := Parse("User-agent: *\nDisallow: /*.php$\n")
+	if r.Allowed(crawler, "/index.php") {
+		t.Error("anchored *.php$ should block /index.php")
+	}
+	if !r.Allowed(crawler, "/index.php.bak") {
+		t.Error("anchored pattern should not block longer path")
+	}
+	r2 := Parse("User-agent: *\nDisallow: /tmp*$\n")
+	if r2.Allowed(crawler, "/tmpanything") {
+		t.Error("trailing-star anchored should block")
+	}
+}
+
+func TestAgentSelection(t *testing.T) {
+	content := strings.Join([]string{
+		"User-agent: googlebot",
+		"Disallow: /google-only",
+		"",
+		"User-agent: ftp-enumerator",
+		"Disallow: /enum-only",
+		"",
+		"User-agent: *",
+		"Disallow: /everyone",
+	}, "\n")
+	r := Parse(content)
+	if r.Allowed("ftp-enumerator/1.0", "/enum-only") {
+		t.Error("specific group should apply")
+	}
+	if !r.Allowed("ftp-enumerator/1.0", "/google-only") {
+		t.Error("other bot's group should not apply")
+	}
+	// Per Google spec, only the most specific group applies — the generic
+	// group is ignored once a named group matches.
+	if !r.Allowed("ftp-enumerator/1.0", "/everyone") {
+		t.Error("generic group should be ignored for named agent")
+	}
+	if r.Allowed("randombot", "/everyone") {
+		t.Error("wildcard group should apply to unknown agents")
+	}
+}
+
+func TestMultipleAgentsOneGroup(t *testing.T) {
+	content := strings.Join([]string{
+		"User-agent: alpha",
+		"User-agent: beta",
+		"Disallow: /shared",
+	}, "\n")
+	r := Parse(content)
+	if r.Allowed("alpha", "/shared") || r.Allowed("beta", "/shared/x") {
+		t.Error("both agents should be blocked")
+	}
+	if r.Allowed("gamma", "/shared") == false {
+		t.Error("gamma has no group and should be allowed")
+	}
+}
+
+func TestRulesBeforeAgentApplyToAll(t *testing.T) {
+	r := Parse("Disallow: /orphan\n")
+	if r.Allowed(crawler, "/orphan/x") {
+		t.Error("orphan rules should apply to everyone")
+	}
+}
+
+func TestCommentsAndJunk(t *testing.T) {
+	content := strings.Join([]string{
+		"# preamble",
+		"User-agent: * # inline comment",
+		"Disallow: /secret # hidden",
+		"NotADirective here",
+		"justtext",
+		"Crawl-delay: 10",
+	}, "\n")
+	r := Parse(content)
+	if r.Allowed(crawler, "/secret/f") {
+		t.Error("comment handling broke the Disallow")
+	}
+}
+
+func TestCRLFContent(t *testing.T) {
+	r := Parse("User-agent: *\r\nDisallow: /x\r\n")
+	if r.Allowed(crawler, "/x") {
+		t.Error("CRLF content should parse")
+	}
+}
+
+// Property: for any pattern drawn from realistic shapes, a disallowed path
+// never becomes allowed by appending more path segments (unanchored
+// patterns are prefix-monotone).
+func TestPrefixMonotoneProperty(t *testing.T) {
+	f := func(pick uint8, suffix uint8) bool {
+		patterns := []string{"/a", "/pub", "/private/x", "/*.php", "/a*b"}
+		p := patterns[int(pick)%len(patterns)]
+		r := Parse("User-agent: *\nDisallow: " + p + "\n")
+		base := strings.ReplaceAll(strings.TrimSuffix(p, "$"), "*", "Q")
+		if r.Allowed(crawler, base) {
+			return true // pattern didn't match its own literalization; fine
+		}
+		ext := base + "/more" + strings.Repeat("x", int(suffix)%5)
+		return !r.Allowed(crawler, ext)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWildcardMatchEdges(t *testing.T) {
+	tests := []struct {
+		pattern, path string
+		anchored      bool
+		want          bool
+	}{
+		{"", "/x", false, true},
+		{"/", "/", false, true},
+		{"/a*c", "/abc", false, true},
+		{"/a*c", "/ac", false, true},
+		{"/a*c", "/ab", false, false},
+		{"/a", "/a", true, true},
+		{"/a", "/ab", true, false},
+		{"**", "/anything", false, true},
+	}
+	for _, tt := range tests {
+		if got := wildcardMatch(tt.pattern, tt.path, tt.anchored); got != tt.want {
+			t.Errorf("wildcardMatch(%q,%q,%v) = %v, want %v",
+				tt.pattern, tt.path, tt.anchored, got, tt.want)
+		}
+	}
+}

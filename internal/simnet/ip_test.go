@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIPString(t *testing.T) {
+	tests := []struct {
+		ip   IP
+		want string
+	}{
+		{0, "0.0.0.0"},
+		{IPFromOctets(192, 168, 1, 1), "192.168.1.1"},
+		{IPFromOctets(255, 255, 255, 255), "255.255.255.255"},
+		{IPFromOctets(8, 8, 8, 8), "8.8.8.8"},
+	}
+	for _, tt := range tests {
+		if got := tt.ip.String(); got != tt.want {
+			t.Errorf("IP(%d).String() = %q, want %q", uint32(tt.ip), got, tt.want)
+		}
+	}
+}
+
+func TestParseIPRoundTripProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := IP(v)
+		back, err := ParseIP(ip.String())
+		return err == nil && back == ip
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIPErrors(t *testing.T) {
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3"} {
+		if _, err := ParseIP(bad); err == nil {
+			t.Errorf("ParseIP(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestIPOctets(t *testing.T) {
+	ip := IPFromOctets(10, 20, 30, 40)
+	if o := ip.Octets(); o != [4]byte{10, 20, 30, 40} {
+		t.Errorf("Octets() = %v", o)
+	}
+}
+
+func TestIPPrivate(t *testing.T) {
+	tests := []struct {
+		s    string
+		want bool
+	}{
+		{"10.0.0.1", true},
+		{"10.255.255.255", true},
+		{"172.16.0.1", true},
+		{"172.31.255.1", true},
+		{"172.32.0.1", false},
+		{"172.15.255.1", false},
+		{"192.168.0.1", true},
+		{"192.169.0.1", false},
+		{"8.8.8.8", false},
+		{"11.0.0.1", false},
+	}
+	for _, tt := range tests {
+		if got := MustParseIP(tt.s).Private(); got != tt.want {
+			t.Errorf("%s Private() = %v, want %v", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p, err := ParsePrefix("192.168.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(MustParseIP("192.168.55.1")) {
+		t.Error("should contain 192.168.55.1")
+	}
+	if p.Contains(MustParseIP("192.169.0.1")) {
+		t.Error("should not contain 192.169.0.1")
+	}
+	if p.Size() != 1<<16 {
+		t.Errorf("Size() = %d", p.Size())
+	}
+	all := Prefix{Bits: 0}
+	if !all.Contains(MustParseIP("1.2.3.4")) || all.Size() != 1<<32 {
+		t.Error("/0 should contain everything")
+	}
+	host := Prefix{Base: MustParseIP("1.2.3.4"), Bits: 32}
+	if !host.Contains(MustParseIP("1.2.3.4")) || host.Contains(MustParseIP("1.2.3.5")) || host.Size() != 1 {
+		t.Error("/32 semantics wrong")
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	for _, bad := range []string{"", "1.2.3.4", "1.2.3.4/33", "1.2.3.4/-1", "x/8", "1.2.3.4/y"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	p := Prefix{Base: MustParseIP("10.0.0.0"), Bits: 8}
+	if p.String() != "10.0.0.0/8" {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestAddrParseAndString(t *testing.T) {
+	a, err := ParseAddr("10.1.2.3:2121")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IP != MustParseIP("10.1.2.3") || a.Port != 2121 {
+		t.Errorf("got %+v", a)
+	}
+	if a.String() != "10.1.2.3:2121" {
+		t.Errorf("String() = %q", a.String())
+	}
+	if a.Network() != "sim-tcp" {
+		t.Errorf("Network() = %q", a.Network())
+	}
+	for _, bad := range []string{"", "1.2.3.4", "1.2.3.4:x", "1.2.3.4:70000", "x:21"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", bad)
+		}
+	}
+}

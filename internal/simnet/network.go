@@ -1,0 +1,306 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handler serves one accepted connection on a provider-backed host.
+// Implementations receive the network so they can originate connections of
+// their own (FTP active mode dials the client back; PORT bouncing dials
+// third parties).
+type Handler interface {
+	ServeConn(nw *Network, conn net.Conn)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(nw *Network, conn net.Conn)
+
+// ServeConn implements Handler.
+func (f HandlerFunc) ServeConn(nw *Network, conn net.Conn) { f(nw, conn) }
+
+// Host describes a provider-backed host's listening surface.
+type Host interface {
+	// Listening reports whether the TCP port accepts connections.
+	Listening(port uint16) bool
+	// Handler returns the connection handler for an open port, or nil.
+	Handler(port uint16) Handler
+}
+
+// HostProvider materializes hosts on demand. Lookup must be safe for
+// concurrent use and should be cheap: the scanner calls it for every probed
+// address. Returning nil means no host answers at that address.
+type HostProvider interface {
+	Lookup(ip IP) Host
+}
+
+// Stats counts network-level activity; useful in benches and ablations.
+type Stats struct {
+	Probes      atomic.Uint64 // SYN-probe fast-path checks
+	ProbesOpen  atomic.Uint64 // probes that found an open port
+	Dials       atomic.Uint64 // full connections established
+	DialsFailed atomic.Uint64
+	Accepts     atomic.Uint64 // connections delivered to explicit listeners
+	// HandlerPanics counts provider handlers that crashed; their
+	// connections are reset rather than propagating the panic.
+	HandlerPanics atomic.Uint64
+}
+
+// Network is the simulated Internet: a provider for the ambient host
+// population plus explicitly registered listeners for measurement
+// infrastructure (scan collectors, honeypots).
+type Network struct {
+	mu        sync.RWMutex
+	listeners map[Addr]*Listener
+	provider  HostProvider
+
+	// Latency, when set, returns the connection-setup delay between two
+	// addresses. Zero/nil means instantaneous setup.
+	Latency func(src, dst IP) time.Duration
+	// LossRate is the probability in [0,1) that a SYN probe is dropped;
+	// drops are deterministic per (ip, port, attempt) so runs reproduce.
+	LossRate float64
+	// LossSeed derandomizes packet loss across worlds.
+	LossSeed uint64
+
+	ephemeral sync.Map // IP -> *uint32 ephemeral port counter
+
+	Stats Stats
+}
+
+// NewNetwork builds an empty network backed by an optional provider.
+func NewNetwork(provider HostProvider) *Network {
+	return &Network{
+		listeners: make(map[Addr]*Listener),
+		provider:  provider,
+	}
+}
+
+// SetProvider replaces the ambient host provider.
+func (nw *Network) SetProvider(p HostProvider) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	nw.provider = p
+}
+
+// errRefused mirrors ECONNREFUSED.
+var errRefused = errors.New("simnet: connection refused")
+
+// ErrRefused reports whether err represents a refused connection.
+func ErrRefused(err error) bool { return errors.Is(err, errRefused) }
+
+// Listener is an explicit listening socket, used by measurement
+// infrastructure. It implements net.Listener.
+type Listener struct {
+	nw     *Network
+	addr   Addr
+	accept chan *Conn
+	done   chan struct{}
+	once   sync.Once
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Accept waits for the next inbound connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		l.nw.Stats.Accepts.Add(1)
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close unregisters the listener.
+func (l *Listener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.nw.mu.Lock()
+		delete(l.nw.listeners, l.addr)
+		l.nw.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+// Listen binds an explicit listener. Port 0 picks an ephemeral port.
+func (nw *Network) Listen(ip IP, port uint16) (*Listener, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if port == 0 {
+		for {
+			port = nw.nextEphemeralLocked(ip)
+			if _, taken := nw.listeners[Addr{IP: ip, Port: port}]; !taken {
+				break
+			}
+		}
+	}
+	addr := Addr{IP: ip, Port: port}
+	if _, taken := nw.listeners[addr]; taken {
+		return nil, fmt.Errorf("simnet: address %s already in use", addr)
+	}
+	l := &Listener{
+		nw:     nw,
+		addr:   addr,
+		accept: make(chan *Conn, 16),
+		done:   make(chan struct{}),
+	}
+	nw.listeners[addr] = l
+	return l, nil
+}
+
+func (nw *Network) nextEphemeralLocked(ip IP) uint16 {
+	v, _ := nw.ephemeral.LoadOrStore(ip, new(uint32))
+	ctr := v.(*uint32)
+	// Ephemeral range 32768-60999, Linux-style.
+	n := atomic.AddUint32(ctr, 1)
+	return uint16(32768 + n%28232)
+}
+
+// nextEphemeral assigns a source port for an outbound connection.
+func (nw *Network) nextEphemeral(ip IP) uint16 {
+	v, _ := nw.ephemeral.LoadOrStore(ip, new(uint32))
+	ctr := v.(*uint32)
+	n := atomic.AddUint32(ctr, 1)
+	return uint16(32768 + n%28232)
+}
+
+// Probe is the SYN-scan fast path: it reports whether dst:port would accept
+// a connection, without building one. Deterministic loss is applied so
+// scanners observe realistic miss rates.
+func (nw *Network) Probe(dst IP, port uint16, attempt int) bool {
+	nw.Stats.Probes.Add(1)
+	if nw.LossRate > 0 && nw.dropped(dst, port, attempt) {
+		return false
+	}
+	open := nw.portOpen(dst, port)
+	if open {
+		nw.Stats.ProbesOpen.Add(1)
+	}
+	return open
+}
+
+func (nw *Network) dropped(dst IP, port uint16, attempt int) bool {
+	h := fnv.New64a()
+	var b [16]byte
+	b[0] = byte(dst >> 24)
+	b[1] = byte(dst >> 16)
+	b[2] = byte(dst >> 8)
+	b[3] = byte(dst)
+	b[4] = byte(port >> 8)
+	b[5] = byte(port)
+	b[6] = byte(attempt)
+	b[8] = byte(nw.LossSeed)
+	b[9] = byte(nw.LossSeed >> 8)
+	b[10] = byte(nw.LossSeed >> 16)
+	b[11] = byte(nw.LossSeed >> 24)
+	h.Write(b[:])
+	return float64(h.Sum64()%1_000_000)/1_000_000 < nw.LossRate
+}
+
+func (nw *Network) portOpen(dst IP, port uint16) bool {
+	nw.mu.RLock()
+	_, explicit := nw.listeners[Addr{IP: dst, Port: port}]
+	provider := nw.provider
+	nw.mu.RUnlock()
+	if explicit {
+		return true
+	}
+	if provider == nil {
+		return false
+	}
+	host := provider.Lookup(dst)
+	return host != nil && host.Listening(port)
+}
+
+// DialFrom establishes a connection from src to dst:port. The source port
+// is chosen from the ephemeral range.
+func (nw *Network) DialFrom(src IP, dst IP, port uint16) (net.Conn, error) {
+	if nw.Latency != nil {
+		if d := nw.Latency(src, dst); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	local := Addr{IP: src, Port: nw.nextEphemeral(src)}
+	remote := Addr{IP: dst, Port: port}
+
+	nw.mu.RLock()
+	l, explicit := nw.listeners[remote]
+	provider := nw.provider
+	nw.mu.RUnlock()
+
+	if explicit {
+		clientEnd, serverEnd := NewConnPair(local, remote)
+		select {
+		case l.accept <- serverEnd:
+			nw.Stats.Dials.Add(1)
+			return clientEnd, nil
+		case <-l.done:
+			nw.Stats.DialsFailed.Add(1)
+			return nil, errRefused
+		}
+	}
+
+	if provider != nil {
+		if host := provider.Lookup(dst); host != nil && host.Listening(port) {
+			handler := host.Handler(port)
+			if handler == nil {
+				nw.Stats.DialsFailed.Add(1)
+				return nil, errRefused
+			}
+			clientEnd, serverEnd := NewConnPair(local, remote)
+			nw.Stats.Dials.Add(1)
+			go serveIsolated(nw, handler, serverEnd)
+			return clientEnd, nil
+		}
+	}
+	nw.Stats.DialsFailed.Add(1)
+	return nil, errRefused
+}
+
+// serveIsolated runs a host handler with panic isolation: one misbehaving
+// simulated host must not bring down a million-address census. The panic is
+// recorded and the connection reset, which is how a crashed real server
+// looks from the wire.
+func serveIsolated(nw *Network, handler Handler, conn *Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			nw.Stats.HandlerPanics.Add(1)
+			conn.Close()
+		}
+	}()
+	handler.ServeConn(nw, conn)
+}
+
+// Dial parses an "ip:port" destination and connects from src.
+func (nw *Network) Dial(src IP, dest string) (net.Conn, error) {
+	addr, err := ParseAddr(dest)
+	if err != nil {
+		return nil, err
+	}
+	return nw.DialFrom(src, addr.IP, addr.Port)
+}
+
+// Dialer binds a source address, yielding the net.Dialer-shaped interface
+// the enumerator consumes so it can also run over real TCP.
+type Dialer struct {
+	Net *Network
+	Src IP
+}
+
+// Dial connects to "ip:port"; the network argument is accepted for
+// signature compatibility and must be "tcp" or "sim-tcp".
+func (d Dialer) Dial(network, address string) (net.Conn, error) {
+	if network != "tcp" && network != "sim-tcp" {
+		return nil, fmt.Errorf("simnet: unsupported network %q", network)
+	}
+	return d.Net.Dial(d.Src, address)
+}

@@ -1,0 +1,67 @@
+package simnet
+
+import "sync"
+
+// StaticProvider is a HostProvider backed by an explicit host table. The
+// world generator uses a procedural provider; tests, honeypot deployments,
+// and examples use this one.
+type StaticProvider struct {
+	mu    sync.RWMutex
+	hosts map[IP]*StaticHost
+}
+
+// NewStaticProvider builds an empty provider.
+func NewStaticProvider() *StaticProvider {
+	return &StaticProvider{hosts: make(map[IP]*StaticHost)}
+}
+
+// StaticHost is a host with a fixed set of open ports.
+type StaticHost struct {
+	handlers map[uint16]Handler
+}
+
+// Listening implements Host.
+func (h *StaticHost) Listening(port uint16) bool {
+	_, ok := h.handlers[port]
+	return ok
+}
+
+// Handler implements Host.
+func (h *StaticHost) Handler(port uint16) Handler { return h.handlers[port] }
+
+// Add registers a handler for ip:port, creating the host as needed.
+func (p *StaticProvider) Add(ip IP, port uint16, h Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	host, ok := p.hosts[ip]
+	if !ok {
+		host = &StaticHost{handlers: make(map[uint16]Handler)}
+		p.hosts[ip] = host
+	}
+	host.handlers[port] = h
+}
+
+// Remove drops a host entirely.
+func (p *StaticProvider) Remove(ip IP) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.hosts, ip)
+}
+
+// Lookup implements HostProvider.
+func (p *StaticProvider) Lookup(ip IP) Host {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	host, ok := p.hosts[ip]
+	if !ok {
+		return nil // typed-nil guard: return untyped nil interface
+	}
+	return host
+}
+
+// Len reports the number of registered hosts.
+func (p *StaticProvider) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.hosts)
+}

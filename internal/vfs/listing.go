@@ -1,0 +1,150 @@
+package vfs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ListStyle selects the directory-listing dialect a server emits.
+type ListStyle int
+
+// Listing dialects observed in the wild and handled by the enumerator.
+const (
+	// StyleUnix is the ubiquitous "ls -l" format emitted by ProFTPD,
+	// vsftpd, Pure-FTPd and most embedded Linux devices.
+	StyleUnix ListStyle = iota + 1
+	// StyleDOS is the MS-DOS format emitted by IIS and many Windows
+	// servers; it carries no permission bits, which is why the paper
+	// labels such files "unk-readability".
+	StyleDOS
+)
+
+// String names the style.
+func (s ListStyle) String() string {
+	switch s {
+	case StyleUnix:
+		return "unix"
+	case StyleDOS:
+		return "dos"
+	default:
+		return fmt.Sprintf("ListStyle(%d)", int(s))
+	}
+}
+
+// permString renders "drwxr-xr-x"-style mode text.
+func permString(n *Node) string {
+	var b [10]byte
+	b[0] = '-'
+	if n.IsDir {
+		b[0] = 'd'
+	}
+	if n.LinkTarget != "" {
+		b[0] = 'l'
+	}
+	bits := "rwxrwxrwx"
+	for i := 0; i < 9; i++ {
+		if n.Perm&(1<<(8-i)) != 0 {
+			b[i+1] = bits[i]
+		} else {
+			b[i+1] = '-'
+		}
+	}
+	return string(b[:])
+}
+
+// unixDate renders the ls -l date column: time-of-day for recent files,
+// year for older ones.
+func unixDate(t, now time.Time) string {
+	if t.IsZero() {
+		t = now.Add(-365 * 24 * time.Hour)
+	}
+	if now.Sub(t) < 180*24*time.Hour && now.Sub(t) > -180*24*time.Hour {
+		return t.Format("Jan _2 15:04")
+	}
+	return t.Format("Jan _2  2006")
+}
+
+// FormatUnixLine renders one node as an ls -l line.
+func FormatUnixLine(n *Node, now time.Time) string {
+	links := 1
+	if n.IsDir {
+		links = 2 + n.CountChildren()
+	}
+	size := n.Size
+	if n.IsDir {
+		size = 4096
+	}
+	name := n.Name
+	if n.LinkTarget != "" {
+		name = n.Name + " -> " + n.LinkTarget
+	}
+	return fmt.Sprintf("%s %3d %-8s %-8s %12d %s %s",
+		permString(n), links, n.Owner, n.Group, size, unixDate(n.MTime, now), name)
+}
+
+// FormatDOSLine renders one node as an IIS-style line.
+func FormatDOSLine(n *Node, now time.Time) string {
+	t := n.MTime
+	if t.IsZero() {
+		t = now.Add(-365 * 24 * time.Hour)
+	}
+	stamp := t.Format("01-02-06  03:04PM")
+	if n.IsDir {
+		return fmt.Sprintf("%s       <DIR>          %s", stamp, n.Name)
+	}
+	return fmt.Sprintf("%s %20d %s", stamp, n.Size, n.Name)
+}
+
+// FormatListing renders a full LIST response body for the given entries.
+// Lines are CRLF-terminated as they are on the data channel.
+func FormatListing(entries []*Node, style ListStyle, now time.Time) string {
+	var b strings.Builder
+	for _, n := range entries {
+		switch style {
+		case StyleDOS:
+			b.WriteString(FormatDOSLine(n, now))
+		default:
+			b.WriteString(FormatUnixLine(n, now))
+		}
+		b.WriteString("\r\n")
+	}
+	return b.String()
+}
+
+// FormatMLSDLine renders one node as an RFC 3659 machine-readable listing
+// line: "fact=value;fact=value; name".
+func FormatMLSDLine(n *Node, now time.Time) string {
+	t := n.MTime
+	if t.IsZero() {
+		t = now.Add(-365 * 24 * time.Hour)
+	}
+	typ := "file"
+	size := n.Size
+	if n.IsDir {
+		typ = "dir"
+		size = 4096
+	}
+	return fmt.Sprintf("type=%s;size=%d;modify=%s;UNIX.mode=%04o;UNIX.owner=%s; %s",
+		typ, size, t.UTC().Format("20060102150405"), uint16(n.Perm), n.Owner, n.Name)
+}
+
+// FormatMLSDListing renders a full MLSD response body.
+func FormatMLSDListing(entries []*Node, now time.Time) string {
+	var b strings.Builder
+	for _, n := range entries {
+		b.WriteString(FormatMLSDLine(n, now))
+		b.WriteString("\r\n")
+	}
+	return b.String()
+}
+
+// FormatNameList renders an NLST response body (bare names).
+func FormatNameList(entries []*Node) string {
+	var b strings.Builder
+	for _, n := range entries {
+		b.WriteString(n.Name)
+		b.WriteString("\r\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,224 @@
+package worldgen
+
+import (
+	"fmt"
+	"math"
+
+	"ftpcloud/internal/asdb"
+	"ftpcloud/internal/simnet"
+)
+
+// archetype groups ASes by operator behaviour.
+type archetype int
+
+// AS archetypes.
+const (
+	archHostingNamed archetype = iota + 1
+	archHostingTail
+	archISPNamed
+	archISPEmbedded
+	archISPTail
+	archAcademic
+	archOther
+)
+
+// asProfile is the generator's view of one AS: its address allocation plus
+// the behavioural distribution of the FTP hosts inside it.
+type asProfile struct {
+	AS   *asdb.AS
+	Arch archetype
+	// FTPShare is this AS's fraction of the world's FTP servers.
+	FTPShare float64
+	// AnonRate is the default anonymous-access probability for hosts in
+	// this AS (personalities with their own rates override it).
+	AnonRate float64
+	// Density is the probability that an address in the AS runs FTP.
+	Density float64
+	// Mix is the personality distribution.
+	Mix *personalityMix
+	// CertName names the hosting provider's shared FTPS certificate; ""
+	// means hosts fall back to implementation/device defaults.
+	CertName string
+	// ExpectedFTP is the scaled expected server count (diagnostic).
+	ExpectedFTP float64
+}
+
+// namedAS describes a hand-calibrated AS from the paper's tables.
+type namedAS struct {
+	number   uint32
+	name     string
+	typ      asdb.Type
+	arch     archetype
+	ftpShare float64 // FTP servers / 13.79M (Table VI or Table V derivation)
+	anonRate float64 // anonymous share within the AS
+	density  float64 // FTP servers / advertised IPs
+	mix      *personalityMix
+	certName string
+}
+
+// namedASes reproduces Table VI's top-10 ASes plus the provider-device ISPs
+// behind Table V, with shares and densities derived from published counts.
+func namedASes() []namedAS {
+	return []namedAS{
+		// Table VI top-10 by anonymous servers.
+		{12824, "home.pl S.A.", asdb.TypeHosting, archHostingNamed, 0.009918, 0.7544, 0.6661, mixHomePL, "cert-homepl"},
+		{46606, "Unified Layer", asdb.TypeHosting, archHostingNamed, 0.017874, 0.1796, 0.4769, mixHosting, "cert-bluehost"},
+		{2914, "NTT America, Inc.", asdb.TypeISP, archISPNamed, 0.021644, 0.1208, 0.0379, mixISPGeneric, ""},
+		{20013, "CyrusOne LLC", asdb.TypeHosting, archHostingNamed, 0.004699, 0.4750, 0.5818, mixHosting, "cert-opentransfer"},
+		{40676, "Psychz Networks", asdb.TypeHosting, archHostingNamed, 0.004658, 0.4282, 0.1002, mixHosting, "cert-securesites"},
+		{34011, "domainfactory GmbH", asdb.TypeHosting, archHostingNamed, 0.001534, 0.9019, 0.2264, mixHosting, "cert-ispgateway"},
+		{4134, "Chinanet", asdb.TypeISP, archISPNamed, 0.033676, 0.0409, 0.003845, mixISPGeneric, ""},
+		{18978, "Enzu Inc", asdb.TypeHosting, archHostingNamed, 0.005333, 0.2381, 0.1011, mixHosting, "cert-opentransfer"},
+		{18779, "EGIHosting", asdb.TypeHosting, archHostingNamed, 0.002016, 0.5873, 0.0147, mixHosting, "cert-securesites"},
+		{4766, "Korea Telecom", asdb.TypeISP, archISPNamed, 0.015336, 0.0767, 0.003936, mixISPGeneric, ""},
+
+		// Provider-deployed embedded fleets (Table V). Shares derive from
+		// device counts / 13.79M; anonymous access is essentially absent.
+		{3320, "Deutsche Telekom AG", asdb.TypeISP, archISPEmbedded, 0.014003, 0.0004, 0.012, mixTelekom, ""},
+		{9143, "EuroDSL Networks", asdb.TypeISP, archISPEmbedded, 0.003186, 0.0001, 0.010, mixZyXELISP, ""},
+		{29518, "SecureNet Surveillance", asdb.TypeISP, archISPEmbedded, 0.001543, 0.0029, 0.008, mixAXISISP, ""},
+		{24445, "WiMax Country Carrier", asdb.TypeISP, archISPEmbedded, 0.001098, 0.0001, 0.009, mixZTEISP, ""},
+		{6830, "CableVision Europe", asdb.TypeISP, archISPEmbedded, 0.000949, 0.0001, 0.007, mixCableISP, ""},
+		{5610, "Continental Telco", asdb.TypeISP, archISPEmbedded, 0.001121, 0.0001, 0.008, mixTelcoC, ""},
+	}
+}
+
+// Tail layout constants: shares follow a truncated power law calibrated so
+// the top ~78 ASes hold ~50% of servers (Figure 1, Table III).
+const (
+	tailASCount   = 600
+	tailExponent  = 0.92
+	tailIndexBase = 14.0
+)
+
+// tailHostingCerts rotates shared hosting certificates across tail
+// providers, reproducing Table XII's concentration.
+var tailHostingCerts = []string{
+	"cert-opentransfer", "cert-securesites", "cert-turnkey",
+	"cert-bizmw", "cert-sakura", "cert-opentransfer", "cert-securesites",
+}
+
+// buildASLayout constructs the AS database and per-AS profiles, allocating
+// disjoint prefixes from the base of the scan space.
+func buildASLayout(p Params) (*asdb.DB, []*asProfile, error) {
+	named := namedASes()
+
+	var namedShare float64
+	for _, n := range named {
+		namedShare += n.ftpShare
+	}
+
+	// Normalize the tail power law over the remaining share.
+	tailRaw := make([]float64, tailASCount)
+	var tailSum float64
+	for i := range tailRaw {
+		tailRaw[i] = math.Pow(float64(i)+1+tailIndexBase, -tailExponent)
+		tailSum += tailRaw[i]
+	}
+	remaining := 1.0 - namedShare
+
+	scaledFTPTotal := float64(paperFTPServers) / float64(p.Scale)
+
+	var profiles []*asProfile
+	for _, n := range named {
+		profiles = append(profiles, &asProfile{
+			AS:       &asdb.AS{Number: n.number, Name: n.name, Type: n.typ},
+			Arch:     n.arch,
+			FTPShare: n.ftpShare,
+			AnonRate: n.anonRate,
+			Density:  n.density,
+			Mix:      n.mix,
+			CertName: n.certName,
+		})
+	}
+
+	// Tail composition cycles through archetypes: predominantly hosting
+	// and ISPs (Table III's 50/25/3 split among the top 78), with
+	// academic networks sprinkled in.
+	for i := 0; i < tailASCount; i++ {
+		share := remaining * tailRaw[i] / tailSum
+		prof := &asProfile{FTPShare: share}
+		switch {
+		case i%11 == 7: // academic: ~9% of ASes
+			prof.AS = &asdb.AS{
+				Number: uint32(64000 + i),
+				Name:   fmt.Sprintf("State University Network %d", i),
+				Type:   asdb.TypeAcademic,
+			}
+			prof.Arch = archAcademic
+			prof.AnonRate = 0.12
+			prof.Density = 0.010
+			prof.Mix = mixAcademic
+		case i%3 != 0: // hosting: ~2/3 of the big tail
+			prof.AS = &asdb.AS{
+				Number: uint32(50000 + i),
+				Name:   fmt.Sprintf("Hosting Provider %d", i),
+				Type:   asdb.TypeHosting,
+			}
+			prof.Arch = archHostingTail
+			// Tail providers are far less anonymous-friendly than the
+			// named outliers: the paper attributes 42% of anonymous
+			// servers to hosting overall, most of it in the top ASes.
+			prof.AnonRate = 0.035
+			prof.Density = 0.18
+			prof.Mix = mixHosting
+			prof.CertName = tailHostingCerts[i%len(tailHostingCerts)]
+		default: // ISPs
+			prof.AS = &asdb.AS{
+				Number: uint32(30000 + i),
+				Name:   fmt.Sprintf("Regional ISP %d", i),
+				Type:   asdb.TypeISP,
+			}
+			prof.Arch = archISPTail
+			prof.AnonRate = 0.060
+			prof.Density = 0.0042
+			prof.Mix = mixISPGeneric
+		}
+		profiles = append(profiles, prof)
+	}
+
+	// Allocate disjoint address ranges. Each AS gets one prefix sized to
+	// expected-count/density, rounded up to a power of two; the density
+	// is then recomputed against the allocation so expected counts hold.
+	next := uint64(simnet.MustParseIP("1.0.0.0"))
+	spaceEnd := uint64(simnet.MustParseIP("1.0.0.0")) + p.ScanSpaceSize()
+	for _, prof := range profiles {
+		expected := prof.FTPShare * scaledFTPTotal
+		prof.ExpectedFTP = expected
+		want := expected / prof.Density
+		if want < 8 {
+			want = 8
+		}
+		bits := 32 - int(math.Ceil(math.Log2(want)))
+		if bits < 2 {
+			bits = 2
+		}
+		if bits > 29 {
+			bits = 29
+		}
+		size := uint64(1) << (32 - bits)
+		// Align the base to the prefix size.
+		base := (next + size - 1) &^ (size - 1)
+		if base+size > uint64(1)<<32 {
+			return nil, nil, fmt.Errorf("worldgen: address space exhausted at AS%d", prof.AS.Number)
+		}
+		prof.AS.Prefixes = []simnet.Prefix{{Base: simnet.IP(base), Bits: bits}}
+		prof.Density = expected / float64(size)
+		next = base + size
+	}
+	if next > spaceEnd {
+		// The allocation overflowing the nominal scan space only skews
+		// the funnel's leading row; allow it but keep densities intact.
+		spaceEnd = next
+	}
+
+	ases := make([]*asdb.AS, len(profiles))
+	for i, prof := range profiles {
+		ases[i] = prof.AS
+	}
+	db, err := asdb.NewDB(ases)
+	if err != nil {
+		return nil, nil, fmt.Errorf("worldgen: building AS DB: %w", err)
+	}
+	return db, profiles, nil
+}

@@ -1,0 +1,140 @@
+package worldgen
+
+import (
+	"sort"
+
+	"ftpcloud/internal/simnet"
+)
+
+// AuditSummary is ground truth aggregated over the scan space. It is the
+// generator-side counterpart of what the measurement pipeline must recover;
+// tests and EXPERIMENTS.md compare the two.
+type AuditSummary struct {
+	Scanned    uint64
+	Open       int
+	FTP        int
+	Anonymous  int
+	Writable   int
+	FTPS       int
+	RequireTLS int
+	NAT        int
+	Exposed    int
+	Sensitive  int
+	DeepTrees  int
+	RobotsAll  int
+
+	ByPersonality     map[string]int
+	AnonByPersonality map[string]int
+	FTPByAS           map[uint32]int
+	AnonByAS          map[uint32]int
+	WritableByAS      map[uint32]int
+	CampaignServers   map[string]int
+}
+
+// Audit walks the scan space with the given stride (1 = exhaustive),
+// deriving truth without materializing hosts. Counts are raw (not
+// de-strided); callers comparing against a strided pipeline should stride
+// both sides identically.
+func (w *World) Audit(stride int) AuditSummary {
+	if stride < 1 {
+		stride = 1
+	}
+	s := AuditSummary{
+		ByPersonality:     make(map[string]int),
+		AnonByPersonality: make(map[string]int),
+		FTPByAS:           make(map[uint32]int),
+		AnonByAS:          make(map[uint32]int),
+		WritableByAS:      make(map[uint32]int),
+		CampaignServers:   make(map[string]int),
+	}
+	base := uint64(w.ScanBase)
+	for off := uint64(0); off < w.ScanSize; off += uint64(stride) {
+		ip := simnet.IP(base + off)
+		s.Scanned++
+		t, ok := w.Truth(ip)
+		if !ok {
+			continue
+		}
+		s.Open++
+		if !t.FTP {
+			continue
+		}
+		s.FTP++
+		s.ByPersonality[t.PersonalityKey]++
+		if t.AS != nil {
+			s.FTPByAS[t.AS.Number]++
+		}
+		if t.FTPS {
+			s.FTPS++
+		}
+		if t.RequireTLS {
+			s.RequireTLS++
+		}
+		if !t.Anonymous {
+			continue
+		}
+		s.Anonymous++
+		s.AnonByPersonality[t.PersonalityKey]++
+		if t.AS != nil {
+			s.AnonByAS[t.AS.Number]++
+		}
+		if t.NAT {
+			s.NAT++
+		}
+		if t.Exposed {
+			s.Exposed++
+		}
+		if t.Sensitive {
+			s.Sensitive++
+		}
+		if t.Tree == treeDeep {
+			s.DeepTrees++
+		}
+		if t.Robots == RobotsExcludeAll {
+			s.RobotsAll++
+		}
+		if t.Writable {
+			s.Writable++
+			if t.AS != nil {
+				s.WritableByAS[t.AS.Number]++
+			}
+			for _, c := range t.Campaigns {
+				s.CampaignServers[c]++
+			}
+		}
+	}
+	return s
+}
+
+// ConcentrationCurve returns per-AS counts sorted descending — the basis of
+// the paper's Figure 1 CDF.
+func ConcentrationCurve(byAS map[uint32]int) []int {
+	out := make([]int, 0, len(byAS))
+	for _, n := range byAS {
+		out = append(out, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// ASesForShare returns how many of the largest ASes cover the given share
+// of the total (e.g. 0.5 → the paper's "78 ASes account for 50%").
+func ASesForShare(byAS map[uint32]int, share float64) int {
+	curve := ConcentrationCurve(byAS)
+	var total int
+	for _, n := range curve {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := share * float64(total)
+	var cum float64
+	for i, n := range curve {
+		cum += float64(n)
+		if cum >= target {
+			return i + 1
+		}
+	}
+	return len(curve)
+}

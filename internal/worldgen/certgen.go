@@ -1,0 +1,90 @@
+package worldgen
+
+import (
+	"fmt"
+
+	"ftpcloud/internal/certs"
+	"ftpcloud/internal/personality"
+)
+
+// Named certificates reproducing Table XII (most common FTPS certificates)
+// and Table XIII (device families shipping identical certificates).
+func namedCertSpecs() []certs.Spec {
+	return []certs.Spec{
+		// Hosting wildcard certificates (browser-trusted).
+		{Name: "cert-opentransfer", CommonName: "*.opentransfer.com"},
+		{Name: "cert-securesites", CommonName: "*.securesites.com"},
+		{Name: "cert-homepl", CommonName: "*.home.pl"},
+		{Name: "cert-bluehost", CommonName: "*.bluehost.com"},
+		{Name: "cert-bizmw", CommonName: "*.bizmw.com"},
+		{Name: "cert-turnkey", CommonName: "*.turnkeywebspace.com"},
+		{Name: "cert-sakura", CommonName: "*.sakura.ne.jp"},
+		// Self-signed defaults.
+		{Name: "cert-localhost", CommonName: "localhost", SelfSigned: true},
+		{Name: "cert-servu", CommonName: "ftp.Serv-U.com", SelfSigned: true},
+		{Name: "cert-ispgateway", CommonName: "ispgateway.de", SelfSigned: true},
+		// Device-family certificates (Table XIII).
+		{Name: "cert-qnap1", CommonName: "QNAP NAS", SelfSigned: true},
+		{Name: "cert-qnap2", CommonName: "NAS.qnap.com", SelfSigned: true},
+		{Name: "cert-zyxel", CommonName: "ZyXEL Device", SelfSigned: true},
+		{Name: "cert-buffalo", CommonName: "BUFFALO LinkStation", SelfSigned: true},
+		{Name: "cert-lge", CommonName: "LG Electronics NAS", SelfSigned: true},
+		{Name: "cert-axentra", CommonName: "Axentra HipServ", SelfSigned: true},
+		{Name: "cert-rhinosoft", CommonName: "RhinoSoft Serv-U", SelfSigned: true},
+		{Name: "cert-symon", CommonName: "Symon Media Player", SelfSigned: true},
+		{Name: "cert-asustor", CommonName: "AsusTor NAS", SelfSigned: true},
+		{Name: "cert-synology", CommonName: "synology.com", SelfSigned: true},
+	}
+}
+
+// deviceCertNames maps device personalities to their family certificates.
+var deviceCertNames = map[string]string{
+	personality.KeyQNAPNAS:     "cert-qnap1",
+	personality.KeyZyXELNAS:    "cert-zyxel",
+	personality.KeyZyXELDSL:    "cert-zyxel",
+	personality.KeyZyXELUSG:    "cert-zyxel",
+	personality.KeyBuffaloNAS:  "cert-buffalo",
+	personality.KeyLGENAS:      "cert-lge",
+	personality.KeyAxentra:     "cert-axentra",
+	personality.KeySymonMedia:  "cert-symon",
+	personality.KeyAsusTorNAS:  "cert-asustor",
+	personality.KeySynologyNAS: "cert-synology",
+	personality.KeySeagate:     "cert-qnap2",
+	personality.KeyServU64:     "cert-rhinosoft",
+	personality.KeyServU15:     "cert-servu",
+}
+
+// uniqueCertCount sizes the per-host "unique" certificate pool: the paper
+// found 793K unique certificates across 3.4M FTPS servers; the pool scales
+// with the world but is bounded to keep generation fast.
+func uniqueCertCount(p Params) int {
+	n := paperUniqueCerts / p.Scale
+	if n < 8 {
+		return 8
+	}
+	if n > 384 {
+		return 384
+	}
+	return n
+}
+
+// buildCertPool mints every certificate the world needs.
+func buildCertPool(p Params) (*certs.Pool, []string, error) {
+	specs := namedCertSpecs()
+	unique := uniqueCertCount(p)
+	uniqueNames := make([]string, 0, unique)
+	for i := 0; i < unique; i++ {
+		name := fmt.Sprintf("unique-%03d", i)
+		specs = append(specs, certs.Spec{
+			Name:       name,
+			CommonName: fmt.Sprintf("srv-%03d.example.net", i),
+			SelfSigned: i%2 == 0, // half the ecosystem is self-signed (§IX)
+		})
+		uniqueNames = append(uniqueNames, name)
+	}
+	pool, err := certs.GeneratePool(p.Seed^0xcafe, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pool, uniqueNames, nil
+}

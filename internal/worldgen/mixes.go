@@ -1,0 +1,157 @@
+package worldgen
+
+import (
+	"ftpcloud/internal/personality"
+)
+
+// mixEntry weights one personality within an AS archetype, optionally
+// overriding the AS-level anonymous rate (consumer devices ship with their
+// own defaults — Table VII's per-device anonymous percentages).
+type mixEntry struct {
+	key      string
+	weight   float64
+	anonRate float64 // negative = inherit the AS rate
+}
+
+// personalityMix is a named distribution over personalities.
+type personalityMix struct {
+	entries []mixEntry
+	weights []float64 // cached for pickWeighted
+}
+
+func newMix(entries ...mixEntry) *personalityMix {
+	m := &personalityMix{entries: entries}
+	m.weights = make([]float64, len(entries))
+	for i, e := range entries {
+		if personality.ByKey(e.key) == nil {
+			panic("worldgen: mix references unknown personality " + e.key)
+		}
+		m.weights[i] = e.weight
+	}
+	return m
+}
+
+// pick selects a mix entry by hash.
+func (m *personalityMix) pick(h uint64) mixEntry {
+	i := pickWeighted(h, m.weights)
+	if i < 0 {
+		panic("worldgen: empty personality mix")
+	}
+	return m.entries[i]
+}
+
+// inherit marks entries that use the AS-level anonymous rate.
+const inherit = -1.0
+
+// Per-device anonymous rates from Table VII (consumer) and Table V
+// (provider-deployed, all ≈ zero).
+var (
+	mixHosting = newMix(
+		mixEntry{personality.KeyHostedCPanel, 0.38, inherit},
+		mixEntry{personality.KeyHostedPlesk, 0.20, inherit},
+		mixEntry{personality.KeyProFTPD135, 0.08, inherit},
+		mixEntry{personality.KeyProFTPD134a, 0.04, inherit},
+		mixEntry{personality.KeyProFTPD133c, 0.06, inherit},
+		mixEntry{personality.KeyPureFTPd1036, 0.08, inherit},
+		mixEntry{personality.KeyFileZilla0941, 0.06, inherit},
+		mixEntry{personality.KeyFileZilla0953, 0.03, inherit},
+		mixEntry{personality.KeyIIS75, 0.04, inherit},
+		mixEntry{personality.KeyServU64, 0.015, inherit},
+		mixEntry{personality.KeyServU15, 0.005, inherit},
+		mixEntry{personality.KeyGenericUnix, 0.03, inherit},
+	)
+
+	mixHomePL = newMix(
+		mixEntry{personality.KeyHostedHomePL, 1.0, inherit},
+	)
+
+	// mixISPGeneric models consumer access networks: mostly generic
+	// servers plus the consumer-device population of Table VII. Device
+	// weights are proportional to the paper's device counts relative to
+	// total FTP; devices carry their own anonymous-access rates.
+	mixISPGeneric = newMix(
+		mixEntry{personality.KeyGenericUnix, 0.360, inherit},
+		mixEntry{personality.KeyProFTPD133c, 0.050, inherit},
+		mixEntry{personality.KeyProFTPD132, 0.055, inherit},
+		mixEntry{personality.KeyProFTPD135, 0.045, inherit},
+		mixEntry{personality.KeyVsftpd302, 0.040, inherit},
+		mixEntry{personality.KeyVsftpd235, 0.040, inherit},
+		mixEntry{personality.KeyVsftpd232, 0.024, inherit},
+		mixEntry{personality.KeyWuFTPd262, 0.020, inherit},
+		mixEntry{personality.KeyIIS75, 0.060, inherit},
+		mixEntry{personality.KeyFileZilla0941, 0.035, inherit},
+		mixEntry{personality.KeyFileZilla0953, 0.015, inherit},
+		mixEntry{personality.KeyServU64, 0.024, inherit},
+		mixEntry{personality.KeyServU15, 0.004, inherit},
+		mixEntry{personality.KeyPureFTPd1029, 0.006, inherit},
+		mixEntry{personality.KeyRamnit, 0.0015, 0},
+
+		// Consumer devices (Table VII counts / 13.79M, scaled up ~4.3x
+		// because consumer gear concentrates in ISP space, which is
+		// roughly 23% of the FTP population).
+		mixEntry{personality.KeyQNAPNAS, 0.0360, 0.0284},
+		mixEntry{personality.KeyASUSRouter, 0.0330, 0.1113},
+		mixEntry{personality.KeySynologyNAS, 0.0270, 0.0682},
+		mixEntry{personality.KeyBuffaloNAS, 0.0140, 0.3932},
+		mixEntry{personality.KeyZyXELNAS, 0.0060, 0.0328},
+		mixEntry{personality.KeyRicohPrinter, 0.0054, 0.8747},
+		mixEntry{personality.KeyLaCieNAS, 0.0028, 0.6404},
+		mixEntry{personality.KeyLexmarkPrinter, 0.0024, 0.9969},
+		mixEntry{personality.KeyXeroxPrinter, 0.0020, 0.9284},
+		mixEntry{personality.KeyDellPrinter, 0.0016, 0.9843},
+		mixEntry{personality.KeyLinksysRouter, 0.0014, 0.2872},
+		mixEntry{personality.KeyLutron, 0.0003, 0.9970},
+		mixEntry{personality.KeySeagate, 0.0002, 0.9444},
+
+		// FTPS cert-sharing families (Table XIII).
+		mixEntry{personality.KeyLGENAS, 0.0019, 0.05},
+		mixEntry{personality.KeyAxentra, 0.0009, 0.05},
+		mixEntry{personality.KeySymonMedia, 0.0002, 0.02},
+		mixEntry{personality.KeyAsusTorNAS, 0.0001, 0.05},
+	)
+
+	mixAcademic = newMix(
+		mixEntry{personality.KeyGenericUnix, 0.35, inherit},
+		mixEntry{personality.KeyWuFTPd262, 0.20, inherit},
+		mixEntry{personality.KeyVsftpd235, 0.20, inherit},
+		mixEntry{personality.KeyProFTPD133c, 0.15, inherit},
+		mixEntry{personality.KeyIIS75, 0.10, inherit},
+	)
+)
+
+// providerMix builds a mix for an ISP AS dominated by specific
+// provider-deployed devices; a small remainder is generic servers.
+func providerMix(devices ...mixEntry) *personalityMix {
+	entries := append([]mixEntry{}, devices...)
+	entries = append(entries,
+		mixEntry{personality.KeyGenericUnix, 0.04, inherit},
+		mixEntry{personality.KeyVsftpd235, 0.02, inherit},
+	)
+	return newMix(entries...)
+}
+
+// Provider-deployed device anonymous rates are effectively zero (Table V:
+// 49 of 152,520 FRITZ!Boxes, 58 of 20,002 AXIS devices, 0 elsewhere).
+var (
+	mixTelekom = providerMix(
+		mixEntry{personality.KeyFritzBox, 0.86, 0.0003},
+		mixEntry{personality.KeySpeedport, 0.08, 0.0},
+	)
+	mixZyXELISP = providerMix(
+		mixEntry{personality.KeyZyXELDSL, 0.66, 0.0},
+		mixEntry{personality.KeyZyXELUSG, 0.28, 0.0},
+	)
+	mixAXISISP = providerMix(
+		mixEntry{personality.KeyAXISCamera, 0.94, 0.0029},
+	)
+	mixZTEISP = providerMix(
+		mixEntry{personality.KeyZTEWiMax, 0.94, 0.0},
+	)
+	mixCableISP = providerMix(
+		mixEntry{personality.KeyDreambox, 0.94, 0.0},
+	)
+	mixTelcoC = providerMix(
+		mixEntry{personality.KeyAlcatel, 0.66, 0.0},
+		mixEntry{personality.KeyDrayTek, 0.28, 0.0},
+	)
+)

@@ -1,0 +1,113 @@
+package worldgen
+
+// Params controls world synthesis. The zero value is unusable; start from
+// DefaultParams and override.
+type Params struct {
+	// Seed derandomizes everything in the world.
+	Seed uint64
+	// Scale divides the paper's full-Internet counts. At Scale=2048 the
+	// scanned space is ~1.8M addresses holding ~6.7K FTP servers; tests
+	// use larger scales for speed.
+	Scale int
+
+	// FTPRateOfOpen is the fraction of open-port-21 hosts that speak FTP
+	// (paper: 13.79M of 21.83M = 63.16%). The remainder accept the
+	// connection but send a non-FTP banner.
+	FTPRateOfOpen float64
+
+	// AnonWritableRate is the fraction of anonymous servers that permit
+	// anonymous writes (paper evidence: ≥19.4K of 1.12M ≈ 1.7%; the true
+	// rate is necessarily higher than the evidence-based lower bound).
+	AnonWritableRate float64
+
+	// RobotsRate is the fraction of anonymous servers carrying a
+	// robots.txt (paper: 11.3K of 1.12M ≈ 1%); RobotsExcludeAllRate is
+	// the fraction of those that exclude the entire tree (5.9K of 11.3K).
+	RobotsRate           float64
+	RobotsExcludeAllRate float64
+
+	// ExposureRate is the fraction of anonymous servers whose listings
+	// contain any data at all (paper: 268K of 1.12M = 24%).
+	ExposureRate float64
+
+	// FTPSRate is the probability that an FTPS-capable implementation
+	// has TLS enabled; combined with the capable share of the population
+	// it lands at the paper's 25%-of-all-servers support rate.
+	// FTPSRequireRate is the fraction of FTPS servers requiring TLS
+	// before login (85K of 3.4M = 2.5%); FTPSSelfSignedRate the
+	// fraction using self-signed certificates.
+	FTPSRate           float64
+	FTPSRequireRate    float64
+	FTPSSelfSignedRate float64
+
+	// HTTPOverlapRate is the fraction of FTP hosts also running a web
+	// server (paper/Censys: 65.27%); ScriptingRate the fraction of FTP
+	// hosts whose web server reports PHP/ASP.NET (15.01%).
+	HTTPOverlapRate float64
+	ScriptingRate   float64
+
+	// NATRate is the fraction of anonymous consumer devices behind a NAT
+	// (drives the PASV internal-IP leak; paper: 18.9K anon servers).
+	NATRate float64
+
+	// DeepTreeRate is the fraction of anonymous servers whose accessible
+	// tree needs more than the enumerator's request cap (paper: 26.7K of
+	// 1.12M ≈ 2.4%).
+	DeepTreeRate float64
+}
+
+// DefaultParams returns parameters calibrated to the paper's published
+// aggregates at the given scale.
+func DefaultParams(seed uint64, scale int) Params {
+	if scale < 1 {
+		scale = 1
+	}
+	return Params{
+		Seed:  seed,
+		Scale: scale,
+
+		FTPRateOfOpen:    0.6316,
+		AnonWritableRate: 0.020,
+
+		RobotsRate:           0.010,
+		RobotsExcludeAllRate: 0.52,
+
+		ExposureRate: 0.24,
+
+		FTPSRate:           0.46,
+		FTPSRequireRate:    0.025,
+		FTPSSelfSignedRate: 0.50,
+
+		HTTPOverlapRate: 0.6527,
+		ScriptingRate:   0.1501,
+
+		NATRate: 0.55,
+
+		DeepTreeRate: 0.024,
+	}
+}
+
+// Paper-scale constants used to derive scaled counts.
+const (
+	paperIPsScanned  = 3_684_755_175
+	paperOpenPort21  = 21_832_903
+	paperFTPServers  = 13_789_641
+	paperAnonServers = 1_123_326
+	paperUniqueCerts = 793_000
+)
+
+// scaled divides a paper-scale count by the world scale, keeping at least
+// min when the paper count is nonzero.
+func (p Params) scaled(paperCount int, min int) int {
+	v := paperCount / p.Scale
+	if v < min && paperCount > 0 {
+		return min
+	}
+	return v
+}
+
+// ScanSpaceSize returns the number of addresses the scan must cover to
+// mirror the paper's funnel (Table I).
+func (p Params) ScanSpaceSize() uint64 {
+	return uint64(p.scaled(paperIPsScanned, 4096))
+}

@@ -1,0 +1,109 @@
+package worldgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftpcloud/internal/simnet"
+)
+
+// TestExposureRateParamScales halving ExposureRate should roughly halve the
+// exposed population while leaving the FTP population unchanged.
+func TestExposureRateParamScales(t *testing.T) {
+	base := DefaultParams(42, 4096)
+	low := base
+	low.ExposureRate = base.ExposureRate / 2
+
+	wBase, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wLow, err := New(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBase := wBase.Audit(1)
+	sLow := wLow.Audit(1)
+
+	if sBase.FTP != sLow.FTP {
+		t.Errorf("exposure param changed FTP population: %d vs %d", sBase.FTP, sLow.FTP)
+	}
+	if sBase.Exposed == 0 {
+		t.Fatal("no exposed hosts in base world")
+	}
+	ratio := float64(sLow.Exposed) / float64(sBase.Exposed)
+	if ratio < 0.3 || ratio > 0.8 {
+		t.Errorf("halving ExposureRate gave exposed ratio %.2f (=%d/%d), want ≈0.5",
+			ratio, sLow.Exposed, sBase.Exposed)
+	}
+}
+
+// TestFTPRateOfOpenParam: raising the FTP share of open hosts reduces the
+// non-FTP-open population.
+func TestFTPRateOfOpenParam(t *testing.T) {
+	base := DefaultParams(42, 4096)
+	pure := base
+	pure.FTPRateOfOpen = 0.99
+
+	wBase, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wPure, err := New(pure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sBase := wBase.Audit(1)
+	sPure := wPure.Audit(1)
+
+	nonFTPBase := sBase.Open - sBase.FTP
+	nonFTPPure := sPure.Open - sPure.FTP
+	if nonFTPBase == 0 {
+		t.Fatal("base world has no non-FTP open hosts")
+	}
+	if nonFTPPure >= nonFTPBase/5 {
+		t.Errorf("FTPRateOfOpen=0.99 left %d non-FTP hosts (base %d)", nonFTPPure, nonFTPBase)
+	}
+	// Degenerate values disable the population rather than dividing by
+	// zero.
+	degenerate := base
+	degenerate.FTPRateOfOpen = 0
+	w, err := New(degenerate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := w.nonFTPOpenRate(); rate != 0 {
+		t.Errorf("nonFTPOpenRate with r=0: %v", rate)
+	}
+}
+
+// TestTruthPurityProperty: Truth must be a pure function of (seed, ip)
+// across random addresses — repeated calls agree on every field that
+// matters downstream.
+func TestTruthPurityProperty(t *testing.T) {
+	w := testWorld(t, 32768)
+	base := uint64(w.ScanBase)
+	f := func(off uint32) bool {
+		ip := simnet.IP(base + uint64(off)%w.ScanSize)
+		a, okA := w.Truth(ip)
+		b, okB := w.Truth(ip)
+		if okA != okB {
+			return false
+		}
+		if !okA {
+			return true
+		}
+		return a.FTP == b.FTP &&
+			a.PersonalityKey == b.PersonalityKey &&
+			a.Anonymous == b.Anonymous &&
+			a.Writable == b.Writable &&
+			a.FTPS == b.FTPS &&
+			a.CertName == b.CertName &&
+			a.Tree == b.Tree &&
+			a.Robots == b.Robots &&
+			len(a.Campaigns) == len(b.Campaigns)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,394 @@
+package worldgen
+
+import (
+	"fmt"
+	"time"
+
+	"ftpcloud/internal/vfs"
+)
+
+// treeKind selects the procedural filesystem profile for a host.
+type treeKind int
+
+// Filesystem profiles. Distribution across hosts follows §V of the paper:
+// most anonymous servers expose nothing; hosting servers expose web roots;
+// consumer NAS devices expose personal data; a small fraction expose an
+// OS root.
+const (
+	treeEmpty treeKind = iota
+	treeWebroot
+	treeNASPersonal
+	treePrinterScans
+	treeRouterUSB
+	treeModemConfig
+	treeGenericPub
+	treeOSRootLinux
+	treeOSRootWindows
+	treeDeep
+)
+
+// String names the tree kind.
+func (k treeKind) String() string {
+	switch k {
+	case treeEmpty:
+		return "empty"
+	case treeWebroot:
+		return "webroot"
+	case treeNASPersonal:
+		return "nas-personal"
+	case treePrinterScans:
+		return "printer-scans"
+	case treeRouterUSB:
+		return "router-usb"
+	case treeModemConfig:
+		return "modem-config"
+	case treeGenericPub:
+		return "generic-pub"
+	case treeOSRootLinux:
+		return "os-root-linux"
+	case treeOSRootWindows:
+		return "os-root-windows"
+	case treeDeep:
+		return "deep"
+	default:
+		return "unknown"
+	}
+}
+
+// worldEpoch anchors synthetic file timestamps near the paper's scan window.
+var worldEpoch = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// mtime derives a plausible modification time.
+func mtime(r *rng) time.Time {
+	return worldEpoch.Add(-time.Duration(r.intn(3*365*24)) * time.Hour)
+}
+
+// addFile attaches a synthetic file with content derived from its seed.
+func addFile(r *rng, dir *vfs.Node, name string, perm vfs.Mode, size int64) *vfs.Node {
+	f := vfs.NewFile(name, perm, size)
+	f.Seed = r.next()
+	f.MTime = mtime(r)
+	return dir.Add(f)
+}
+
+func addDir(r *rng, parent *vfs.Node, name string) *vfs.Node {
+	d := vfs.NewDir(name, vfs.Perm755)
+	d.MTime = mtime(r)
+	return parent.Add(d)
+}
+
+// buildTree constructs the filesystem for one host.
+func buildTree(kind treeKind, seed uint64, sensitive bool) *vfs.FS {
+	r := newRNG(seed)
+	root := vfs.NewDir("/", vfs.Perm755)
+	root.MTime = mtime(r)
+	switch kind {
+	case treeWebroot:
+		buildWebroot(r, root)
+	case treeNASPersonal:
+		buildNAS(r, root, sensitive)
+	case treePrinterScans:
+		buildPrinter(r, root)
+	case treeRouterUSB:
+		buildRouterUSB(r, root, sensitive)
+	case treeModemConfig:
+		buildModem(r, root)
+	case treeGenericPub:
+		buildGenericPub(r, root, sensitive)
+	case treeOSRootLinux:
+		buildOSRootLinux(r, root, sensitive)
+	case treeOSRootWindows:
+		buildOSRootWindows(r, root)
+	case treeDeep:
+		buildDeep(r, root)
+	}
+	return vfs.New(root)
+}
+
+// buildWebroot models shared-hosting accounts: web roots with HTML, images,
+// and — on a fraction of hosts — server-side scripting source, .htaccess
+// files, and inline secrets (§V "Scripting Source Code").
+func buildWebroot(r *rng, root *vfs.Node) {
+	webName := []string{"public_html", "htdocs", "www", "wwwroot"}[r.intn(4)]
+	web := addDir(r, root, webName)
+	addFile(r, web, "index.html", vfs.Perm644, int64(r.rangeInt(500, 20_000)))
+	for i, n := 0, r.rangeInt(0, 6); i < n; i++ {
+		addFile(r, web, fmt.Sprintf("page%d.html", i+1), vfs.Perm644, int64(r.rangeInt(1_000, 30_000)))
+	}
+	img := addDir(r, web, "images")
+	for i, n := 0, r.rangeInt(2, 12); i < n; i++ {
+		ext := []string{"jpg", "png", "gif"}[r.intn(3)]
+		addFile(r, img, fmt.Sprintf("img%02d.%s", i+1, ext), vfs.Perm644, int64(r.rangeInt(5_000, 400_000)))
+	}
+	if r.chance(0.30) { // server-side scripting exposed
+		for i, n := 0, r.rangeInt(4, 40); i < n; i++ {
+			name := []string{"index.php", "config.php", "db.php", "functions.php",
+				"admin.php", "login.asp", "main.asp"}[r.intn(7)]
+			if i > 0 {
+				name = fmt.Sprintf("inc%02d_%s", i, name)
+			}
+			addFile(r, web, name, vfs.Perm644, int64(r.rangeInt(500, 40_000)))
+		}
+		if r.chance(0.13) { // .htaccess exposure (§V)
+			addFile(r, web, ".htaccess", vfs.Perm644, int64(r.rangeInt(100, 2_000)))
+			for i, n := 0, r.rangeInt(0, 5); i < n; i++ {
+				sub := addDir(r, web, fmt.Sprintf("app%d", i+1))
+				addFile(r, sub, ".htaccess", vfs.Perm644, int64(r.rangeInt(100, 1_000)))
+				addFile(r, sub, "settings.php", vfs.Perm644, int64(r.rangeInt(500, 5_000)))
+			}
+		}
+	}
+	if r.chance(0.2) {
+		logs := addDir(r, root, "logs")
+		addFile(r, logs, "access.log", vfs.Perm644, int64(r.rangeInt(10_000, 4_000_000)))
+	}
+	if webName != "www" && r.chance(0.25) {
+		// The classic web-root convenience symlink.
+		link := vfs.NewSymlink("www", webName)
+		link.MTime = mtime(r)
+		root.Add(link)
+	}
+}
+
+// photoDirNames mirror the personal-event organization the paper describes.
+var photoDirNames = []string{
+	"Wedding 2014", "Family Reunion", "Vacation 2013", "Birthday Party",
+	"Summer Trip", "Christmas", "Graduation", "New Baby", "Camping 2012",
+}
+
+// buildNAS models consumer NAS devices: personal media libraries plus, when
+// sensitive, the document classes of Table IX.
+func buildNAS(r *rng, root *vfs.Node, sensitive bool) {
+	photos := addDir(r, root, "Photos")
+	for d, nd := 0, r.rangeInt(1, 4); d < nd; d++ {
+		event := addDir(r, photos, photoDirNames[r.intn(len(photoDirNames))]+fmt.Sprintf(" %d", d+1))
+		for i, n := 0, r.rangeInt(15, 80); i < n; i++ {
+			addFile(r, event, fmt.Sprintf("DSC_%04d.JPG", r.rangeInt(1, 9999)),
+				vfs.Perm644, int64(r.rangeInt(800_000, 6_000_000)))
+		}
+	}
+	if r.chance(0.55) {
+		music := addDir(r, root, "Music")
+		for i, n := 0, r.rangeInt(8, 40); i < n; i++ {
+			addFile(r, music, fmt.Sprintf("Track %02d.mp3", i+1),
+				vfs.Perm644, int64(r.rangeInt(2_000_000, 12_000_000)))
+		}
+	}
+	if r.chance(0.45) {
+		videos := addDir(r, root, "Videos")
+		for i, n := 0, r.rangeInt(2, 12); i < n; i++ {
+			ext := []string{"avi", "mp4", "mkv"}[r.intn(3)]
+			addFile(r, videos, fmt.Sprintf("movie_%02d.%s", i+1, ext),
+				vfs.Perm644, int64(r.rangeInt(100_000_000, 900_000_000)))
+		}
+	}
+	docs := addDir(r, root, "Documents")
+	for i, n := 0, r.rangeInt(2, 15); i < n; i++ {
+		ext := []string{"doc", "pdf", "xls", "docx", "txt"}[r.intn(5)]
+		addFile(r, docs, fmt.Sprintf("document_%02d.%s", i+1, ext),
+			vfs.Perm644, int64(r.rangeInt(10_000, 2_000_000)))
+	}
+	if sensitive {
+		addSensitiveDocs(r, docs)
+	}
+}
+
+// addSensitiveDocs plants the Table IX document classes. Relative
+// per-class probabilities and multiplicities follow the paper's server and
+// file counts; permission bits follow its readability split (SSH host keys
+// and shadow files are mostly mode 600; tax exports and mailboxes are
+// mostly world-readable).
+func addSensitiveDocs(r *rng, docs *vfs.Node) {
+	if r.chance(0.42) { // .pst mailboxes: the most common class
+		n := r.rangeInt(1, 10)
+		if r.chance(0.02) {
+			n = r.rangeInt(100, 700) // company-wide backup outlier (§V)
+		}
+		backup := addDir(r, docs, "Outlook Backup")
+		for i := 0; i < n; i++ {
+			perm := vfs.Perm644
+			if r.chance(0.13) {
+				perm = vfs.Perm600
+			}
+			addFile(r, backup, fmt.Sprintf("mailbox_%03d.pst", i+1), perm,
+				int64(r.rangeInt(5_000_000, 300_000_000)))
+		}
+	}
+	if r.chance(0.22) { // email archives
+		for i, n := 0, r.rangeInt(1, 6); i < n; i++ {
+			addFile(r, docs, fmt.Sprintf("mail-archive-%d.mbox", 2010+i), vfs.Perm644,
+				int64(r.rangeInt(1_000_000, 80_000_000)))
+		}
+	}
+	if r.chance(0.16) { // TurboTax exports
+		tax := addDir(r, docs, "Taxes")
+		for i, n := 0, r.rangeInt(2, 30); i < n; i++ {
+			addFile(r, tax, fmt.Sprintf("TurboTax-Export-%d.txf", 2001+i%14), vfs.Perm644,
+				int64(r.rangeInt(10_000, 500_000)))
+		}
+	}
+	if r.chance(0.15) { // Quicken data
+		fin := addDir(r, docs, "Finances")
+		for i, n := 0, r.rangeInt(2, 30); i < n; i++ {
+			addFile(r, fin, fmt.Sprintf("quicken-%d.qdf", 2002+i%13), vfs.Perm644,
+				int64(r.rangeInt(100_000, 5_000_000)))
+		}
+	}
+	if r.chance(0.14) { // SSH host keys: mostly NOT world-readable
+		ssh := addDir(r, docs, "ssh-backup")
+		for i, n := 0, r.rangeInt(1, 3); i < n; i++ {
+			perm := vfs.Perm600
+			if r.chance(0.09) {
+				perm = vfs.Perm644
+			}
+			addFile(r, ssh, fmt.Sprintf("ssh_host_rsa_key.%d", i), perm, 1679)
+			addFile(r, ssh, fmt.Sprintf("ssh_host_rsa_key.%d.pub", i), vfs.Perm644, 400)
+		}
+	}
+	if r.chance(0.11) { // private .pem files: mostly world-readable
+		certs := addDir(r, docs, "certs")
+		for i, n := 0, r.rangeInt(1, 3); i < n; i++ {
+			perm := vfs.Perm644
+			if r.chance(0.04) {
+				perm = vfs.Perm600
+			}
+			addFile(r, certs, fmt.Sprintf("server%d-priv.pem", i+1), perm, 1704)
+		}
+	}
+	if r.chance(0.10) { // shadow files: ~1/3 readable
+		perm := vfs.Perm600
+		if r.chance(0.33) {
+			perm = vfs.Perm644
+		}
+		n := 1
+		if r.chance(0.02) {
+			n = r.rangeInt(50, 150) // the 146-shadow-file outlier
+		}
+		sys := addDir(r, docs, "system-backup")
+		for i := 0; i < n; i++ {
+			name := "shadow"
+			if i > 0 {
+				name = fmt.Sprintf("shadow.%d", i)
+			}
+			addFile(r, sys, name, perm, 718)
+		}
+	}
+	if r.chance(0.08) { // KeePass databases
+		for i, n := 0, r.rangeInt(1, 15); i < n; i++ {
+			addFile(r, docs, fmt.Sprintf("passwords-%d.kdbx", i+1), vfs.Perm644,
+				int64(r.rangeInt(2_000, 200_000)))
+		}
+	}
+	if r.chance(0.03) { // PuTTY client keys
+		for i, n := 0, r.rangeInt(1, 3); i < n; i++ {
+			addFile(r, docs, fmt.Sprintf("putty-key-%d.ppk", i+1), vfs.Perm644, 1460)
+		}
+	}
+	if r.chance(0.005) { // 1Password keychains (rarest class)
+		addFile(r, docs, "1Password.agilekeychain", vfs.Perm644, int64(r.rangeInt(50_000, 400_000)))
+	}
+}
+
+// buildPrinter models office printers exposing their scan spool.
+func buildPrinter(r *rng, root *vfs.Node) {
+	scans := addDir(r, root, "scans")
+	for i, n := 0, r.rangeInt(2, 25); i < n; i++ {
+		addFile(r, scans, fmt.Sprintf("scan%04d.pdf", i+1), vfs.Perm644,
+			int64(r.rangeInt(50_000, 3_000_000)))
+	}
+	if r.chance(0.4) {
+		cfg := addDir(r, root, "config")
+		addFile(r, cfg, "address-book.csv", vfs.Perm644, int64(r.rangeInt(500, 40_000)))
+	}
+}
+
+// buildRouterUSB models smart routers exposing an attached USB disk.
+func buildRouterUSB(r *rng, root *vfs.Node, sensitive bool) {
+	usb := addDir(r, root, []string{"sda1", "USB_Storage", "usbdisk"}[r.intn(3)])
+	for i, n := 0, r.rangeInt(3, 20); i < n; i++ {
+		ext := []string{"jpg", "mp3", "mp4", "avi", "doc", "zip", "pdf"}[r.intn(7)]
+		addFile(r, usb, fmt.Sprintf("file_%02d.%s", i+1, ext),
+			vfs.Perm644, int64(r.rangeInt(10_000, 50_000_000)))
+	}
+	if sensitive {
+		docs := addDir(r, usb, "backup")
+		addSensitiveDocs(r, docs)
+	}
+}
+
+// buildModem models provider-deployed gear with almost nothing exposed.
+func buildModem(r *rng, root *vfs.Node) {
+	if r.chance(0.3) {
+		cfg := addDir(r, root, "config")
+		addFile(r, cfg, "device.cfg", vfs.Perm600, int64(r.rangeInt(500, 5_000)))
+	}
+}
+
+// buildGenericPub models classic anonymous FTP mirrors and drop boxes.
+func buildGenericPub(r *rng, root *vfs.Node, sensitive bool) {
+	pub := addDir(r, root, "pub")
+	for i, n := 0, r.rangeInt(2, 18); i < n; i++ {
+		ext := []string{"zip", "tar.gz", "iso", "pdf", "txt", "html"}[r.intn(6)]
+		addFile(r, pub, fmt.Sprintf("release-%d.%s", i+1, ext),
+			vfs.Perm644, int64(r.rangeInt(10_000, 700_000_000)))
+	}
+	addFile(r, pub, "README", vfs.Perm644, int64(r.rangeInt(200, 4_000)))
+	if r.chance(0.5) {
+		addDir(r, root, "incoming")
+	}
+	if sensitive {
+		docs := addDir(r, root, "private")
+		addSensitiveDocs(r, docs)
+	}
+}
+
+// buildOSRootLinux models servers exposing their whole filesystem (§V
+// "Root File Systems Exposed"): the marker directories the paper greps for
+// plus representative content.
+func buildOSRootLinux(r *rng, root *vfs.Node, sensitive bool) {
+	for _, name := range []string{"bin", "var", "boot", "usr", "home", "tmp"} {
+		addDir(r, root, name)
+	}
+	etc := addDir(r, root, "etc")
+	addFile(r, etc, "passwd", vfs.Perm644, int64(r.rangeInt(800, 4_000)))
+	perm := vfs.Perm600
+	if r.chance(0.33) {
+		perm = vfs.Perm644
+	}
+	addFile(r, etc, "shadow", perm, 718)
+	addFile(r, etc, "hosts", vfs.Perm644, 220)
+	sshDir := addDir(r, etc, "ssh")
+	addFile(r, sshDir, "ssh_host_rsa_key", vfs.Perm600, 1679)
+	addFile(r, sshDir, "ssh_host_rsa_key.pub", vfs.Perm644, 400)
+	home := root.Child("home")
+	user := addDir(r, home, "user")
+	if sensitive {
+		addSensitiveDocs(r, user)
+	}
+}
+
+// buildOSRootWindows models exposed Windows system drives.
+func buildOSRootWindows(r *rng, root *vfs.Node) {
+	for _, name := range []string{"Windows", "Program Files", "Users"} {
+		addDir(r, root, name)
+	}
+	if r.chance(0.4) {
+		addDir(r, root, "Documents and Settings")
+	}
+	users := root.Child("Users")
+	u := addDir(r, users, "Owner")
+	docs := addDir(r, u, "Documents")
+	addFile(r, docs, "budget.xls", vfs.Perm644, int64(r.rangeInt(20_000, 400_000)))
+}
+
+// buildDeep constructs a tree whose traversal exceeds the enumerator's
+// request cap (paper: 26.7K servers needed >500 requests).
+func buildDeep(r *rng, root *vfs.Node) {
+	for i := 0; i < 30; i++ {
+		branch := addDir(r, root, fmt.Sprintf("archive-%02d", i))
+		for j := 0; j < 20; j++ {
+			leaf := addDir(r, branch, fmt.Sprintf("batch-%02d", j))
+			addFile(r, leaf, "data.bin", vfs.Perm644, int64(r.rangeInt(1_000, 100_000)))
+		}
+	}
+}

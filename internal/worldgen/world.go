@@ -1,0 +1,356 @@
+package worldgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ftpcloud/internal/asdb"
+	"ftpcloud/internal/certs"
+	"ftpcloud/internal/personality"
+	"ftpcloud/internal/simnet"
+)
+
+// World is the synthesized FTP ecosystem. It implements simnet.HostProvider:
+// the scanner probes addresses, and hosts materialize on first contact.
+type World struct {
+	Params Params
+	ASDB   *asdb.DB
+	Certs  *certs.Pool
+
+	profiles    []*asProfile
+	profileByAS map[*asdb.AS]*asProfile
+	uniqueCerts []string
+
+	// ScanBase/ScanSize delimit the address range a full census scans.
+	ScanBase simnet.IP
+	ScanSize uint64
+
+	mu    sync.Mutex
+	hosts map[simnet.IP]*hostEntry
+}
+
+// New synthesizes a world from parameters.
+func New(p Params) (*World, error) {
+	if p.Scale < 1 {
+		return nil, fmt.Errorf("worldgen: scale must be >= 1, got %d", p.Scale)
+	}
+	db, profiles, err := buildASLayout(p)
+	if err != nil {
+		return nil, err
+	}
+	pool, uniqueNames, err := buildCertPool(p)
+	if err != nil {
+		return nil, err
+	}
+	byAS := make(map[*asdb.AS]*asProfile, len(profiles))
+	for _, prof := range profiles {
+		byAS[prof.AS] = prof
+	}
+	return &World{
+		Params:      p,
+		ASDB:        db,
+		Certs:       pool,
+		profiles:    profiles,
+		profileByAS: byAS,
+		uniqueCerts: uniqueNames,
+		ScanBase:    simnet.MustParseIP("1.0.0.0"),
+		ScanSize:    p.ScanSpaceSize(),
+		hosts:       make(map[simnet.IP]*hostEntry),
+	}, nil
+}
+
+// profileFor maps an IP to its AS profile, or nil.
+func (w *World) profileFor(ip simnet.IP) *asProfile {
+	as, ok := w.ASDB.Lookup(ip)
+	if !ok {
+		return nil
+	}
+	return w.profileByAS[as]
+}
+
+// Profiles returns the per-AS generation profiles (read-only).
+func (w *World) Profiles() []*asProfile { return w.profiles }
+
+// Derivation salts: each per-host decision draws from an independent stream.
+const (
+	saltFTP = iota + 1
+	saltNonFTP
+	saltPers
+	saltAnon
+	saltWritable
+	saltFTPS
+	saltCert
+	saltTLSReq
+	saltNAT
+	saltTree
+	saltExposed
+	saltSensitive
+	saltRobots
+	saltHTTP
+	saltScript
+	saltCampaign
+	saltDeep
+	saltLimit
+	saltInternal
+	saltTreeSeed
+	saltOSRoot
+)
+
+// nonFTPOpenRate derives the global density of hosts that accept TCP/21
+// without speaking FTP from the configured FTP-of-open rate: with r =
+// FTPRateOfOpen, non-FTP open hosts are FTP·(1−r)/r spread over the scan
+// space (paper: 21.8M open − 13.8M FTP over 3.68B scanned).
+func (w *World) nonFTPOpenRate() float64 {
+	r := w.Params.FTPRateOfOpen
+	if r <= 0 || r >= 1 {
+		return 0
+	}
+	return float64(paperFTPServers) * (1 - r) / r / float64(paperIPsScanned)
+}
+
+// RobotsMode describes a host's robots.txt posture.
+type RobotsMode int
+
+// Robots postures.
+const (
+	RobotsNone RobotsMode = iota
+	RobotsPartial
+	RobotsExcludeAll
+)
+
+// HostTruth is the generator's ground truth for one address — everything
+// decidable without building the filesystem. The analysis pipeline never
+// sees this; tests compare pipeline output against it.
+type HostTruth struct {
+	IP             simnet.IP
+	FTP            bool
+	NonFTPOpen     bool
+	AS             *asdb.AS
+	PersonalityKey string
+	Anonymous      bool
+	Writable       bool
+	FTPS           bool
+	RequireTLS     bool
+	CertName       string
+	NAT            bool
+	InternalIP     simnet.IP
+	Exposed        bool
+	Tree           treeKind
+	Sensitive      bool
+	Robots         RobotsMode
+	HTTP           bool
+	Scripting      bool
+	Campaigns      []string
+	RequestLimit   int
+	HostName       string
+}
+
+// LatencyModel returns a deterministic per-pair connection-setup latency
+// function: 5–150ms derived from both endpoints, so repeated connections
+// between the same hosts observe stable RTTs. Plug into
+// simnet.Network.Latency for wall-clock-realistic runs.
+func (w *World) LatencyModel() func(src, dst simnet.IP) time.Duration {
+	seed := w.Params.Seed
+	return func(src, dst simnet.IP) time.Duration {
+		h := splitmix64(derive(seed, uint32(src), 0x17a7e9c) ^ uint64(uint32(dst)))
+		return 5*time.Millisecond + time.Duration(h%145)*time.Millisecond
+	}
+}
+
+// Truth derives the ground truth for an address. It is a pure function of
+// (seed, ip): no allocation is cached.
+func (w *World) Truth(ip simnet.IP) (HostTruth, bool) {
+	t := HostTruth{IP: ip}
+	prof := w.profileFor(ip)
+	seed := w.Params.Seed
+	u := uint32(ip)
+
+	if prof == nil || !chance(derive(seed, u, saltFTP), prof.Density) {
+		if chance(derive(seed, u, saltNonFTP), w.nonFTPOpenRate()) {
+			t.NonFTPOpen = true
+			if prof != nil {
+				t.AS = prof.AS
+			}
+			return t, true
+		}
+		return HostTruth{}, false
+	}
+
+	t.FTP = true
+	t.AS = prof.AS
+	t.HostName = fmt.Sprintf("h%08x.example.net", u)
+
+	entry := prof.Mix.pick(derive(seed, u, saltPers))
+	t.PersonalityKey = entry.key
+	pers := personality.ByKey(entry.key)
+
+	anonRate := prof.AnonRate
+	if entry.anonRate >= 0 {
+		anonRate = entry.anonRate
+	}
+	t.Anonymous = chance(derive(seed, u, saltAnon), anonRate)
+
+	// FTPS: implementation must support it and the operator must have
+	// enabled it.
+	if pers.Quirks.SupportsFTPS && chance(derive(seed, u, saltFTPS), w.Params.FTPSRate) {
+		t.FTPS = true
+		t.CertName = w.certNameFor(prof, pers, u)
+		t.RequireTLS = chance(derive(seed, u, saltTLSReq), w.Params.FTPSRequireRate)
+	}
+
+	// NAT posture applies to consumer devices with the leak quirk.
+	if pers.Quirks.PASVLeaksInternalIP && chance(derive(seed, u, saltNAT), w.Params.NATRate) {
+		t.NAT = true
+		h := derive(seed, u, saltInternal)
+		t.InternalIP = simnet.IPFromOctets(192, 168, byte(h%5), byte(1+h/7%250))
+	}
+
+	t.HTTP = chance(derive(seed, u, saltHTTP), w.Params.HTTPOverlapRate)
+	if t.HTTP {
+		t.Scripting = chance(derive(seed, u, saltScript), w.Params.ScriptingRate/w.Params.HTTPOverlapRate)
+	}
+
+	if !t.Anonymous {
+		return t, true
+	}
+
+	// The remaining attributes only matter for anonymously visible hosts.
+	// Per-class exposure rates are calibrated for the default 24%
+	// aggregate; the parameter scales them proportionally.
+	t.Exposed = chance(derive(seed, u, saltExposed), exposureRate(pers)*w.Params.ExposureRate/0.24)
+	t.Writable = chance(derive(seed, u, saltWritable), writableRate(pers, w.Params.AnonWritableRate))
+	if t.Writable {
+		t.Exposed = true
+		t.Campaigns = pickCampaigns(derive(seed, u, saltCampaign))
+	}
+	t.Tree = chooseTree(pers, t.Exposed, derive(seed, u, saltTree), derive(seed, u, saltOSRoot))
+	if t.Exposed && chance(derive(seed, u, saltDeep), w.Params.DeepTreeRate) {
+		t.Tree = treeDeep
+	}
+	t.Sensitive = t.Exposed && chance(derive(seed, u, saltSensitive), sensitiveRate(pers))
+	if chance(derive(seed, u, saltRobots), w.Params.RobotsRate) {
+		if chance(derive(seed, u, saltRobots+100), w.Params.RobotsExcludeAllRate) {
+			t.Robots = RobotsExcludeAll
+		} else {
+			t.Robots = RobotsPartial
+		}
+	}
+	if h := derive(seed, u, saltLimit); chance(h, 0.03) {
+		t.RequestLimit = 40 + pickN(h, 160)
+	}
+	return t, true
+}
+
+// certNameFor assigns the FTPS certificate: hosting providers share the AS
+// wildcard, device families share their built-in, everything else draws a
+// default or pool certificate.
+func (w *World) certNameFor(prof *asProfile, pers *personality.Personality, u uint32) string {
+	h := derive(w.Params.Seed, u, saltCert)
+	if prof.CertName != "" {
+		// Not every shared-hosting box carries the provider wildcard:
+		// many keep the stack's default self-signed certificate, which
+		// is what pushes the ecosystem's self-signed share toward the
+		// paper's 50%.
+		if chance(splitmix64(h^0x51ab), 0.45) {
+			return "cert-localhost"
+		}
+		return prof.CertName
+	}
+	if name, ok := deviceCertNames[pers.Key]; ok {
+		return name
+	}
+	// The "localhost" default dominates generic installs (Table XII).
+	if chance(splitmix64(h), 0.30) {
+		return "cert-localhost"
+	}
+	if len(w.uniqueCerts) == 0 {
+		return "cert-localhost"
+	}
+	return w.uniqueCerts[pickN(h, len(w.uniqueCerts))]
+}
+
+// exposureRate is the probability an anonymous host's tree shows any data,
+// by device class (§V: 24% of anonymous servers exposed data overall).
+func exposureRate(pers *personality.Personality) float64 {
+	switch {
+	case pers.ProviderDeployed:
+		return 0.08
+	case pers.DeviceClass == personality.DevicePrinter:
+		return 0.90
+	case pers.DeviceClass == personality.DeviceNAS,
+		pers.DeviceClass == personality.DeviceStorage,
+		pers.DeviceClass == personality.DeviceHomeRouter:
+		return 0.85
+	case pers.Category == personality.CategoryHosted:
+		return 0.16
+	default:
+		return 0.22
+	}
+}
+
+// writableRate concentrates anonymous write access on generic servers and
+// hosting accounts, as the campaign evidence in §VI suggests.
+func writableRate(pers *personality.Personality, base float64) float64 {
+	switch {
+	case pers.ProviderDeployed:
+		return base * 0.05
+	case pers.DeviceClass == personality.DevicePrinter:
+		return base * 0.1
+	case pers.DeviceClass != personality.DeviceNone:
+		return base * 0.5
+	case pers.Category == personality.CategoryHosted:
+		return base * 1.2
+	default:
+		return base * 1.5
+	}
+}
+
+// sensitiveRate is the probability an exposed host leaks Table IX-class
+// documents (≈5% of anonymous servers overall).
+func sensitiveRate(pers *personality.Personality) float64 {
+	switch {
+	case pers.DeviceClass == personality.DeviceNAS,
+		pers.DeviceClass == personality.DeviceStorage,
+		pers.DeviceClass == personality.DeviceHomeRouter:
+		return 0.38
+	case pers.Category == personality.CategoryHosted:
+		return 0.04
+	case pers.ProviderDeployed:
+		return 0.02
+	default:
+		return 0.16
+	}
+}
+
+// chooseTree selects the filesystem profile.
+func chooseTree(pers *personality.Personality, exposed bool, h, hOS uint64) treeKind {
+	if !exposed {
+		return treeEmpty
+	}
+	switch {
+	case pers.Category == personality.CategoryHosted:
+		return treeWebroot
+	case pers.DeviceClass == personality.DevicePrinter:
+		return treePrinterScans
+	case pers.DeviceClass == personality.DeviceNAS || pers.DeviceClass == personality.DeviceStorage:
+		if chance(hOS, 0.02) {
+			return treeOSRootLinux
+		}
+		return treeNASPersonal
+	case pers.DeviceClass == personality.DeviceHomeRouter && !pers.ProviderDeployed:
+		return treeRouterUSB
+	case pers.ProviderDeployed:
+		return treeModemConfig
+	case pers.Quirks.CaseInsensitive: // Windows servers
+		if chance(hOS, 0.035) {
+			return treeOSRootWindows
+		}
+		return treeGenericPub
+	default:
+		if chance(hOS, 0.016) {
+			return treeOSRootLinux
+		}
+		return treeGenericPub
+	}
+}

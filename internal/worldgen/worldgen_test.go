@@ -1,0 +1,406 @@
+package worldgen
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"ftpcloud/internal/ftp"
+	"ftpcloud/internal/simnet"
+)
+
+// testWorld builds a small world for unit tests: scale 8192 gives
+// ~450K scanned addresses holding ~1.7K FTP servers.
+func testWorld(t testing.TB, scale int) *World {
+	t.Helper()
+	w, err := New(DefaultParams(42, scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorldDeterministic(t *testing.T) {
+	a := testWorld(t, 32768)
+	b := testWorld(t, 32768)
+	sa := a.Audit(7)
+	sb := b.Audit(7)
+	if sa.FTP != sb.FTP || sa.Anonymous != sb.Anonymous || sa.Writable != sb.Writable {
+		t.Errorf("same seed diverged: %+v vs %+v", sa, sb)
+	}
+	c, err := New(DefaultParams(43, 32768))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := c.Audit(7)
+	if sa.FTP == sc.FTP && sa.Anonymous == sc.Anonymous && sa.FTPS == sc.FTPS {
+		t.Error("different seeds produced identical worlds (suspicious)")
+	}
+}
+
+func TestTruthIsPure(t *testing.T) {
+	w := testWorld(t, 32768)
+	// Find an FTP host.
+	var found simnet.IP
+	for off := uint64(0); off < w.ScanSize; off++ {
+		ip := simnet.IP(uint64(w.ScanBase) + off)
+		if tr, ok := w.Truth(ip); ok && tr.FTP {
+			found = ip
+			break
+		}
+	}
+	if found == 0 {
+		t.Fatal("no FTP host in test world")
+	}
+	t1, _ := w.Truth(found)
+	t2, _ := w.Truth(found)
+	if t1.PersonalityKey != t2.PersonalityKey || t1.Anonymous != t2.Anonymous ||
+		t1.Tree != t2.Tree || t1.CertName != t2.CertName {
+		t.Errorf("Truth not pure: %+v vs %+v", t1, t2)
+	}
+}
+
+// TestCalibration checks the world's aggregates against the paper's
+// distributions at a moderate scale. Tolerances are loose: the generator is
+// stochastic and the scaled populations are small.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration walk is slow")
+	}
+	w := testWorld(t, 4096)
+	s := w.Audit(1)
+
+	ftpTarget := float64(paperFTPServers) / 4096
+	if ratio := float64(s.FTP) / ftpTarget; ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("FTP count = %d, want ≈%.0f (ratio %.2f)", s.FTP, ftpTarget, ratio)
+	}
+
+	anonRate := float64(s.Anonymous) / float64(s.FTP)
+	if anonRate < 0.05 || anonRate > 0.13 {
+		t.Errorf("anonymous rate = %.3f, paper has 0.081", anonRate)
+	}
+
+	ftpOfOpen := float64(s.FTP) / float64(s.Open)
+	if ftpOfOpen < 0.5 || ftpOfOpen > 0.8 {
+		t.Errorf("FTP/open = %.3f, paper has 0.632", ftpOfOpen)
+	}
+
+	ftpsRate := float64(s.FTPS) / float64(s.FTP)
+	if ftpsRate < 0.15 || ftpsRate > 0.40 {
+		t.Errorf("FTPS rate = %.3f, paper has 0.25", ftpsRate)
+	}
+
+	exposedRate := float64(s.Exposed) / float64(s.Anonymous)
+	if exposedRate < 0.15 || exposedRate > 0.38 {
+		t.Errorf("exposure rate = %.3f, paper has 0.24", exposedRate)
+	}
+
+	writableRatio := float64(s.Writable) / float64(s.Anonymous)
+	if writableRatio < 0.005 || writableRatio > 0.06 {
+		t.Errorf("writable rate = %.3f, paper evidence is ≈0.017", writableRatio)
+	}
+
+	// Concentration: the paper's 78-ASes-for-50% (Figure 1 / Table III).
+	n50 := ASesForShare(s.FTPByAS, 0.5)
+	if n50 < 25 || n50 > 220 {
+		t.Errorf("ASes for 50%% of FTP = %d, paper has 78", n50)
+	}
+	n50anon := ASesForShare(s.AnonByAS, 0.5)
+	if n50anon < 10 || n50anon > 160 {
+		t.Errorf("ASes for 50%% of anon = %d, paper has 42", n50anon)
+	}
+	if n50anon > n50 {
+		t.Errorf("anonymous servers should be more concentrated: %d vs %d", n50anon, n50)
+	}
+}
+
+func TestHomePLShape(t *testing.T) {
+	w := testWorld(t, 8192)
+	s := w.Audit(1)
+	homeFTP := s.FTPByAS[12824]
+	homeAnon := s.AnonByAS[12824]
+	if homeFTP == 0 {
+		t.Fatal("home.pl AS has no FTP servers")
+	}
+	rate := float64(homeAnon) / float64(homeFTP)
+	if rate < 0.55 || rate > 0.95 {
+		t.Errorf("home.pl anonymous rate = %.2f, paper has 0.754", rate)
+	}
+}
+
+func TestDeviceAnonymousRates(t *testing.T) {
+	w := testWorld(t, 2048)
+	s := w.Audit(1)
+	// Printers ship with anonymous FTP enabled (Table VII: RICOH 87%,
+	// Lexmark 99.7%); QNAP NAS mostly does not (2.8%).
+	check := func(key string, lo, hi float64) {
+		total := s.ByPersonality[key]
+		anon := s.AnonByPersonality[key]
+		if total < 5 {
+			t.Logf("skipping %s: only %d hosts at this scale", key, total)
+			return
+		}
+		rate := float64(anon) / float64(total)
+		if rate < lo || rate > hi {
+			t.Errorf("%s anonymous rate = %.2f (n=%d), want [%.2f, %.2f]",
+				key, rate, total, lo, hi)
+		}
+	}
+	check("ricoh-printer", 0.6, 1.0)
+	check("qnap-turbo-nas", 0.0, 0.15)
+	check("fritzbox-dsl", 0.0, 0.02)
+	check("buffalo-linkstation", 0.15, 0.65)
+}
+
+func TestLookupServesFTP(t *testing.T) {
+	w := testWorld(t, 32768)
+	nw := simnet.NewNetwork(w)
+
+	// Find an anonymous host via truth, then actually speak FTP to it.
+	var target simnet.IP
+	for off := uint64(0); off < w.ScanSize; off++ {
+		ip := simnet.IP(uint64(w.ScanBase) + off)
+		if tr, ok := w.Truth(ip); ok && tr.FTP && tr.Anonymous && !tr.RequireTLS {
+			target = ip
+			break
+		}
+	}
+	if target == 0 {
+		t.Fatal("no anonymous host found")
+	}
+	nc, err := nw.DialFrom(simnet.MustParseIP("99.0.0.1"), target, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := ftp.NewConn(nc)
+	c.Timeout = 5 * time.Second
+	banner, err := c.ReadReply()
+	if err != nil || banner.Code != ftp.CodeReady {
+		t.Fatalf("banner: %+v %v", banner, err)
+	}
+	if r, _ := c.Cmd("USER", "anonymous"); r.Code != ftp.CodeNeedPassword {
+		t.Fatalf("USER: %+v", r)
+	}
+	if r, _ := c.Cmd("PASS", "research@example.org"); r.Code != ftp.CodeLoggedIn {
+		t.Fatalf("PASS: %+v", r)
+	}
+}
+
+func TestFilesystemPersistsAcrossConnections(t *testing.T) {
+	w := testWorld(t, 8192)
+	nw := simnet.NewNetwork(w)
+
+	var target simnet.IP
+	for off := uint64(0); off < w.ScanSize; off++ {
+		ip := simnet.IP(uint64(w.ScanBase) + off)
+		if tr, ok := w.Truth(ip); ok && tr.FTP && tr.Anonymous && tr.Writable && !tr.RequireTLS {
+			target = ip
+			break
+		}
+	}
+	if target == 0 {
+		t.Skip("no writable host at this scale")
+	}
+
+	upload := func() {
+		nc, err := nw.DialFrom(simnet.MustParseIP("99.0.0.1"), target, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		c := ftp.NewConn(nc)
+		c.Timeout = 5 * time.Second
+		c.ReadReply()
+		c.Cmd("USER", "anonymous")
+		c.Cmd("PASS", "x@x")
+		r, _ := c.Cmd("PASV", "")
+		hp, err := ftp.ParsePASVReply(r.Text())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, err := nw.DialFrom(simnet.MustParseIP("99.0.0.1"),
+			simnet.IPFromOctets(hp.IP[0], hp.IP[1], hp.IP[2], hp.IP[3]), hp.Port)
+		if err != nil {
+			// NAT-leaked address: dial the control peer instead.
+			dc, err = nw.DialFrom(simnet.MustParseIP("99.0.0.1"), target, hp.Port)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r, _ := c.Cmd("STOR", "/persist-probe.txt"); !r.Preliminary() {
+			t.Fatalf("STOR: %+v", r)
+		}
+		dc.Write([]byte("marker"))
+		dc.Close()
+		c.ReadReply()
+	}
+	upload()
+
+	// A second, separate connection must see the upload.
+	nc, err := nw.DialFrom(simnet.MustParseIP("99.0.0.2"), target, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := ftp.NewConn(nc)
+	c.Timeout = 5 * time.Second
+	c.ReadReply()
+	c.Cmd("USER", "anonymous")
+	c.Cmd("PASS", "x@x")
+	if r, _ := c.Cmd("SIZE", "/persist-probe.txt"); r.Code != 213 {
+		t.Fatalf("uploaded file not visible on second connection: %+v", r)
+	}
+}
+
+func TestNonFTPHosts(t *testing.T) {
+	w := testWorld(t, 8192)
+	nw := simnet.NewNetwork(w)
+	var target simnet.IP
+	for off := uint64(0); off < w.ScanSize; off++ {
+		ip := simnet.IP(uint64(w.ScanBase) + off)
+		if tr, ok := w.Truth(ip); ok && tr.NonFTPOpen {
+			target = ip
+			break
+		}
+	}
+	if target == 0 {
+		t.Skip("no non-FTP open host at this scale")
+	}
+	nc, err := nw.DialFrom(simnet.MustParseIP("99.0.0.1"), target, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf, _ := io.ReadAll(nc)
+	// Whatever arrives must not be an FTP 220 banner.
+	if len(buf) >= 4 && string(buf[:4]) == "220 " {
+		t.Errorf("non-FTP host sent an FTP banner: %q", buf)
+	}
+}
+
+func TestCampaignPlanting(t *testing.T) {
+	w := testWorld(t, 2048)
+	s := w.Audit(1)
+	if s.Writable == 0 {
+		t.Skip("no writable hosts at this scale")
+	}
+	total := 0
+	for _, n := range s.CampaignServers {
+		total += n
+	}
+	if total == 0 {
+		t.Error("writable hosts exist but no campaigns planted")
+	}
+}
+
+func TestScaledHelpers(t *testing.T) {
+	p := DefaultParams(1, 2048)
+	if p.ScanSpaceSize() != uint64(paperIPsScanned/2048) {
+		t.Errorf("ScanSpaceSize = %d", p.ScanSpaceSize())
+	}
+	if got := p.scaled(100, 5); got != 5 {
+		t.Errorf("scaled floor = %d", got)
+	}
+	if _, err := New(Params{Scale: 0}); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestTreeKindsBuild(t *testing.T) {
+	kinds := []treeKind{
+		treeEmpty, treeWebroot, treeNASPersonal, treePrinterScans,
+		treeRouterUSB, treeModemConfig, treeGenericPub,
+		treeOSRootLinux, treeOSRootWindows, treeDeep,
+	}
+	for _, k := range kinds {
+		fs := buildTree(k, 123, true)
+		if fs == nil || fs.Root() == nil {
+			t.Errorf("%v: nil tree", k)
+		}
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+		// Determinism.
+		a := buildTree(k, 99, true).TotalEntries()
+		b := buildTree(k, 99, true).TotalEntries()
+		if a != b {
+			t.Errorf("%v: tree not deterministic (%d vs %d entries)", k, a, b)
+		}
+	}
+	if buildTree(treeEmpty, 1, false).TotalEntries() != 1 {
+		t.Error("empty tree should have only the root")
+	}
+	if buildTree(treeDeep, 1, false).TotalEntries() < 500 {
+		t.Error("deep tree should exceed the request cap")
+	}
+}
+
+func TestOSRootMarkers(t *testing.T) {
+	fs := buildTree(treeOSRootLinux, 5, false)
+	for _, p := range []string{"/bin", "/etc", "/var", "/boot", "/etc/passwd", "/etc/shadow"} {
+		if fs.Lookup(p) == nil {
+			t.Errorf("linux os-root missing %s", p)
+		}
+	}
+	fs = buildTree(treeOSRootWindows, 5, false)
+	for _, p := range []string{"/Windows", "/Program Files", "/Users"} {
+		if fs.Lookup(p) == nil {
+			t.Errorf("windows os-root missing %s", p)
+		}
+	}
+}
+
+func TestASLayoutDisjoint(t *testing.T) {
+	w := testWorld(t, 32768)
+	// asdb.NewDB already rejects overlap; verify named ASes exist.
+	for _, num := range []uint32{12824, 4134, 4766, 3320} {
+		if _, ok := w.ASDB.ByNumber(num); !ok {
+			t.Errorf("AS%d missing", num)
+		}
+	}
+	if w.ASDB.Len() < 600 {
+		t.Errorf("AS count = %d, want named + tail", w.ASDB.Len())
+	}
+}
+
+func TestCertAssignment(t *testing.T) {
+	w := testWorld(t, 2048)
+	seenHomePL := false
+	var deviceCert, hostingCert int
+	for off := uint64(0); off < w.ScanSize; off++ {
+		ip := simnet.IP(uint64(w.ScanBase) + off)
+		tr, ok := w.Truth(ip)
+		if !ok || !tr.FTP || !tr.FTPS {
+			continue
+		}
+		if tr.CertName == "" {
+			t.Fatalf("FTPS host without certificate: %+v", tr)
+		}
+		if w.Certs.Get(tr.CertName) == nil {
+			t.Fatalf("host references unknown cert %q", tr.CertName)
+		}
+		if tr.AS != nil && tr.AS.Number == 12824 {
+			seenHomePL = true
+			// Hosting boxes carry either the provider wildcard or the
+			// stack's self-signed default.
+			if tr.CertName != "cert-homepl" && tr.CertName != "cert-localhost" {
+				t.Errorf("home.pl host has cert %q", tr.CertName)
+			}
+		}
+		switch tr.CertName {
+		case "cert-qnap1", "cert-synology", "cert-buffalo":
+			deviceCert++
+		case "cert-homepl", "cert-bluehost", "cert-opentransfer", "cert-securesites":
+			hostingCert++
+		}
+	}
+	if !seenHomePL {
+		t.Log("no home.pl FTPS host at this scale (acceptable)")
+	}
+	if hostingCert == 0 {
+		t.Error("no hosting certificates assigned")
+	}
+	_ = deviceCert
+}

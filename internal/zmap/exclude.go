@@ -1,0 +1,76 @@
+package zmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ftpcloud/internal/simnet"
+)
+
+// ExclusionList holds address ranges a scan must never probe. The paper
+// "preemptively excluded any hosts that our institution had previously been
+// asked to exclude from scanning research"; this is that mechanism.
+type ExclusionList struct {
+	prefixes []simnet.Prefix
+}
+
+// NewExclusionList builds a list from prefixes.
+func NewExclusionList(prefixes ...simnet.Prefix) *ExclusionList {
+	return &ExclusionList{prefixes: prefixes}
+}
+
+// ParseExclusionList reads a conventional exclusion file: one CIDR or bare
+// IP per line, '#' comments, blank lines ignored.
+func ParseExclusionList(r io.Reader) (*ExclusionList, error) {
+	list := &ExclusionList{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if !strings.ContainsRune(line, '/') {
+			line += "/32"
+		}
+		p, err := simnet.ParsePrefix(line)
+		if err != nil {
+			return nil, fmt.Errorf("zmap: exclusion line %d: %w", lineNo, err)
+		}
+		list.prefixes = append(list.prefixes, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("zmap: reading exclusions: %w", err)
+	}
+	return list, nil
+}
+
+// Add appends a prefix.
+func (l *ExclusionList) Add(p simnet.Prefix) { l.prefixes = append(l.prefixes, p) }
+
+// Len returns the number of excluded prefixes.
+func (l *ExclusionList) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.prefixes)
+}
+
+// Excluded reports whether ip falls in any excluded range.
+func (l *ExclusionList) Excluded(ip simnet.IP) bool {
+	if l == nil {
+		return false
+	}
+	for _, p := range l.prefixes {
+		if p.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package zmap
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ftpcloud/internal/simnet"
+)
+
+func TestParseExclusionList(t *testing.T) {
+	input := strings.Join([]string{
+		"# institutional opt-outs",
+		"10.1.0.0/16",
+		"",
+		"192.0.2.7          # single host",
+		"172.16.0.0/12",
+	}, "\n")
+	list, err := ParseExclusionList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Len() != 3 {
+		t.Fatalf("Len = %d", list.Len())
+	}
+	for _, tt := range []struct {
+		ip   string
+		want bool
+	}{
+		{"10.1.2.3", true},
+		{"10.2.0.1", false},
+		{"192.0.2.7", true},
+		{"192.0.2.8", false},
+		{"172.20.5.5", true},
+	} {
+		if got := list.Excluded(simnet.MustParseIP(tt.ip)); got != tt.want {
+			t.Errorf("Excluded(%s) = %v, want %v", tt.ip, got, tt.want)
+		}
+	}
+}
+
+func TestParseExclusionListErrors(t *testing.T) {
+	for _, bad := range []string{"not-an-ip", "10.0.0.0/40", "300.1.1.1"} {
+		if _, err := ParseExclusionList(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseExclusionList(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestNilExclusionList(t *testing.T) {
+	var l *ExclusionList
+	if l.Excluded(simnet.MustParseIP("1.2.3.4")) {
+		t.Error("nil list excluded an address")
+	}
+	if l.Len() != 0 {
+		t.Error("nil list has nonzero length")
+	}
+}
+
+func TestScannerHonorsExclusions(t *testing.T) {
+	base := simnet.MustParseIP("10.0.0.0")
+	hosts := &sparseHosts{base: base, every: 10, size: 1000}
+	nw := simnet.NewNetwork(hosts)
+
+	// Exclude the first half of the range.
+	excl := NewExclusionList(simnet.Prefix{Base: base, Bits: 23}) // 10.0.0.0-10.0.1.255
+	s, err := NewScanner(Config{
+		Network: nw, Base: base, Size: 1000, Port: 21, Seed: 5,
+		Exclusions: excl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := s.Collect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if excl.Excluded(r.IP) {
+			t.Errorf("excluded address %s was probed and reported", r.IP)
+		}
+	}
+	if got := s.Stats.Excluded.Load(); got != 512 {
+		t.Errorf("excluded count = %d, want 512", got)
+	}
+	if got := s.Stats.Probed.Load(); got != 1000-512 {
+		t.Errorf("probed = %d, want %d", got, 1000-512)
+	}
+	// Hosts at offsets 520..1000 step 10: 48 hosts.
+	want := 0
+	for off := uint64(0); off < 1000; off += 10 {
+		if off >= 512 {
+			want++
+		}
+	}
+	if len(results) != want {
+		t.Errorf("found %d hosts, want %d", len(results), want)
+	}
+}

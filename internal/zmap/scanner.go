@@ -1,0 +1,178 @@
+package zmap
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftpcloud/internal/simnet"
+)
+
+// Result is one responsive address found by host discovery.
+type Result struct {
+	IP simnet.IP
+}
+
+// Config controls a scan.
+type Config struct {
+	// Network is the simulated Internet to probe.
+	Network *simnet.Network
+	// Base and Size delimit the target range [Base, Base+Size).
+	Base simnet.IP
+	Size uint64
+	// Port is the TCP port to probe (21 for the census).
+	Port uint16
+	// Seed orders the permutation.
+	Seed uint64
+	// Workers is the probe parallelism; 0 means 64.
+	Workers int
+	// RatePerSec caps total probes per second; 0 disables limiting (the
+	// simulation has no intermediary networks to protect, but the
+	// limiter is exercised in tests and real deployments would use it).
+	RatePerSec int
+	// Retries sends up to this many additional probes to non-responsive
+	// addresses, recovering deterministic "packet loss" in the
+	// simulation as retransmission does for real scans.
+	Retries int
+	// Shard/TotalShards split the scan across cooperating scanners;
+	// TotalShards 0 means unsharded.
+	Shard       int
+	TotalShards int
+	// Exclusions lists ranges that must never be probed (opt-out
+	// requests, critical infrastructure); nil means none.
+	Exclusions *ExclusionList
+}
+
+// Stats counts scanner activity.
+type Stats struct {
+	Probed    atomic.Uint64
+	Responded atomic.Uint64
+	Excluded  atomic.Uint64
+}
+
+// Scanner performs ZMap-style host discovery.
+type Scanner struct {
+	cfg   Config
+	Stats Stats
+}
+
+// NewScanner validates configuration.
+func NewScanner(cfg Config) (*Scanner, error) {
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("zmap: nil network")
+	}
+	if cfg.Size == 0 {
+		return nil, fmt.Errorf("zmap: empty target range")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	if cfg.TotalShards > 0 && (cfg.Shard < 0 || cfg.Shard >= cfg.TotalShards) {
+		return nil, fmt.Errorf("zmap: shard %d out of range [0,%d)", cfg.Shard, cfg.TotalShards)
+	}
+	return &Scanner{cfg: cfg}, nil
+}
+
+// Run scans the target range, sending results to out. The channel is closed
+// when the scan finishes. Run blocks until complete or ctx cancels.
+func (s *Scanner) Run(ctx context.Context, out chan<- Result) error {
+	defer close(out)
+	perm, err := NewPermutation(s.cfg.Size, s.cfg.Seed)
+	if err != nil {
+		return err
+	}
+
+	// The permutation is drained by one goroutine into a work channel;
+	// probe workers fan out from there.
+	work := make(chan uint64, 1024)
+	var limiter *time.Ticker
+	var perTick int
+	if s.cfg.RatePerSec > 0 {
+		// Batch the limiter into 10ms ticks to avoid a timer per probe.
+		perTick = s.cfg.RatePerSec / 100
+		if perTick < 1 {
+			perTick = 1
+		}
+		limiter = time.NewTicker(10 * time.Millisecond)
+		defer limiter.Stop()
+	}
+
+	go func() {
+		defer close(work)
+		budget := perTick
+		for {
+			off, ok := perm.Next()
+			if !ok {
+				return
+			}
+			if s.cfg.TotalShards > 1 && off%uint64(s.cfg.TotalShards) != uint64(s.cfg.Shard) {
+				continue
+			}
+			if limiter != nil {
+				if budget == 0 {
+					select {
+					case <-limiter.C:
+						budget = perTick
+					case <-ctx.Done():
+						return
+					}
+				}
+				budget--
+			}
+			select {
+			case work <- off:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < s.cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for off := range work {
+				ip := simnet.IP(uint64(s.cfg.Base) + off)
+				if s.cfg.Exclusions.Excluded(ip) {
+					s.Stats.Excluded.Add(1)
+					continue
+				}
+				s.Stats.Probed.Add(1)
+				open := s.cfg.Network.Probe(ip, s.cfg.Port, 0)
+				for attempt := 1; !open && attempt <= s.cfg.Retries; attempt++ {
+					open = s.cfg.Network.Probe(ip, s.cfg.Port, attempt)
+				}
+				if !open {
+					continue
+				}
+				s.Stats.Responded.Add(1)
+				select {
+				case out <- Result{IP: ip}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Collect runs the scan and gathers all results into a slice.
+func (s *Scanner) Collect(ctx context.Context) ([]Result, error) {
+	out := make(chan Result, 1024)
+	var results []Result
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range out {
+			results = append(results, r)
+		}
+	}()
+	err := s.Run(ctx, out)
+	<-done
+	return results, err
+}
