@@ -1,0 +1,33 @@
+# Tier-1 verification flow plus the perf harness.
+#
+#   make tier1   — what every PR must keep green: build, vet, full test
+#                  suite, and race-mode tests on the scan-path packages.
+#   make bench   — regenerate the scan-path benchmark numbers (BENCH json).
+
+GO ?= go
+
+# Packages whose hot paths are exercised by many goroutines; always raced.
+RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen
+
+.PHONY: build test vet race race-full tier1 bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Extended race coverage: the pipeline and the parallel analysis layer.
+race-full: race
+	$(GO) test -race ./internal/core ./internal/analysis
+
+tier1: build vet test race
+
+bench:
+	scripts/bench.sh

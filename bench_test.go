@@ -580,6 +580,78 @@ func BenchmarkEnumerateSingleHost(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeFanout measures the discovery fast path: raw Network.Probe
+// throughput against the world provider at increasing worker counts, the
+// shape of the scanner's inner loop. Loss is enabled so the deterministic
+// drop check is part of the measured path.
+func BenchmarkProbeFanout(b *testing.B) {
+	w, err := worldgen.New(worldgen.DefaultParams(42, benchScale()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := simnet.NewNetwork(w)
+	nw.LossRate = 0.03
+	nw.LossSeed = 42
+	space := w.ScanSize
+	base := uint64(w.ScanBase)
+	for _, workers := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			per := b.N/workers + 1
+			for wk := 0; wk < workers; wk++ {
+				wg.Add(1)
+				go func(wk int) {
+					defer wg.Done()
+					off := (uint64(wk) * 0x9e3779b9) % space
+					for i := 0; i < per; i++ {
+						nw.Probe(simnet.IP(base+off), 21, 0)
+						off++
+						if off >= space {
+							off = 0
+						}
+					}
+				}(wk)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkProbeClosedPort isolates the closed-port probe path, the outcome
+// of the overwhelming majority of a census's 3.68B probes.
+func BenchmarkProbeClosedPort(b *testing.B) {
+	w, err := worldgen.New(worldgen.DefaultParams(42, benchScale()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := simnet.NewNetwork(w)
+	nw.LossRate = 0.03
+	nw.LossSeed = 42
+	space := w.ScanSize
+	base := uint64(w.ScanBase)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Port 2121 is closed on every simulated host.
+		nw.Probe(simnet.IP(base+uint64(i)%space), 2121, 0)
+	}
+}
+
+// BenchmarkComputeTables measures the full analysis stage over the shared
+// census fixture (classification caches warm after the first iteration, so
+// steady-state iterations measure the table computations themselves).
+func BenchmarkComputeTables(b *testing.B) {
+	_, res := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := res.ComputeTables()
+		if tables.Funnel.FTPServers == 0 {
+			b.Fatal("empty tables")
+		}
+	}
+}
+
 // BenchmarkSimnetThroughput measures raw connection throughput.
 func BenchmarkSimnetThroughput(b *testing.B) {
 	provider := simnet.NewStaticProvider()

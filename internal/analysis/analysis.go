@@ -6,6 +6,9 @@
 package analysis
 
 import (
+	"runtime"
+	"sync"
+
 	"ftpcloud/internal/asdb"
 	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/fingerprint"
@@ -30,26 +33,85 @@ type Input struct {
 	// HTTP is the external web-scan join keyed by IP string.
 	HTTP map[string]HTTPInfo
 
-	// classifications cache, built lazily.
+	// Per-record caches, built once by Prepare and read-only afterwards
+	// so analyses can run concurrently over one Input.
+	prep  sync.Once
 	class map[*dataset.HostRecord]fingerprint.Classification
+	as    map[*dataset.HostRecord]*asdb.AS
 }
 
-// Classify returns (and caches) the fingerprint classification of a record.
-// The cache is not synchronized: analyses run sequentially over one Input.
+// Prepare builds the per-record classification and AS-resolution caches,
+// fanning the fingerprinting work across CPUs. It runs at most once; after
+// it returns the caches are immutable, so any number of Compute functions
+// may run concurrently. Classify and AS call it lazily — an explicit call
+// just front-loads the work.
+func (in *Input) Prepare() {
+	in.prep.Do(func() {
+		n := len(in.Records)
+		type derived struct {
+			class fingerprint.Classification
+			as    *asdb.AS
+		}
+		byIdx := make([]derived, n)
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = 1
+		}
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					byIdx[i].class = fingerprint.Classify(in.Records[i])
+					byIdx[i].as = in.lookupAS(in.Records[i])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		class := make(map[*dataset.HostRecord]fingerprint.Classification, n)
+		as := make(map[*dataset.HostRecord]*asdb.AS, n)
+		for i, rec := range in.Records {
+			class[rec] = byIdx[i].class
+			as[rec] = byIdx[i].as
+		}
+		in.class = class
+		in.as = as
+	})
+}
+
+// Classify returns the fingerprint classification of a record, answered
+// from the Prepare cache. Records outside Input.Records are classified on
+// the fly without touching the cache.
 func (in *Input) Classify(rec *dataset.HostRecord) fingerprint.Classification {
-	if in.class == nil {
-		in.class = make(map[*dataset.HostRecord]fingerprint.Classification, len(in.Records))
-	}
+	in.Prepare()
 	if c, ok := in.class[rec]; ok {
 		return c
 	}
-	c := fingerprint.Classify(rec)
-	in.class[rec] = c
-	return c
+	return fingerprint.Classify(rec)
 }
 
-// AS resolves a record's AS, or nil.
+// AS resolves a record's AS, or nil. The per-record result is cached by
+// Prepare, so the record's IP string is parsed once per census rather than
+// once per analysis.
 func (in *Input) AS(rec *dataset.HostRecord) *asdb.AS {
+	in.Prepare()
+	if as, ok := in.as[rec]; ok {
+		return as
+	}
+	return in.lookupAS(rec)
+}
+
+func (in *Input) lookupAS(rec *dataset.HostRecord) *asdb.AS {
 	if in.ASDB == nil {
 		return nil
 	}

@@ -105,14 +105,25 @@ func NewDB(ases []*AS) (*DB, error) {
 	return db, nil
 }
 
-// Lookup maps an IP to its announcing AS.
+// Lookup maps an IP to its announcing AS. The binary search is hand-rolled:
+// this sits on the scanner's per-probe path, and the sort.Search closure
+// call per step is measurable at census probe volumes.
 func (db *DB) Lookup(ip simnet.IP) (*AS, bool) {
 	v := uint32(ip)
-	i := sort.Search(len(db.starts), func(i int) bool { return db.starts[i] > v })
-	if i == 0 {
+	starts := db.starts
+	lo, hi := 0, len(starts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if starts[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
 		return nil, false
 	}
-	i--
+	i := lo - 1
 	if v > db.ends[i] {
 		return nil, false
 	}

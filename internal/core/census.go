@@ -10,6 +10,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"ftpcloud/internal/analysis"
@@ -148,28 +149,35 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 		Workers:    c.Config.EnumWorkers,
 	}
 
-	// Pipeline: scanner results flow straight into the fleet's intake.
-	found := make(chan zmap.Result, 1024)
+	// Pipeline: scanner results flow straight into the fleet's intake, in
+	// batches so discovery fan-out costs one channel handoff per slice.
+	found := make(chan []zmap.Result, 64)
 	in := make(chan simnet.IP, 1024)
 	out := make(chan *dataset.HostRecord, 1024)
 
 	scanErr := make(chan error, 1)
 	var scanDur time.Duration
 	go func() {
-		err := scanner.Run(ctx, found)
+		err := scanner.RunBatches(ctx, found)
 		scanDur = time.Since(start)
 		scanErr <- err
 	}()
+	// The forwarder also keeps the numeric addresses of every discovered
+	// host so the HTTP join never re-parses IP strings.
+	var discovered []simnet.IP
 	go func() {
 		defer close(in)
-		for r := range found {
-			select {
-			case in <- r.IP:
-			case <-ctx.Done():
-				// Drain so the scanner can finish closing.
-				for range found {
+		for batch := range found {
+			for _, r := range batch {
+				discovered = append(discovered, r.IP)
+				select {
+				case in <- r.IP:
+				case <-ctx.Done():
+					// Drain so the scanner can finish closing.
+					for range found {
+					}
+					return
 				}
-				return
 			}
 		}
 	}()
@@ -198,7 +206,7 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 		IPsScanned: c.World.ScanSize,
 		Records:    records,
 		ASDB:       c.World.ASDB,
-		HTTP:       c.HTTPJoin(records),
+		HTTP:       c.httpJoinIPs(discovered),
 	}
 	return result, ctx.Err()
 }
@@ -208,7 +216,7 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 // headers. In the simulation the web-scan ground truth comes from the world
 // generator, exactly as Censys is generated independently of the FTP scan.
 func (c *Census) HTTPJoin(records []*dataset.HostRecord) map[string]analysis.HTTPInfo {
-	join := make(map[string]analysis.HTTPInfo, len(records))
+	ips := make([]simnet.IP, 0, len(records))
 	for _, rec := range records {
 		if !rec.FTP {
 			continue
@@ -217,11 +225,22 @@ func (c *Census) HTTPJoin(records []*dataset.HostRecord) map[string]analysis.HTT
 		if err != nil {
 			continue
 		}
+		ips = append(ips, ip)
+	}
+	return c.httpJoinIPs(ips)
+}
+
+// httpJoinIPs builds the join from numeric addresses. The census pipeline
+// feeds it the discovery results directly, so host IPs never round-trip
+// through their string form on this path.
+func (c *Census) httpJoinIPs(ips []simnet.IP) map[string]analysis.HTTPInfo {
+	join := make(map[string]analysis.HTTPInfo, len(ips))
+	for _, ip := range ips {
 		truth, ok := c.World.Truth(ip)
 		if !ok || !truth.FTP {
 			continue
 		}
-		join[rec.IP] = analysis.HTTPInfo{HTTP: truth.HTTP, Scripting: truth.Scripting}
+		join[ip.String()] = analysis.HTTPInfo{HTTP: truth.HTTP, Scripting: truth.Scripting}
 	}
 	return join
 }
@@ -241,22 +260,35 @@ type Tables struct {
 	FTPS             analysis.FTPS
 }
 
-// ComputeTables runs every analysis over the result.
+// ComputeTables runs every analysis over the result. The computations are
+// independent, so after the Input's shared per-record caches are built
+// (classification, AS resolution — see analysis.Input.Prepare) they run
+// concurrently.
 func (r *Result) ComputeTables() Tables {
 	in := r.Input
-	return Tables{
-		Funnel:           analysis.ComputeFunnel(in),
-		Classification:   analysis.ComputeClassification(in),
-		ASConcentration:  analysis.ComputeASConcentration(in),
-		Devices:          analysis.ComputeDevices(in),
-		TopASes:          analysis.ComputeTopASes(in, 10),
-		Exposure:         analysis.ComputeExposure(in),
-		ExposureByDevice: analysis.ComputeExposureByDevice(in),
-		CVEs:             analysis.ComputeCVEs(in),
-		Malicious:        analysis.ComputeMalicious(in),
-		PortBounce:       analysis.ComputePortBounce(in),
-		FTPS:             analysis.ComputeFTPS(in, 10),
+	in.Prepare()
+	var t Tables
+	var wg sync.WaitGroup
+	run := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
 	}
+	run(func() { t.Funnel = analysis.ComputeFunnel(in) })
+	run(func() { t.Classification = analysis.ComputeClassification(in) })
+	run(func() { t.ASConcentration = analysis.ComputeASConcentration(in) })
+	run(func() { t.Devices = analysis.ComputeDevices(in) })
+	run(func() { t.TopASes = analysis.ComputeTopASes(in, 10) })
+	run(func() { t.Exposure = analysis.ComputeExposure(in) })
+	run(func() { t.ExposureByDevice = analysis.ComputeExposureByDevice(in) })
+	run(func() { t.CVEs = analysis.ComputeCVEs(in) })
+	run(func() { t.Malicious = analysis.ComputeMalicious(in) })
+	run(func() { t.PortBounce = analysis.ComputePortBounce(in) })
+	run(func() { t.FTPS = analysis.ComputeFTPS(in, 10) })
+	wg.Wait()
+	return t
 }
 
 // HoneypotStudyConfig sizes a §VIII run.

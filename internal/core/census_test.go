@@ -89,6 +89,21 @@ func TestCensusEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTruthOnlyDiscovery: the scanner's 100K+ probes answer from ground
+// truth alone; the world materializes exactly the hosts the enumerator
+// dialed — one per discovery-responsive address — not the hosts probed.
+func TestTruthOnlyDiscovery(t *testing.T) {
+	c, res := testCensus(t, 65536)
+	if res.Probed <= uint64(len(res.Records)) {
+		t.Fatalf("probed %d, records %d; probe volume should dwarf dials",
+			res.Probed, len(res.Records))
+	}
+	if got, want := c.World.MaterializedHosts(), len(res.Records); got != want {
+		t.Errorf("materialized %d hosts, want %d (hosts dialed by the enumerator)",
+			got, want)
+	}
+}
+
 func TestCensusDeterministicDiscovery(t *testing.T) {
 	_, res1 := testCensus(t, 65536)
 	_, res2 := testCensus(t, 65536)

@@ -3,7 +3,6 @@ package simnet
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -33,10 +32,21 @@ type Host interface {
 }
 
 // HostProvider materializes hosts on demand. Lookup must be safe for
-// concurrent use and should be cheap: the scanner calls it for every probed
-// address. Returning nil means no host answers at that address.
+// concurrent use; it is only consulted when a full connection is built
+// (DialFrom), so it may do real work — allocate a filesystem, start a
+// server. Returning nil means no host answers at that address.
 type HostProvider interface {
 	Lookup(ip IP) Host
+}
+
+// PortScanner is the probe fast path: providers that can answer "would
+// dst:port accept a connection?" from ground truth — without materializing
+// the host — implement it alongside HostProvider. Probe consults PortOpen
+// instead of Lookup, so a scan over billions of closed addresses never
+// builds a host. PortOpen must be safe for concurrent use, must not block,
+// and must agree with what Lookup would report.
+type PortScanner interface {
+	PortOpen(ip IP, port uint16) bool
 }
 
 // Stats counts network-level activity; useful in benches and ablations.
@@ -51,13 +61,24 @@ type Stats struct {
 	HandlerPanics atomic.Uint64
 }
 
+// providerBox pairs a provider with its pre-asserted fast-path interface so
+// the per-probe path never repeats the type assertion.
+type providerBox struct {
+	host HostProvider
+	scan PortScanner // nil when host does not implement PortScanner
+}
+
 // Network is the simulated Internet: a provider for the ambient host
 // population plus explicitly registered listeners for measurement
 // infrastructure (scan collectors, honeypots).
+//
+// The probe and dial paths are contention-free: they read atomic snapshots
+// of the listener table and provider, never a lock. Mutations (Listen,
+// Listener.Close, SetProvider) copy-on-write the snapshot under mu.
 type Network struct {
-	mu        sync.RWMutex
-	listeners map[Addr]*Listener
-	provider  HostProvider
+	mu        sync.Mutex // serializes snapshot mutations only
+	listeners atomic.Pointer[map[Addr]*Listener]
+	provider  atomic.Pointer[providerBox]
 
 	// Latency, when set, returns the connection-setup delay between two
 	// addresses. Zero/nil means instantaneous setup.
@@ -75,17 +96,24 @@ type Network struct {
 
 // NewNetwork builds an empty network backed by an optional provider.
 func NewNetwork(provider HostProvider) *Network {
-	return &Network{
-		listeners: make(map[Addr]*Listener),
-		provider:  provider,
-	}
+	nw := &Network{}
+	empty := make(map[Addr]*Listener)
+	nw.listeners.Store(&empty)
+	nw.storeProvider(provider)
+	return nw
 }
 
 // SetProvider replaces the ambient host provider.
 func (nw *Network) SetProvider(p HostProvider) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	nw.provider = p
+	nw.storeProvider(p)
+}
+
+func (nw *Network) storeProvider(p HostProvider) {
+	box := &providerBox{host: p}
+	box.scan, _ = p.(PortScanner)
+	nw.provider.Store(box)
 }
 
 // errRefused mirrors ECONNREFUSED.
@@ -121,9 +149,16 @@ func (l *Listener) Accept() (net.Conn, error) {
 func (l *Listener) Close() error {
 	l.once.Do(func() {
 		close(l.done)
-		l.nw.mu.Lock()
-		delete(l.nw.listeners, l.addr)
-		l.nw.mu.Unlock()
+		nw := l.nw
+		nw.mu.Lock()
+		next := make(map[Addr]*Listener, len(*nw.listeners.Load()))
+		for a, lis := range *nw.listeners.Load() {
+			if a != l.addr {
+				next[a] = lis
+			}
+		}
+		nw.listeners.Store(&next)
+		nw.mu.Unlock()
 	})
 	return nil
 }
@@ -135,16 +170,17 @@ func (l *Listener) Addr() net.Addr { return l.addr }
 func (nw *Network) Listen(ip IP, port uint16) (*Listener, error) {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
+	cur := *nw.listeners.Load()
 	if port == 0 {
 		for {
-			port = nw.nextEphemeralLocked(ip)
-			if _, taken := nw.listeners[Addr{IP: ip, Port: port}]; !taken {
+			port = nw.nextEphemeral(ip)
+			if _, taken := cur[Addr{IP: ip, Port: port}]; !taken {
 				break
 			}
 		}
 	}
 	addr := Addr{IP: ip, Port: port}
-	if _, taken := nw.listeners[addr]; taken {
+	if _, taken := cur[addr]; taken {
 		return nil, fmt.Errorf("simnet: address %s already in use", addr)
 	}
 	l := &Listener{
@@ -153,11 +189,17 @@ func (nw *Network) Listen(ip IP, port uint16) (*Listener, error) {
 		accept: make(chan *Conn, 16),
 		done:   make(chan struct{}),
 	}
-	nw.listeners[addr] = l
+	next := make(map[Addr]*Listener, len(cur)+1)
+	for a, lis := range cur {
+		next[a] = lis
+	}
+	next[addr] = l
+	nw.listeners.Store(&next)
 	return l, nil
 }
 
-func (nw *Network) nextEphemeralLocked(ip IP) uint16 {
+// nextEphemeral assigns a source port for an outbound connection.
+func (nw *Network) nextEphemeral(ip IP) uint16 {
 	v, _ := nw.ephemeral.LoadOrStore(ip, new(uint32))
 	ctr := v.(*uint32)
 	// Ephemeral range 32768-60999, Linux-style.
@@ -165,17 +207,10 @@ func (nw *Network) nextEphemeralLocked(ip IP) uint16 {
 	return uint16(32768 + n%28232)
 }
 
-// nextEphemeral assigns a source port for an outbound connection.
-func (nw *Network) nextEphemeral(ip IP) uint16 {
-	v, _ := nw.ephemeral.LoadOrStore(ip, new(uint32))
-	ctr := v.(*uint32)
-	n := atomic.AddUint32(ctr, 1)
-	return uint16(32768 + n%28232)
-}
-
 // Probe is the SYN-scan fast path: it reports whether dst:port would accept
 // a connection, without building one. Deterministic loss is applied so
-// scanners observe realistic miss rates.
+// scanners observe realistic miss rates. The closed-port path performs no
+// allocation and takes no lock.
 func (nw *Network) Probe(dst IP, port uint16, attempt int) bool {
 	nw.Stats.Probes.Add(1)
 	if nw.LossRate > 0 && nw.dropped(dst, port, attempt) {
@@ -188,36 +223,33 @@ func (nw *Network) Probe(dst IP, port uint16, attempt int) bool {
 	return open
 }
 
+// dropped decides deterministic probe loss with an inline splitmix64-style
+// mix. The full 64-bit LossSeed and the disjoint (ip, port, attempt) bit
+// fields all participate; attempts beyond 2^16 alias, far above any
+// realistic retry count.
 func (nw *Network) dropped(dst IP, port uint16, attempt int) bool {
-	h := fnv.New64a()
-	var b [16]byte
-	b[0] = byte(dst >> 24)
-	b[1] = byte(dst >> 16)
-	b[2] = byte(dst >> 8)
-	b[3] = byte(dst)
-	b[4] = byte(port >> 8)
-	b[5] = byte(port)
-	b[6] = byte(attempt)
-	b[8] = byte(nw.LossSeed)
-	b[9] = byte(nw.LossSeed >> 8)
-	b[10] = byte(nw.LossSeed >> 16)
-	b[11] = byte(nw.LossSeed >> 24)
-	h.Write(b[:])
-	return float64(h.Sum64()%1_000_000)/1_000_000 < nw.LossRate
+	x := nw.LossSeed ^ (uint64(dst)<<32 | uint64(port)<<16 | uint64(uint16(attempt)))
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x%1_000_000)/1_000_000 < nw.LossRate
 }
 
 func (nw *Network) portOpen(dst IP, port uint16) bool {
-	nw.mu.RLock()
-	_, explicit := nw.listeners[Addr{IP: dst, Port: port}]
-	provider := nw.provider
-	nw.mu.RUnlock()
-	if explicit {
-		return true
+	if m := *nw.listeners.Load(); len(m) != 0 {
+		if _, ok := m[Addr{IP: dst, Port: port}]; ok {
+			return true
+		}
 	}
-	if provider == nil {
+	box := nw.provider.Load()
+	if box.scan != nil {
+		return box.scan.PortOpen(dst, port)
+	}
+	if box.host == nil {
 		return false
 	}
-	host := provider.Lookup(dst)
+	host := box.host.Lookup(dst)
 	return host != nil && host.Listening(port)
 }
 
@@ -232,12 +264,7 @@ func (nw *Network) DialFrom(src IP, dst IP, port uint16) (net.Conn, error) {
 	local := Addr{IP: src, Port: nw.nextEphemeral(src)}
 	remote := Addr{IP: dst, Port: port}
 
-	nw.mu.RLock()
-	l, explicit := nw.listeners[remote]
-	provider := nw.provider
-	nw.mu.RUnlock()
-
-	if explicit {
+	if l, explicit := (*nw.listeners.Load())[remote]; explicit {
 		clientEnd, serverEnd := NewConnPair(local, remote)
 		select {
 		case l.accept <- serverEnd:
@@ -249,7 +276,7 @@ func (nw *Network) DialFrom(src IP, dst IP, port uint16) (net.Conn, error) {
 		}
 	}
 
-	if provider != nil {
+	if provider := nw.provider.Load().host; provider != nil {
 		if host := provider.Lookup(dst); host != nil && host.Listening(port) {
 			handler := host.Handler(port)
 			if handler == nil {

@@ -343,6 +343,157 @@ func TestHandlerPanicIsolated(t *testing.T) {
 	}
 }
 
+// TestNetworkConcurrencyChaos hammers the probe fast path, full dials, and
+// listener churn from many goroutines at once. Run under -race (the tier-1
+// Makefile does) it proves the atomic-snapshot listener table and the
+// lock-free probe path are actually safe, not just fast.
+func TestNetworkConcurrencyChaos(t *testing.T) {
+	provider := NewStaticProvider()
+	const hostCount = 8
+	for i := 0; i < hostCount; i++ {
+		provider.Add(IP(100+i), 21, HandlerFunc(func(_ *Network, conn net.Conn) {
+			defer conn.Close()
+			io.Copy(conn, conn)
+		}))
+	}
+	nw := NewNetwork(provider)
+	nw.LossRate = 0.1
+	nw.LossSeed = 7
+
+	var wg sync.WaitGroup
+
+	// Probers sweep open and closed addresses and ports.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				nw.Probe(IP(90+(i+g)%20), uint16(21+i%3), i)
+			}
+		}(g)
+	}
+
+	// Dialers build full connections and exchange a payload.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				conn, err := nw.DialFrom(IP(5000+g), IP(100+i%hostCount), 21)
+				if err != nil {
+					t.Errorf("DialFrom: %v", err)
+					return
+				}
+				conn.Write([]byte("ping"))
+				buf := make([]byte, 4)
+				if _, err := io.ReadFull(conn, buf); err != nil {
+					t.Errorf("ReadFull: %v", err)
+				}
+				conn.Close()
+			}
+		}(g)
+	}
+
+	// Listener churn: bind ephemeral listeners and close them while
+	// probes and dials read the snapshot.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l, err := nw.Listen(IP(9000+g), 0)
+				if err != nil {
+					t.Errorf("Listen: %v", err)
+					return
+				}
+				nw.Probe(IP(9000+g), l.Addr().(Addr).Port, 0)
+				l.Close()
+			}
+		}(g)
+	}
+
+	// Provider swaps interleave with every read path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			nw.SetProvider(provider)
+		}
+	}()
+
+	wg.Wait()
+	if got := nw.Stats.Dials.Load(); got != 400 {
+		t.Errorf("dials = %d, want 400", got)
+	}
+}
+
+// TestProbeFastPathUsed: a provider implementing PortScanner answers probes
+// through PortOpen, and the probe path never calls Lookup.
+func TestProbeFastPathUsed(t *testing.T) {
+	p := &countingScanner{open: 700}
+	nw := NewNetwork(p)
+	if !nw.Probe(700, 21, 0) {
+		t.Error("probe of open host = false")
+	}
+	if nw.Probe(701, 21, 0) {
+		t.Error("probe of absent host = true")
+	}
+	if p.portOpens == 0 {
+		t.Error("PortOpen fast path not consulted")
+	}
+	if p.lookups != 0 {
+		t.Errorf("Probe called Lookup %d times, want 0", p.lookups)
+	}
+	// A full dial still materializes through Lookup.
+	if _, err := nw.DialFrom(1, 700, 21); err != nil {
+		t.Fatalf("DialFrom: %v", err)
+	}
+	if p.lookups != 1 {
+		t.Errorf("DialFrom lookups = %d, want 1", p.lookups)
+	}
+}
+
+// countingScanner is a HostProvider+PortScanner counting which path ran.
+type countingScanner struct {
+	open      IP
+	lookups   int
+	portOpens int
+}
+
+func (c *countingScanner) PortOpen(ip IP, port uint16) bool {
+	c.portOpens++
+	return ip == c.open && port == 21
+}
+
+func (c *countingScanner) Lookup(ip IP) Host {
+	c.lookups++
+	if ip != c.open {
+		return nil
+	}
+	return &echoHost{ip: c.open, port: 21}
+}
+
+func TestDroppedUsesFullSeed(t *testing.T) {
+	// Two seeds differing only in the high 32 bits must produce different
+	// loss patterns (the seed's upper half used to be ignored).
+	a := NewNetwork(nil)
+	a.LossRate = 0.5
+	a.LossSeed = 1
+	b := NewNetwork(nil)
+	b.LossRate = 0.5
+	b.LossSeed = 1 | (1 << 40)
+	same := 0
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		if a.dropped(IP(i), 21, 0) == b.dropped(IP(i), 21, 0) {
+			same++
+		}
+	}
+	if same == trials {
+		t.Error("high seed bits do not affect loss decisions")
+	}
+}
+
 func TestConcurrentDials(t *testing.T) {
 	host := &echoHost{ip: 500, port: 21}
 	nw := NewNetwork(host)

@@ -48,6 +48,15 @@ func (p *StaticProvider) Remove(ip IP) {
 	delete(p.hosts, ip)
 }
 
+// PortOpen implements PortScanner: static hosts answer probes from the
+// table without the interface indirection of the Lookup path.
+func (p *StaticProvider) PortOpen(ip IP, port uint16) bool {
+	p.mu.RLock()
+	host, ok := p.hosts[ip]
+	p.mu.RUnlock()
+	return ok && host.Listening(port)
+}
+
 // Lookup implements HostProvider.
 func (p *StaticProvider) Lookup(ip IP) Host {
 	p.mu.RLock()

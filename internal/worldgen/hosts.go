@@ -31,19 +31,19 @@ func (h *hostEntry) Handler(port uint16) simnet.Handler {
 	return h.handler
 }
 
-// Lookup implements simnet.HostProvider. The fast path (scanner probes)
-// checks presence without materializing; materialization happens on first
-// real contact and is cached so filesystem state persists.
+// Lookup implements simnet.HostProvider. Scanner probes never reach it —
+// they go through PortOpen, which answers from truth alone — so Lookup only
+// runs when a connection is actually built. Materialization happens on that
+// first real contact and is cached (sharded by IP) so filesystem state
+// persists across connections.
 func (w *World) Lookup(ip simnet.IP) simnet.Host {
-	w.mu.Lock()
-	if entry, ok := w.hosts[ip]; ok {
-		w.mu.Unlock()
-		if entry == nil {
-			return nil
-		}
+	sh := &w.hosts[uint32(ip)&(hostShards-1)]
+	sh.mu.Lock()
+	if entry, ok := sh.m[ip]; ok {
+		sh.mu.Unlock()
 		return entry
 	}
-	w.mu.Unlock()
+	sh.mu.Unlock()
 
 	truth, present := w.Truth(ip)
 	if !present {
@@ -51,24 +51,29 @@ func (w *World) Lookup(ip simnet.IP) simnet.Host {
 	}
 	entry := w.materialize(truth)
 
-	w.mu.Lock()
+	sh.mu.Lock()
 	// Another goroutine may have materialized concurrently; keep the
 	// first entry so filesystem state stays consistent.
-	if prior, ok := w.hosts[ip]; ok && prior != nil {
-		w.mu.Unlock()
+	if prior, ok := sh.m[ip]; ok {
+		sh.mu.Unlock()
 		return prior
 	}
-	w.hosts[ip] = entry
-	w.mu.Unlock()
+	sh.m[ip] = entry
+	sh.mu.Unlock()
 	return entry
 }
 
 // MaterializedHosts reports how many hosts have been built (diagnostics and
-// the lazy-vs-eager ablation).
+// the lazy-vs-eager ablation). With truth-only discovery this equals the
+// hosts the enumerator dialed, not the hosts the scanner probed.
 func (w *World) MaterializedHosts() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.hosts)
+	n := 0
+	for i := range w.hosts {
+		w.hosts[i].mu.Lock()
+		n += len(w.hosts[i].m)
+		w.hosts[i].mu.Unlock()
+	}
+	return n
 }
 
 // materialize builds the live host for a ground truth record.

@@ -26,8 +26,23 @@ type World struct {
 	ScanBase simnet.IP
 	ScanSize uint64
 
-	mu    sync.Mutex
-	hosts map[simnet.IP]*hostEntry
+	// nonFTPRate is nonFTPOpenRate precomputed at construction; the
+	// probe fast path consults it for every closed address.
+	nonFTPRate float64
+
+	// hosts is the materialized-host cache, sharded by IP so concurrent
+	// enumerator workers materializing different hosts never contend on
+	// one lock. The probe path never touches it.
+	hosts [hostShards]hostShard
+}
+
+// hostShards is the host-cache fan-out; a power of two so the shard index
+// is a mask.
+const hostShards = 64
+
+type hostShard struct {
+	mu sync.Mutex
+	m  map[simnet.IP]*hostEntry
 }
 
 // New synthesizes a world from parameters.
@@ -47,7 +62,7 @@ func New(p Params) (*World, error) {
 	for _, prof := range profiles {
 		byAS[prof.AS] = prof
 	}
-	return &World{
+	w := &World{
 		Params:      p,
 		ASDB:        db,
 		Certs:       pool,
@@ -56,8 +71,12 @@ func New(p Params) (*World, error) {
 		uniqueCerts: uniqueNames,
 		ScanBase:    simnet.MustParseIP("1.0.0.0"),
 		ScanSize:    p.ScanSpaceSize(),
-		hosts:       make(map[simnet.IP]*hostEntry),
-	}, nil
+	}
+	w.nonFTPRate = nonFTPOpenRateFor(p)
+	for i := range w.hosts {
+		w.hosts[i].m = make(map[simnet.IP]*hostEntry)
+	}
+	return w, nil
 }
 
 // profileFor maps an IP to its AS profile, or nil.
@@ -101,8 +120,10 @@ const (
 // without speaking FTP from the configured FTP-of-open rate: with r =
 // FTPRateOfOpen, non-FTP open hosts are FTP·(1−r)/r spread over the scan
 // space (paper: 21.8M open − 13.8M FTP over 3.68B scanned).
-func (w *World) nonFTPOpenRate() float64 {
-	r := w.Params.FTPRateOfOpen
+func (w *World) nonFTPOpenRate() float64 { return w.nonFTPRate }
+
+func nonFTPOpenRateFor(p Params) float64 {
+	r := p.FTPRateOfOpen
 	if r <= 0 || r >= 1 {
 		return 0
 	}
@@ -240,6 +261,30 @@ func (w *World) Truth(ip simnet.IP) (HostTruth, bool) {
 		t.RequestLimit = 40 + pickN(h, 160)
 	}
 	return t, true
+}
+
+// Open reports whether an address answers on TCP/21, deriving only the
+// presence decision (at most two hash draws and an AS lookup) instead of
+// the full truth record. It agrees exactly with Truth's presence result and
+// performs no allocation — this is the scanner's per-probe cost.
+func (w *World) Open(ip simnet.IP) bool {
+	seed := w.Params.Seed
+	u := uint32(ip)
+	if prof := w.profileFor(ip); prof != nil && chance(derive(seed, u, saltFTP), prof.Density) {
+		return true
+	}
+	return chance(derive(seed, u, saltNonFTP), w.nonFTPRate)
+}
+
+// PortOpen implements simnet.PortScanner: discovery probes are answered
+// from ground truth without taking any world lock or materializing the
+// host. Hosts are built only when the enumerator actually connects
+// (Lookup, via DialFrom).
+func (w *World) PortOpen(ip simnet.IP, port uint16) bool {
+	if port != 21 {
+		return false
+	}
+	return w.Open(ip)
 }
 
 // certNameFor assigns the FTPS certificate: hosting providers share the AS

@@ -75,22 +75,31 @@ func NewScanner(cfg Config) (*Scanner, error) {
 	return &Scanner{cfg: cfg}, nil
 }
 
-// Run scans the target range, sending results to out. The channel is closed
-// when the scan finishes. Run blocks until complete or ctx cancels.
-func (s *Scanner) Run(ctx context.Context, out chan<- Result) error {
+// BatchSize is the number of permutation offsets handed to a worker per
+// channel operation; handoff cost amortizes across the batch, so the
+// per-probe fan-out overhead is a fraction of a channel send.
+const BatchSize = 256
+
+// RunBatches scans the target range, delivering discovered hosts to out in
+// slices. The channel is closed when the scan finishes. RunBatches blocks
+// until complete or ctx cancels. Each delivered slice is owned by the
+// receiver.
+func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 	defer close(out)
 	perm, err := NewPermutation(s.cfg.Size, s.cfg.Seed)
 	if err != nil {
 		return err
 	}
 
-	// The permutation is drained by one goroutine into a work channel;
-	// probe workers fan out from there.
-	work := make(chan uint64, 1024)
+	// The permutation is drained by one goroutine into a work channel of
+	// offset batches; probe workers fan out from there.
+	work := make(chan []uint64, 64)
 	var limiter *time.Ticker
 	var perTick int
 	if s.cfg.RatePerSec > 0 {
-		// Batch the limiter into 10ms ticks to avoid a timer per probe.
+		// Batch the limiter into 10ms ticks to avoid a timer per probe;
+		// the budget is still accounted per offset, so the cap holds
+		// regardless of batch boundaries.
 		perTick = s.cfg.RatePerSec / 100
 		if perTick < 1 {
 			perTick = 1
@@ -101,17 +110,36 @@ func (s *Scanner) Run(ctx context.Context, out chan<- Result) error {
 
 	go func() {
 		defer close(work)
+		batch := make([]uint64, 0, BatchSize)
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			select {
+			case work <- batch:
+				batch = make([]uint64, 0, BatchSize)
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
 		budget := perTick
 		for {
 			off, ok := perm.Next()
 			if !ok {
-				return
+				break
 			}
 			if s.cfg.TotalShards > 1 && off%uint64(s.cfg.TotalShards) != uint64(s.cfg.Shard) {
 				continue
 			}
 			if limiter != nil {
 				if budget == 0 {
+					// Flush the partial batch before blocking so
+					// workers stay busy while the producer waits
+					// out the tick.
+					if !flush() {
+						return
+					}
 					select {
 					case <-limiter.C:
 						budget = perTick
@@ -121,12 +149,14 @@ func (s *Scanner) Run(ctx context.Context, out chan<- Result) error {
 				}
 				budget--
 			}
-			select {
-			case work <- off:
-			case <-ctx.Done():
-				return
+			batch = append(batch, off)
+			if len(batch) == BatchSize {
+				if !flush() {
+					return
+				}
 			}
 		}
+		flush()
 	}()
 
 	var wg sync.WaitGroup
@@ -134,23 +164,32 @@ func (s *Scanner) Run(ctx context.Context, out chan<- Result) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for off := range work {
-				ip := simnet.IP(uint64(s.cfg.Base) + off)
-				if s.cfg.Exclusions.Excluded(ip) {
-					s.Stats.Excluded.Add(1)
+			var found []Result
+			for batch := range work {
+				found = found[:0]
+				for _, off := range batch {
+					ip := simnet.IP(uint64(s.cfg.Base) + off)
+					if s.cfg.Exclusions.Excluded(ip) {
+						s.Stats.Excluded.Add(1)
+						continue
+					}
+					s.Stats.Probed.Add(1)
+					open := s.cfg.Network.Probe(ip, s.cfg.Port, 0)
+					for attempt := 1; !open && attempt <= s.cfg.Retries; attempt++ {
+						open = s.cfg.Network.Probe(ip, s.cfg.Port, attempt)
+					}
+					if open {
+						s.Stats.Responded.Add(1)
+						found = append(found, Result{IP: ip})
+					}
+				}
+				if len(found) == 0 {
 					continue
 				}
-				s.Stats.Probed.Add(1)
-				open := s.cfg.Network.Probe(ip, s.cfg.Port, 0)
-				for attempt := 1; !open && attempt <= s.cfg.Retries; attempt++ {
-					open = s.cfg.Network.Probe(ip, s.cfg.Port, attempt)
-				}
-				if !open {
-					continue
-				}
-				s.Stats.Responded.Add(1)
+				res := make([]Result, len(found))
+				copy(res, found)
 				select {
-				case out <- Result{IP: ip}:
+				case out <- res:
 				case <-ctx.Done():
 					return
 				}
@@ -161,18 +200,41 @@ func (s *Scanner) Run(ctx context.Context, out chan<- Result) error {
 	return ctx.Err()
 }
 
+// Run scans the target range, sending results to out one at a time. The
+// channel is closed when the scan finishes. Run blocks until complete or
+// ctx cancels. It adapts RunBatches for callers that prefer a flat stream.
+func (s *Scanner) Run(ctx context.Context, out chan<- Result) error {
+	defer close(out)
+	batches := make(chan []Result, 64)
+	errc := make(chan error, 1)
+	go func() { errc <- s.RunBatches(ctx, batches) }()
+	for batch := range batches {
+		for _, r := range batch {
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				for range batches {
+					// Drain so the scan goroutine can finish.
+				}
+				return <-errc
+			}
+		}
+	}
+	return <-errc
+}
+
 // Collect runs the scan and gathers all results into a slice.
 func (s *Scanner) Collect(ctx context.Context) ([]Result, error) {
-	out := make(chan Result, 1024)
+	out := make(chan []Result, 64)
 	var results []Result
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for r := range out {
-			results = append(results, r)
+		for batch := range out {
+			results = append(results, batch...)
 		}
 	}()
-	err := s.Run(ctx, out)
+	err := s.RunBatches(ctx, out)
 	<-done
 	return results, err
 }

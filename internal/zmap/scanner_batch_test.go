@@ -1,0 +1,208 @@
+package zmap
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ftpcloud/internal/simnet"
+)
+
+// TestScannerShardsPartitionProbes: under the batched fan-out, shards must
+// partition the offset space exactly — every offset probed by exactly one
+// shard, none skipped — including when the shard count does not divide the
+// space evenly.
+func TestScannerShardsPartitionProbes(t *testing.T) {
+	base := simnet.MustParseIP("10.0.0.0")
+	const size = 4099 // prime: never a multiple of the shard count
+	hosts := &sparseHosts{base: base, every: 7, size: size}
+	nw := simnet.NewNetwork(hosts)
+
+	for _, shards := range []int{2, 3, 5} {
+		seen := make(map[simnet.IP]int)
+		var probed uint64
+		for shard := 0; shard < shards; shard++ {
+			s, err := NewScanner(Config{
+				Network: nw, Base: base, Size: size, Port: 21, Seed: 9,
+				Shard: shard, TotalShards: shards, Workers: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results, err := s.Collect(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			probed += s.Stats.Probed.Load()
+			for _, r := range results {
+				seen[r.IP]++
+			}
+		}
+		if probed != size {
+			t.Errorf("%d shards probed %d offsets, want %d", shards, probed, size)
+		}
+		want := size/7 + 1
+		if len(seen) != want {
+			t.Errorf("%d shards found %d hosts, want %d", shards, len(seen), want)
+		}
+		for ip, n := range seen {
+			if n != 1 {
+				t.Errorf("%d shards: %s found %d times", shards, ip, n)
+			}
+		}
+	}
+}
+
+// TestScannerRateCapTolerance: the batched producer still accounts the rate
+// budget per offset, so the effective probe rate stays at the cap within
+// tolerance — neither instant (cap ignored) nor wildly over.
+func TestScannerRateCapTolerance(t *testing.T) {
+	base := simnet.MustParseIP("10.0.0.0")
+	const size = 1000
+	const rate = 2500
+	hosts := &sparseHosts{base: base, every: 4, size: size}
+	nw := simnet.NewNetwork(hosts)
+	s, err := NewScanner(Config{
+		Network: nw, Base: base, Size: size, Port: 21, Seed: 13,
+		RatePerSec: rate, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := s.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	ideal := time.Duration(float64(size) / rate * float64(time.Second))
+	if elapsed < ideal*4/10 {
+		t.Errorf("rate cap not respected: %d probes at %d/s took %v (ideal %v)",
+			size, rate, elapsed, ideal)
+	}
+	if effective := float64(size) / elapsed.Seconds(); effective > 2*rate {
+		t.Errorf("effective rate %.0f/s exceeds cap %d/s by more than 2x", effective, rate)
+	}
+}
+
+// TestScannerRateCapWithShards: rate limiting composes with sharding — the
+// budget is charged only for offsets the shard actually owns.
+func TestScannerRateCapWithShards(t *testing.T) {
+	base := simnet.MustParseIP("10.0.0.0")
+	const size = 2000
+	hosts := &sparseHosts{base: base, every: 4, size: size}
+	nw := simnet.NewNetwork(hosts)
+	s, err := NewScanner(Config{
+		Network: nw, Base: base, Size: size, Port: 21, Seed: 13,
+		RatePerSec: 2500, Workers: 4, Shard: 1, TotalShards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := s.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The shard owns ~1000 offsets; at 2500/s that is ≥ ~400ms of ticks.
+	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
+		t.Errorf("sharded rate cap not applied: took %v", elapsed)
+	}
+	if probed := s.Stats.Probed.Load(); probed != size/2 {
+		t.Errorf("shard probed %d offsets, want %d", probed, size/2)
+	}
+}
+
+// TestRunBatchesMatchesRun: the flat Run adapter delivers exactly the hosts
+// RunBatches discovers.
+func TestRunBatchesMatchesRun(t *testing.T) {
+	base := simnet.MustParseIP("10.0.0.0")
+	hosts := &sparseHosts{base: base, every: 11, size: 5000}
+	nw := simnet.NewNetwork(hosts)
+
+	mk := func() *Scanner {
+		s, err := NewScanner(Config{Network: nw, Base: base, Size: 5000, Port: 21, Seed: 21, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	fromBatches := make(map[simnet.IP]bool)
+	batchCh := make(chan []Result, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for batch := range batchCh {
+			if len(batch) == 0 {
+				t.Error("empty batch delivered")
+			}
+			if len(batch) > BatchSize {
+				t.Errorf("batch of %d exceeds BatchSize %d", len(batch), BatchSize)
+			}
+			for _, r := range batch {
+				fromBatches[r.IP] = true
+			}
+		}
+	}()
+	if err := mk().RunBatches(context.Background(), batchCh); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	fromRun := make(map[simnet.IP]bool)
+	flat := make(chan Result, 16)
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range flat {
+			fromRun[r.IP] = true
+		}
+	}()
+	if err := mk().Run(context.Background(), flat); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	if len(fromBatches) != len(fromRun) {
+		t.Fatalf("RunBatches found %d hosts, Run found %d", len(fromBatches), len(fromRun))
+	}
+	for ip := range fromRun {
+		if !fromBatches[ip] {
+			t.Errorf("host %s missing from batched results", ip)
+		}
+	}
+	want := 5000/11 + 1
+	if len(fromRun) != want {
+		t.Errorf("found %d hosts, want %d", len(fromRun), want)
+	}
+}
+
+// TestRunBatchesCancellation: a cancelled batched scan terminates and
+// reports the context error.
+func TestRunBatchesCancellation(t *testing.T) {
+	base := simnet.MustParseIP("10.0.0.0")
+	hosts := &sparseHosts{base: base, every: 2, size: 1 << 20}
+	nw := simnet.NewNetwork(hosts)
+	s, err := NewScanner(Config{
+		Network: nw, Base: base, Size: 1 << 20, Port: 21, Seed: 3,
+		RatePerSec: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	out := make(chan []Result, 16)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range out {
+		}
+	}()
+	if err := s.RunBatches(ctx, out); err == nil {
+		t.Error("cancelled batched scan returned nil error")
+	}
+	<-done
+	if probed := s.Stats.Probed.Load(); probed >= 1<<20 {
+		t.Error("scan completed despite cancellation")
+	}
+}

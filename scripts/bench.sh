@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs the scan-path benchmarks with -benchmem and emits a JSON summary so
+# each PR leaves a perf trajectory (BENCH_2.json, BENCH_3.json, ...).
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=2s scripts/bench.sh BENCH_3.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_current.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+BENCH='BenchmarkProbeFanout|BenchmarkProbeClosedPort|BenchmarkComputeTables|BenchmarkSimnetThroughput$|BenchmarkPipeline_FullCensus'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""; extra = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        else if ($(i+1) == "B/op") bytes = $i
+        else if ($(i+1) == "allocs/op") allocs = $i
+        else if ($(i+1) ~ /\//) {
+            if (extra != "") extra = extra ", "
+            extra = extra "\"" $(i+1) "\": " $i
+        }
+    }
+    line = "    {\"name\": \"" name "\", \"iterations\": " iters
+    if (ns != "")     line = line ", \"ns_per_op\": " ns
+    if (bytes != "")  line = line ", \"bytes_per_op\": " bytes
+    if (allocs != "") line = line ", \"allocs_per_op\": " allocs
+    if (extra != "")  line = line ", " extra
+    line = line "}"
+    out[n++] = line
+}
+END {
+    print "{"
+    print "  \"benchtime\": \"" benchtime "\","
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) printf "%s%s\n", out[i], (i < n - 1 ? "," : "")
+    print "  ]"
+    print "}"
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
