@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -639,8 +640,9 @@ func BenchmarkProbeClosedPort(b *testing.B) {
 }
 
 // BenchmarkComputeTables measures the full analysis stage over the shared
-// census fixture (classification caches warm after the first iteration, so
-// steady-state iterations measure the table computations themselves).
+// census fixture. The census already folded every record into the streaming
+// accumulators, so iterations measure the finalize step alone — the cost
+// that remains on the critical path after a run.
 func BenchmarkComputeTables(b *testing.B) {
 	_, res := fixture(b)
 	b.ResetTimer()
@@ -650,6 +652,59 @@ func BenchmarkComputeTables(b *testing.B) {
 			b.Fatal("empty tables")
 		}
 	}
+}
+
+// BenchmarkCensusMemory contrasts the live heap a finished census pins in
+// the two retention modes. Each iteration builds a world, runs the census,
+// releases the world, forces a GC, and reports the surviving heap bytes per
+// observed host: in retained mode the Result pins every record and listing;
+// in streaming mode only the accumulator state survives.
+func BenchmarkCensusMemory(b *testing.B) {
+	// settle runs the collector twice so floating garbage from earlier
+	// benchmarks (the shared census fixture, finalizer chains) cannot
+	// skew a baseline read.
+	settle := func(ms *runtime.MemStats) {
+		runtime.GC()
+		runtime.GC()
+		runtime.ReadMemStats(ms)
+	}
+	run := func(b *testing.B, retain core.Retention) {
+		var perHost float64
+		for i := 0; i < b.N; i++ {
+			var before, after runtime.MemStats
+			settle(&before)
+
+			census, err := core.NewCensus(core.CensusConfig{
+				Seed:          42,
+				Scale:         benchScale(),
+				RetainRecords: retain,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := census.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Observed == 0 {
+				b.Fatal("census observed no hosts")
+			}
+
+			// Drop the world; what survives the GC is what the Result pins.
+			census = nil //nolint:ineffassign // releases the world for the GC below
+			settle(&after)
+
+			live := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+			if live < 0 {
+				live = 0
+			}
+			perHost = float64(live) / float64(res.Observed)
+			runtime.KeepAlive(res)
+		}
+		b.ReportMetric(perHost, "live-B/host")
+	}
+	b.Run("retained", func(b *testing.B) { run(b, core.RetainAll) })
+	b.Run("streaming", func(b *testing.B) { run(b, core.RetainNone) })
 }
 
 // BenchmarkSimnetThroughput measures raw connection throughput.

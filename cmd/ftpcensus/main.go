@@ -46,12 +46,33 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// The dataset is persisted by streaming each record into the JSONL
+	// file as its enumeration finishes — and unless another consumer
+	// needs the retained slice (the notify builder does), the census
+	// runs in streaming-only mode so listings never pile up in memory.
+	var streamSink *dataset.WriterSink
+	var streamTo dataset.Sink
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		streamSink = dataset.NewWriterSink(f)
+		streamTo = streamSink
+	}
+	retain := core.RetainNone
+	if *notifyTo != "" {
+		retain = core.RetainAll
+	}
+
 	census, err := core.NewCensus(core.CensusConfig{
-		Seed:        *seed,
-		Scale:       *scale,
-		EnumWorkers: *workers,
-		Retries:     *retries,
-		LossRate:    *loss,
+		Seed:          *seed,
+		Scale:         *scale,
+		EnumWorkers:   *workers,
+		Retries:       *retries,
+		LossRate:      *loss,
+		RetainRecords: retain,
+		StreamTo:      streamTo,
 	})
 	if err != nil {
 		return err
@@ -65,28 +86,11 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "ftpcensus: discovery %v (%d probed, %d responsive); enumeration %v (%d records)\n",
 		result.ScanDuration.Round(time.Millisecond), result.Probed, result.Responded,
-		result.EnumDuration.Round(time.Millisecond), len(result.Records))
+		result.EnumDuration.Round(time.Millisecond), result.Observed)
 
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		w := dataset.NewWriter(f)
-		for _, rec := range result.Records {
-			if err := w.Write(rec); err != nil {
-				f.Close()
-				return err
-			}
-		}
-		if err := w.Flush(); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "ftpcensus: wrote %d records to %s\n", w.Count(), *out)
+	if streamSink != nil {
+		// Run already flushed and closed the sink chain.
+		fmt.Fprintf(os.Stderr, "ftpcensus: streamed %d records to %s\n", streamSink.Count(), *out)
 	}
 
 	if *notifyTo != "" {

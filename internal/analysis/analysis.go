@@ -1,14 +1,14 @@
 // Package analysis derives every table and figure in the paper's evaluation
-// from the census dataset. Each experiment has a typed result and a Compute
-// function over the same Input; nothing here consults the world generator —
-// only wire-level observations, the AS database, and the external HTTP
-// (Censys-equivalent) join.
+// from the census dataset. Each experiment has a typed result and two
+// equivalent entry points: a streaming accumulator (the *Acc types, folded
+// record by record as the enumerator fleet emits hosts — see Aggregator) and
+// a batch Compute function over an Input slice. Both paths share the same
+// Observe logic, so their outputs are identical by construction. Nothing
+// here consults the world generator — only wire-level observations, the AS
+// database, and the external HTTP (Censys-equivalent) join.
 package analysis
 
 import (
-	"runtime"
-	"sync"
-
 	"ftpcloud/internal/asdb"
 	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/fingerprint"
@@ -22,7 +22,97 @@ type HTTPInfo struct {
 	Scripting bool
 }
 
-// Input is the dataset every experiment consumes.
+// Record is the per-host view the accumulators consume: the raw wire
+// observations plus lazily derived facts (classification, AS resolution,
+// HTTP join) that are computed at most once per record no matter how many
+// accumulators ask. This replaces the old post-hoc map[*HostRecord] caches:
+// derivation now happens at observe time, while the record is hot, and
+// nothing outlives the Record once every accumulator has folded it.
+type Record struct {
+	Host *dataset.HostRecord
+
+	d *deriver
+
+	class    fingerprint.Classification
+	classSet bool
+	as       *asdb.AS
+	asSet    bool
+	http     HTTPInfo
+	httpOK   bool
+	httpSet  bool
+	ip       simnet.IP
+	ipOK     bool
+	ipSet    bool
+}
+
+// deriver supplies a Record's derived facts: the AS database and the HTTP
+// join source. The join is a hook rather than a map so the streaming path
+// can answer from its own source without materializing a map first.
+type deriver struct {
+	db   *asdb.DB
+	http func(*Record) (HTTPInfo, bool)
+}
+
+// Class returns the record's fingerprint classification, computed on first
+// use.
+func (r *Record) Class() fingerprint.Classification {
+	if !r.classSet {
+		r.class = fingerprint.Classify(r.Host)
+		r.classSet = true
+	}
+	return r.class
+}
+
+// AS resolves the record's AS, or nil, parsing the IP string at most once
+// per record (shared with the HTTP join via IPNum).
+func (r *Record) AS() *asdb.AS {
+	if !r.asSet {
+		r.asSet = true
+		if r.d != nil && r.d.db != nil {
+			if ip, ok := r.IPNum(); ok {
+				if as, found := r.d.db.Lookup(ip); found {
+					r.as = as
+				}
+			}
+		}
+	}
+	return r.as
+}
+
+// HTTP returns the external web-scan join for this host, if any.
+func (r *Record) HTTP() (HTTPInfo, bool) {
+	if !r.httpSet {
+		r.httpSet = true
+		if r.d != nil && r.d.http != nil {
+			r.http, r.httpOK = r.d.http(r)
+		}
+	}
+	return r.http, r.httpOK
+}
+
+// IPNum returns the record's address in numeric form, parsed once.
+func (r *Record) IPNum() (simnet.IP, bool) {
+	if !r.ipSet {
+		r.ipSet = true
+		ip, err := simnet.ParseIP(r.Host.IP)
+		if err == nil {
+			r.ip = ip
+			r.ipOK = true
+		}
+	}
+	return r.ip, r.ipOK
+}
+
+// observer is the incremental-accumulator contract every *Acc implements:
+// fold one record into the running aggregate. Finalize methods are separate
+// and pure, so tables can be produced repeatedly from the same state.
+type observer interface {
+	Observe(r *Record)
+}
+
+// Input is the batch-mode dataset: a retained record slice plus the join
+// sources. Every Compute function folds it through the same accumulators
+// the streaming path uses.
 type Input struct {
 	// IPsScanned is the discovery sweep size (Table I row 1).
 	IPsScanned uint64
@@ -32,86 +122,39 @@ type Input struct {
 	ASDB *asdb.DB
 	// HTTP is the external web-scan join keyed by IP string.
 	HTTP map[string]HTTPInfo
-
-	// Per-record caches, built once by Prepare and read-only afterwards
-	// so analyses can run concurrently over one Input.
-	prep  sync.Once
-	class map[*dataset.HostRecord]fingerprint.Classification
-	as    map[*dataset.HostRecord]*asdb.AS
 }
 
-// Prepare builds the per-record classification and AS-resolution caches,
-// fanning the fingerprinting work across CPUs. It runs at most once; after
-// it returns the caches are immutable, so any number of Compute functions
-// may run concurrently. Classify and AS call it lazily — an explicit call
-// just front-loads the work.
-func (in *Input) Prepare() {
-	in.prep.Do(func() {
-		n := len(in.Records)
-		type derived struct {
-			class fingerprint.Classification
-			as    *asdb.AS
-		}
-		byIdx := make([]derived, n)
-		workers := runtime.GOMAXPROCS(0)
-		if workers > n {
-			workers = 1
-		}
-		chunk := (n + workers - 1) / workers
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					byIdx[i].class = fingerprint.Classify(in.Records[i])
-					byIdx[i].as = in.lookupAS(in.Records[i])
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
-		class := make(map[*dataset.HostRecord]fingerprint.Classification, n)
-		as := make(map[*dataset.HostRecord]*asdb.AS, n)
-		for i, rec := range in.Records {
-			class[rec] = byIdx[i].class
-			as[rec] = byIdx[i].as
-		}
-		in.class = class
-		in.as = as
-	})
-}
-
-// Classify returns the fingerprint classification of a record, answered
-// from the Prepare cache. Records outside Input.Records are classified on
-// the fly without touching the cache.
-func (in *Input) Classify(rec *dataset.HostRecord) fingerprint.Classification {
-	in.Prepare()
-	if c, ok := in.class[rec]; ok {
-		return c
+// deriver builds the derivation hooks for this Input's join sources.
+func (in *Input) deriver() deriver {
+	return deriver{
+		db: in.ASDB,
+		http: func(r *Record) (HTTPInfo, bool) {
+			info, ok := in.HTTP[r.Host.IP]
+			return info, ok
+		},
 	}
+}
+
+// fold streams every record through the given accumulators, sharing one
+// derived Record view per host so classification and AS resolution happen
+// at most once no matter how many accumulators run.
+func (in *Input) fold(obs ...observer) {
+	d := in.deriver()
+	for _, host := range in.Records {
+		r := Record{Host: host, d: &d}
+		for _, o := range obs {
+			o.Observe(&r)
+		}
+	}
+}
+
+// Classify returns the fingerprint classification of a record.
+func (in *Input) Classify(rec *dataset.HostRecord) fingerprint.Classification {
 	return fingerprint.Classify(rec)
 }
 
-// AS resolves a record's AS, or nil. The per-record result is cached by
-// Prepare, so the record's IP string is parsed once per census rather than
-// once per analysis.
+// AS resolves a record's AS, or nil.
 func (in *Input) AS(rec *dataset.HostRecord) *asdb.AS {
-	in.Prepare()
-	if as, ok := in.as[rec]; ok {
-		return as
-	}
-	return in.lookupAS(rec)
-}
-
-func (in *Input) lookupAS(rec *dataset.HostRecord) *asdb.AS {
 	if in.ASDB == nil {
 		return nil
 	}

@@ -43,7 +43,7 @@ func buildInput(t *testing.T) *Input {
 			IP: "10.0.0.1", PortOpen: true, FTP: true, AnonymousOK: true,
 			Banner:    "home.pl FTP server ready [h1]",
 			PortCheck: dataset.PortNotValidated,
-			FTPS: dataset.FTPSInfo{Supported: true, Cert: &dataset.CertInfo{
+			FTPS: &dataset.FTPSInfo{Supported: true, Cert: &dataset.CertInfo{
 				FingerprintSHA256: "fp-homepl", CommonName: "*.home.pl"}},
 			Files: []dataset.FileEntry{
 				dir("/web", "web"),
@@ -62,7 +62,7 @@ func buildInput(t *testing.T) *Input {
 			PASVIP:       "192.168.1.9",
 			PASVMismatch: true,
 			PortCheck:    dataset.PortValidated,
-			FTPS: dataset.FTPSInfo{Supported: true, Cert: &dataset.CertInfo{
+			FTPS: &dataset.FTPSInfo{Supported: true, Cert: &dataset.CertInfo{
 				FingerprintSHA256: "fp-qnap", CommonName: "QNAP NAS", SelfSigned: true}},
 			Files: []dataset.FileEntry{
 				dir("/Photos", "Photos"),
@@ -79,7 +79,7 @@ func buildInput(t *testing.T) *Input {
 		{
 			IP: "20.0.0.3", PortOpen: true, FTP: true, AnonymousOK: false,
 			Banner: "NASFTPD Turbo station 1.3.1e Server (ProFTPD) [192.168.7.7]",
-			FTPS: dataset.FTPSInfo{Supported: true, Cert: &dataset.CertInfo{
+			FTPS: &dataset.FTPSInfo{Supported: true, Cert: &dataset.CertInfo{
 				FingerprintSHA256: "fp-qnap", CommonName: "QNAP NAS", SelfSigned: true}},
 		},
 		// Vulnerable ProFTPD with exposed Linux root.

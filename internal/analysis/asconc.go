@@ -27,28 +27,42 @@ type ASConcentration struct {
 	CDFWritable []float64
 }
 
-// ComputeASConcentration derives Table III and Figure 1.
-func ComputeASConcentration(in *Input) ASConcentration {
-	all := map[*asdb.AS]int{}
-	anon := map[*asdb.AS]int{}
-	writable := map[*asdb.AS]int{}
-	for _, r := range in.FTPRecords() {
-		as := in.AS(r)
-		if as == nil {
-			continue
-		}
-		all[as]++
-		if r.AnonymousOK {
-			anon[as]++
-			if Writable(r) {
-				writable[as]++
-			}
+// ASConcentrationAcc accumulates Table III / Figure 1. The zero value is
+// ready.
+type ASConcentrationAcc struct {
+	all      map[*asdb.AS]int
+	anon     map[*asdb.AS]int
+	writable map[*asdb.AS]int
+}
+
+// Observe folds one record.
+func (a *ASConcentrationAcc) Observe(r *Record) {
+	if !r.Host.FTP {
+		return
+	}
+	as := r.AS()
+	if as == nil {
+		return
+	}
+	if a.all == nil {
+		a.all = map[*asdb.AS]int{}
+		a.anon = map[*asdb.AS]int{}
+		a.writable = map[*asdb.AS]int{}
+	}
+	a.all[as]++
+	if r.Host.AnonymousOK {
+		a.anon[as]++
+		if Writable(r.Host) {
+			a.writable[as]++
 		}
 	}
+}
 
-	halfAll, typesAll, cdfAll := concentration(all)
-	halfAnon, typesAnon, cdfAnon := concentration(anon)
-	halfW, _, cdfW := concentration(writable)
+// Finalize produces Table III and Figure 1.
+func (a *ASConcentrationAcc) Finalize() ASConcentration {
+	halfAll, typesAll, cdfAll := concentration(a.all)
+	halfAnon, typesAnon, cdfAnon := concentration(a.anon)
+	halfW, _, cdfW := concentration(a.writable)
 
 	return ASConcentration{
 		ASesForHalfAll:      halfAll,
@@ -56,13 +70,21 @@ func ComputeASConcentration(in *Input) ASConcentration {
 		ASesForHalfWritable: halfW,
 		TypeBreakdownAll:    typesAll,
 		TypeBreakdownAnon:   typesAnon,
-		TotalASesAll:        len(all),
-		TotalASesAnon:       len(anon),
-		TotalASesWritable:   len(writable),
+		TotalASesAll:        len(a.all),
+		TotalASesAnon:       len(a.anon),
+		TotalASesWritable:   len(a.writable),
 		CDFAll:              cdfAll,
 		CDFAnon:             cdfAnon,
 		CDFWritable:         cdfW,
 	}
+}
+
+// ComputeASConcentration derives Table III and Figure 1 from a retained
+// dataset.
+func ComputeASConcentration(in *Input) ASConcentration {
+	var acc ASConcentrationAcc
+	in.fold(&acc)
+	return acc.Finalize()
 }
 
 // concentration sorts AS counts descending and returns the 50% crossing,
@@ -118,36 +140,49 @@ type TopAS struct {
 	PctAnon       float64
 }
 
-// ComputeTopASes derives Table VI: the top-N ASes by anonymous server count.
-func ComputeTopASes(in *Input, n int) []TopAS {
-	type agg struct {
-		ftp, anon int
+// TopASesAcc accumulates Table VI. The zero value is ready.
+type TopASesAcc struct {
+	counts map[*asdb.AS]*topASAgg
+}
+
+type topASAgg struct {
+	ftp, anon int
+}
+
+// Observe folds one record.
+func (a *TopASesAcc) Observe(r *Record) {
+	if !r.Host.FTP {
+		return
 	}
-	counts := map[*asdb.AS]*agg{}
-	for _, r := range in.FTPRecords() {
-		as := in.AS(r)
-		if as == nil {
-			continue
-		}
-		a, ok := counts[as]
-		if !ok {
-			a = &agg{}
-			counts[as] = a
-		}
-		a.ftp++
-		if r.AnonymousOK {
-			a.anon++
-		}
+	as := r.AS()
+	if as == nil {
+		return
 	}
-	out := make([]TopAS, 0, len(counts))
-	for as, a := range counts {
+	if a.counts == nil {
+		a.counts = map[*asdb.AS]*topASAgg{}
+	}
+	agg, ok := a.counts[as]
+	if !ok {
+		agg = &topASAgg{}
+		a.counts[as] = agg
+	}
+	agg.ftp++
+	if r.Host.AnonymousOK {
+		agg.anon++
+	}
+}
+
+// Finalize produces the top-n Table VI rows.
+func (a *TopASesAcc) Finalize(n int) []TopAS {
+	out := make([]TopAS, 0, len(a.counts))
+	for as, agg := range a.counts {
 		out = append(out, TopAS{
 			Number:        as.Number,
 			Name:          as.Name,
 			IPsAdvertised: as.Advertised(),
-			FTPServers:    a.ftp,
-			AnonServers:   a.anon,
-			PctAnon:       percent(a.anon, a.ftp),
+			FTPServers:    agg.ftp,
+			AnonServers:   agg.anon,
+			PctAnon:       percent(agg.anon, agg.ftp),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -160,4 +195,12 @@ func ComputeTopASes(in *Input, n int) []TopAS {
 		out = out[:n]
 	}
 	return out
+}
+
+// ComputeTopASes derives Table VI (top-n ASes by anonymous server count)
+// from a retained dataset.
+func ComputeTopASes(in *Input, n int) []TopAS {
+	var acc TopASesAcc
+	in.fold(&acc)
+	return acc.Finalize(n)
 }

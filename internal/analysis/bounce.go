@@ -32,39 +32,57 @@ type PortBounce struct {
 // homePLASN is AS12824.
 const homePLASN = 12824
 
-// ComputePortBounce derives §VII.B.
-func ComputePortBounce(in *Input) PortBounce {
-	var b PortBounce
-	homePLFailures := 0
-	for _, r := range in.FTPRecords() {
-		if in.Classify(r).Software == "FileZilla Server" {
-			b.FileZillaServers++
-		}
-		if !r.AnonymousOK {
-			continue
-		}
-		if r.PASVMismatch {
-			b.NATed++
-		}
-		if r.PortCheck == dataset.PortNotTested || r.PortCheck == "" {
-			continue
-		}
-		b.Tested++
-		if r.PortCheck != dataset.PortNotValidated {
-			continue
-		}
-		b.NotValidated++
-		if as := in.AS(r); as != nil && as.Number == homePLASN {
-			homePLFailures++
-		}
-		if r.PASVMismatch {
-			b.NATedNotValidated++
-		}
-		if Writable(r) {
-			b.WritableNotValidated++
-		}
+// PortBounceAcc accumulates §VII.B. The zero value is ready.
+type PortBounceAcc struct {
+	b              PortBounce
+	homePLFailures int
+}
+
+// Observe folds one record.
+func (a *PortBounceAcc) Observe(r *Record) {
+	host := r.Host
+	if !host.FTP {
+		return
 	}
+	if r.Class().Software == "FileZilla Server" {
+		a.b.FileZillaServers++
+	}
+	if !host.AnonymousOK {
+		return
+	}
+	if host.PASVMismatch {
+		a.b.NATed++
+	}
+	if host.PortCheck == dataset.PortNotTested || host.PortCheck == "" {
+		return
+	}
+	a.b.Tested++
+	if host.PortCheck != dataset.PortNotValidated {
+		return
+	}
+	a.b.NotValidated++
+	if as := r.AS(); as != nil && as.Number == homePLASN {
+		a.homePLFailures++
+	}
+	if host.PASVMismatch {
+		a.b.NATedNotValidated++
+	}
+	if Writable(host) {
+		a.b.WritableNotValidated++
+	}
+}
+
+// Finalize produces §VII.B.
+func (a *PortBounceAcc) Finalize() PortBounce {
+	b := a.b
 	b.PctNotValidated = percent(b.NotValidated, b.Tested)
-	b.HomePLShare = percent(homePLFailures, b.NotValidated)
+	b.HomePLShare = percent(a.homePLFailures, b.NotValidated)
 	return b
+}
+
+// ComputePortBounce derives §VII.B from a retained dataset.
+func ComputePortBounce(in *Input) PortBounce {
+	var acc PortBounceAcc
+	in.fold(&acc)
+	return acc.Finalize()
 }

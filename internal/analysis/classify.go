@@ -3,7 +3,6 @@ package analysis
 import (
 	"sort"
 
-	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/personality"
 )
 
@@ -24,35 +23,59 @@ type Classification struct {
 	TotalAnon int
 }
 
-// ComputeClassification derives Table II.
-func ComputeClassification(in *Input) Classification {
-	counts := map[string]*CategoryCount{}
-	order := []string{"Generic Server", "Hosted Server", "Embedded Server", "Unknown"}
-	for _, name := range order {
-		counts[name] = &CategoryCount{Name: name}
+// classificationOrder fixes Table II's row order.
+var classificationOrder = []string{"Generic Server", "Hosted Server", "Embedded Server", "Unknown"}
+
+// ClassificationAcc accumulates Table II. The zero value is ready.
+type ClassificationAcc struct {
+	counts              map[string]*CategoryCount
+	totalFTP, totalAnon int
+}
+
+// Observe folds one record.
+func (a *ClassificationAcc) Observe(r *Record) {
+	if !r.Host.FTP {
+		return
 	}
-	var totalFTP, totalAnon int
-	for _, r := range in.FTPRecords() {
-		totalFTP++
-		c := in.Classify(r)
-		name := "Unknown"
-		if c.Known() {
-			name = c.Category.String()
-		}
-		counts[name].All++
-		if r.AnonymousOK {
-			totalAnon++
-			counts[name].Anon++
+	if a.counts == nil {
+		a.counts = map[string]*CategoryCount{}
+		for _, name := range classificationOrder {
+			a.counts[name] = &CategoryCount{Name: name}
 		}
 	}
-	out := Classification{TotalFTP: totalFTP, TotalAnon: totalAnon}
-	for _, name := range order {
-		row := counts[name]
-		row.PctAll = percent(row.All, totalFTP)
-		row.PctAnon = percent(row.Anon, totalAnon)
-		out.Rows = append(out.Rows, *row)
+	a.totalFTP++
+	c := r.Class()
+	name := "Unknown"
+	if c.Known() {
+		name = c.Category.String()
+	}
+	a.counts[name].All++
+	if r.Host.AnonymousOK {
+		a.totalAnon++
+		a.counts[name].Anon++
+	}
+}
+
+// Finalize produces Table II.
+func (a *ClassificationAcc) Finalize() Classification {
+	out := Classification{TotalFTP: a.totalFTP, TotalAnon: a.totalAnon}
+	for _, name := range classificationOrder {
+		row := CategoryCount{Name: name}
+		if a.counts != nil {
+			row = *a.counts[name]
+		}
+		row.PctAll = percent(row.All, a.totalFTP)
+		row.PctAnon = percent(row.Anon, a.totalAnon)
+		out.Rows = append(out.Rows, row)
 	}
 	return out
+}
+
+// ComputeClassification derives Table II from a retained dataset.
+func ComputeClassification(in *Input) Classification {
+	var acc ClassificationAcc
+	in.fold(&acc)
+	return acc.Finalize()
 }
 
 // DeviceCount is one row of Table V or VII.
@@ -75,58 +98,69 @@ type DeviceBreakdown struct {
 	Classes []DeviceCount
 }
 
-// ComputeDevices derives Tables IV, V, and VII.
-func ComputeDevices(in *Input) DeviceBreakdown {
-	provider := map[string]*DeviceCount{}
-	consumer := map[string]*DeviceCount{}
-	classes := map[string]*DeviceCount{}
-	for _, r := range in.FTPRecords() {
-		c := in.Classify(r)
-		if c.DeviceModel == "" {
-			continue
-		}
-		bucket := consumer
-		if c.ProviderDeployed {
-			bucket = provider
-		}
-		dc, ok := bucket[c.DeviceModel]
-		if !ok {
-			dc = &DeviceCount{Model: c.DeviceModel}
-			bucket[c.DeviceModel] = dc
-		}
-		dc.Found++
-		if r.AnonymousOK {
-			dc.Anon++
-		}
+// DevicesAcc accumulates Tables IV, V, and VII. The zero value is ready.
+type DevicesAcc struct {
+	provider map[string]*DeviceCount
+	consumer map[string]*DeviceCount
+	classes  map[string]*DeviceCount
+}
 
-		var className string
-		switch c.DeviceClass {
-		case personality.DeviceNAS, personality.DeviceStorage:
-			className = "NAS"
-		case personality.DeviceHomeRouter:
-			if !c.ProviderDeployed {
-				className = "Home Router (user-deployed)"
-			}
-		case personality.DevicePrinter:
-			className = "Printers"
-		}
-		if className != "" {
-			cc, ok := classes[className]
-			if !ok {
-				cc = &DeviceCount{Model: className}
-				classes[className] = cc
-			}
-			cc.Found++
-			if r.AnonymousOK {
-				cc.Anon++
-			}
-		}
+func bump(m map[string]*DeviceCount, model string, anon bool) {
+	dc, ok := m[model]
+	if !ok {
+		dc = &DeviceCount{Model: model}
+		m[model] = dc
 	}
+	dc.Found++
+	if anon {
+		dc.Anon++
+	}
+}
+
+// Observe folds one record.
+func (a *DevicesAcc) Observe(r *Record) {
+	if !r.Host.FTP {
+		return
+	}
+	c := r.Class()
+	if c.DeviceModel == "" {
+		return
+	}
+	if a.provider == nil {
+		a.provider = map[string]*DeviceCount{}
+		a.consumer = map[string]*DeviceCount{}
+		a.classes = map[string]*DeviceCount{}
+	}
+	bucket := a.consumer
+	if c.ProviderDeployed {
+		bucket = a.provider
+	}
+	bump(bucket, c.DeviceModel, r.Host.AnonymousOK)
+
+	var className string
+	switch c.DeviceClass {
+	case personality.DeviceNAS, personality.DeviceStorage:
+		className = "NAS"
+	case personality.DeviceHomeRouter:
+		if !c.ProviderDeployed {
+			className = "Home Router (user-deployed)"
+		}
+	case personality.DevicePrinter:
+		className = "Printers"
+	}
+	if className != "" {
+		bump(a.classes, className, r.Host.AnonymousOK)
+	}
+}
+
+// Finalize produces the device tables.
+func (a *DevicesAcc) Finalize() DeviceBreakdown {
 	finish := func(m map[string]*DeviceCount) []DeviceCount {
 		out := make([]DeviceCount, 0, len(m))
 		for _, dc := range m {
-			dc.PctAnon = percent(dc.Anon, dc.Found)
-			out = append(out, *dc)
+			row := *dc
+			row.PctAnon = percent(row.Anon, row.Found)
+			out = append(out, row)
 		}
 		sort.Slice(out, func(i, j int) bool {
 			if out[i].Found != out[j].Found {
@@ -137,71 +171,15 @@ func ComputeDevices(in *Input) DeviceBreakdown {
 		return out
 	}
 	return DeviceBreakdown{
-		Provider: finish(provider),
-		Consumer: finish(consumer),
-		Classes:  finish(classes),
+		Provider: finish(a.provider),
+		Consumer: finish(a.consumer),
+		Classes:  finish(a.classes),
 	}
 }
 
-// ExposureByDevice is Table X: which device classes account for each
-// exposure type. Percentages are of servers showing that exposure.
-type ExposureByDevice struct {
-	// Rows map exposure type → class name → percentage.
-	Rows map[string]map[string]float64
-	// Totals is the number of servers per exposure type.
-	Totals map[string]int
-}
-
-// exposureClass maps a record to Table X's column set.
-func exposureClass(in *Input, r *dataset.HostRecord) string {
-	c := in.Classify(r)
-	switch {
-	case !c.Known():
-		return "Unk"
-	case c.Category == personality.CategoryHosted:
-		return "Hosting"
-	case c.Category == personality.CategoryGeneric:
-		return "Generic"
-	case c.DeviceClass == personality.DeviceNAS || c.DeviceClass == personality.DeviceStorage:
-		return "NAS"
-	case c.DeviceClass == personality.DeviceHomeRouter:
-		return "Router"
-	default:
-		return "Other Embedded"
-	}
-}
-
-// ComputeExposureByDevice derives Table X from the exposure analyses.
-func ComputeExposureByDevice(in *Input) ExposureByDevice {
-	exp := ComputeExposure(in)
-	out := ExposureByDevice{
-		Rows:   make(map[string]map[string]float64),
-		Totals: make(map[string]int),
-	}
-	types := map[string]map[*dataset.HostRecord]bool{
-		"Sensitive Documents": exp.sensitiveServers,
-		"Photo Libraries":     exp.photoServers,
-		"Root File Systems":   exp.osRootServers,
-		"Scripting Source":    exp.scriptingServers,
-	}
-	all := make(map[*dataset.HostRecord]bool)
-	for _, set := range types {
-		for r := range set {
-			all[r] = true
-		}
-	}
-	types["All"] = all
-	for name, set := range types {
-		classCounts := make(map[string]int)
-		for r := range set {
-			classCounts[exposureClass(in, r)]++
-		}
-		row := make(map[string]float64)
-		for class, n := range classCounts {
-			row[class] = percent(n, len(set))
-		}
-		out.Rows[name] = row
-		out.Totals[name] = len(set)
-	}
-	return out
+// ComputeDevices derives Tables IV, V, and VII from a retained dataset.
+func ComputeDevices(in *Input) DeviceBreakdown {
+	var acc DevicesAcc
+	in.fold(&acc)
+	return acc.Finalize()
 }

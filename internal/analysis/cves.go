@@ -23,31 +23,43 @@ type CVEExposure struct {
 	TotalFTP      int
 }
 
-// ComputeCVEs derives Table XI from banner version strings.
-func ComputeCVEs(in *Input) CVEExposure {
-	counts := map[string]*CVECount{}
-	var vulnerable, total int
-	for _, r := range in.FTPRecords() {
-		total++
-		c := in.Classify(r)
-		if c.Software == "" || c.Version == "" {
-			continue
-		}
-		matches := cvedb.Match(c.Software, c.Version)
-		if len(matches) > 0 {
-			vulnerable++
-		}
-		for _, m := range matches {
-			row, ok := counts[m.ID]
-			if !ok {
-				row = &CVECount{Implementation: m.Software, ID: m.ID, CVSS: m.CVSS}
-				counts[m.ID] = row
-			}
-			row.IPs++
-		}
+// CVEsAcc accumulates Table XI. The zero value is ready.
+type CVEsAcc struct {
+	counts            map[string]*CVECount
+	vulnerable, total int
+}
+
+// Observe folds one record.
+func (a *CVEsAcc) Observe(r *Record) {
+	if !r.Host.FTP {
+		return
 	}
-	out := CVEExposure{VulnerableIPs: vulnerable, TotalFTP: total}
-	for _, row := range counts {
+	a.total++
+	c := r.Class()
+	if c.Software == "" || c.Version == "" {
+		return
+	}
+	matches := cvedb.Match(c.Software, c.Version)
+	if len(matches) > 0 {
+		a.vulnerable++
+	}
+	if a.counts == nil {
+		a.counts = map[string]*CVECount{}
+	}
+	for _, m := range matches {
+		row, ok := a.counts[m.ID]
+		if !ok {
+			row = &CVECount{Implementation: m.Software, ID: m.ID, CVSS: m.CVSS}
+			a.counts[m.ID] = row
+		}
+		row.IPs++
+	}
+}
+
+// Finalize produces Table XI.
+func (a *CVEsAcc) Finalize() CVEExposure {
+	out := CVEExposure{VulnerableIPs: a.vulnerable, TotalFTP: a.total}
+	for _, row := range a.counts {
 		out.Rows = append(out.Rows, *row)
 	}
 	sort.Slice(out.Rows, func(i, j int) bool {
@@ -57,4 +69,11 @@ func ComputeCVEs(in *Input) CVEExposure {
 		return out.Rows[i].ID > out.Rows[j].ID // newest CVE first, as the paper lists
 	})
 	return out
+}
+
+// ComputeCVEs derives Table XI from banner version strings.
+func ComputeCVEs(in *Input) CVEExposure {
+	var acc CVEsAcc
+	in.fold(&acc)
+	return acc.Finalize()
 }

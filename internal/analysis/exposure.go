@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/fingerprint"
 	"ftpcloud/internal/personality"
 )
 
@@ -58,12 +59,15 @@ type Exposure struct {
 	RobotsExcludeAll int
 	// Truncated counts hosts whose tree exceeded the request cap.
 	Truncated int
+}
 
-	// Per-server sets feeding Table X.
-	sensitiveServers map[*dataset.HostRecord]bool
-	photoServers     map[*dataset.HostRecord]bool
-	osRootServers    map[*dataset.HostRecord]bool
-	scriptingServers map[*dataset.HostRecord]bool
+// ExposureByDevice is Table X: which device classes account for each
+// exposure type. Percentages are of servers showing that exposure.
+type ExposureByDevice struct {
+	// Rows map exposure type → class name → percentage.
+	Rows map[string]map[string]float64
+	// Totals is the number of servers per exposure type.
+	Totals map[string]int
 }
 
 var photoNamePattern = regexp.MustCompile(`^(?i)(DSC|DSCN|IMG|IMGP|P|PICT)[-_]?\d{3,}\.(jpe?g)$`)
@@ -117,148 +121,223 @@ var (
 	}
 )
 
-// ComputeExposure derives Tables VIII and IX plus §V's prose statistics.
-func ComputeExposure(in *Input) Exposure {
-	e := Exposure{
-		sensitiveServers: make(map[*dataset.HostRecord]bool),
-		photoServers:     make(map[*dataset.HostRecord]bool),
-		osRootServers:    make(map[*dataset.HostRecord]bool),
-		scriptingServers: make(map[*dataset.HostRecord]bool),
+// exposureTypes is Table X's row set (plus the derived "All" row).
+var exposureTypes = []string{
+	"Sensitive Documents", "Photo Libraries", "Root File Systems", "Scripting Source",
+}
+
+// exposureClassOf maps a classification to Table X's column set.
+func exposureClassOf(c fingerprint.Classification) string {
+	switch {
+	case !c.Known():
+		return "Unk"
+	case c.Category == personality.CategoryHosted:
+		return "Hosting"
+	case c.Category == personality.CategoryGeneric:
+		return "Generic"
+	case c.DeviceClass == personality.DeviceNAS || c.DeviceClass == personality.DeviceStorage:
+		return "NAS"
+	case c.DeviceClass == personality.DeviceHomeRouter:
+		return "Router"
+	default:
+		return "Other Embedded"
 	}
-	extFiles := map[string]int{}
-	extServers := map[string]map[*dataset.HostRecord]bool{}
-	sens := map[string]*SensitiveClass{}
+}
+
+// ExposureAcc accumulates §V plus Table X in one pass. Unlike the old
+// slice-path implementation it keeps no per-server record sets — each
+// record's exposure types and device class are resolved while the record
+// is hot, so only counters survive and the listing memory can be freed.
+// The zero value is ready.
+type ExposureAcc struct {
+	exp Exposure
+
+	extFiles   map[string]int
+	extServers map[string]int
+	sens       map[string]*SensitiveClass
+
+	// Table X: exposure type → device class → server count.
+	typeClasses map[string]map[string]int
+	typeTotals  map[string]int
+}
+
+func (a *ExposureAcc) init() {
+	a.extFiles = map[string]int{}
+	a.extServers = map[string]int{}
+	a.sens = map[string]*SensitiveClass{}
 	for _, m := range sensitiveMatchers {
-		sens[m.name] = &SensitiveClass{Type: m.typ, Name: m.name}
+		a.sens[m.name] = &SensitiveClass{Type: m.typ, Name: m.name}
+	}
+	a.typeClasses = map[string]map[string]int{}
+	a.typeTotals = map[string]int{}
+}
+
+// Observe folds one record.
+func (a *ExposureAcc) Observe(r *Record) {
+	host := r.Host
+	if !host.FTP || !host.AnonymousOK {
+		return
+	}
+	if a.sens == nil {
+		a.init()
+	}
+	e := &a.exp
+	e.AnonServers++
+	if host.RobotsTxt != "" {
+		e.RobotsSeen++
+		if host.RobotsExcludeAll {
+			e.RobotsExcludeAll++
+		}
+	}
+	if host.ListingTruncated {
+		e.Truncated++
+	}
+	if len(host.Files) == 0 {
+		return
+	}
+	e.ExposingServers++
+
+	c := r.Class()
+	isSOHO := c.Category == personality.CategoryEmbedded && !c.ProviderDeployed
+
+	dirs := map[string]bool{}
+	indexSeen, photoSeen := false, false
+	scriptSeen, htaccessSeen := false, false
+	sensSeen := map[string]bool{}
+	var extSeen map[string]bool
+	if isSOHO {
+		extSeen = map[string]bool{}
 	}
 
-	for _, r := range in.AnonRecords() {
-		e.AnonServers++
-		if r.RobotsTxt != "" {
-			e.RobotsSeen++
-			if r.RobotsExcludeAll {
-				e.RobotsExcludeAll++
-			}
-		}
-		if r.ListingTruncated {
-			e.Truncated++
-		}
-		if len(r.Files) == 0 {
+	for i := range host.Files {
+		f := &host.Files[i]
+		if f.IsDir {
+			dirs[f.Path] = true
 			continue
 		}
-		e.ExposingServers++
+		lower := strings.ToLower(f.Name)
 
-		c := in.Classify(r)
-		isSOHO := c.Category == personality.CategoryEmbedded && !c.ProviderDeployed
+		if isSOHO {
+			if dot := strings.LastIndexByte(lower, '.'); dot >= 0 && dot < len(lower)-1 {
+				ext := "." + lower[dot+1:]
+				a.extFiles[ext]++
+				if !extSeen[ext] {
+					extSeen[ext] = true
+					a.extServers[ext]++
+				}
+			}
+		}
 
-		dirs := map[string]bool{}
-		indexSeen, photoSeen := false, false
-		scriptSeen, htaccessSeen := false, false
-		sensSeen := map[string]bool{}
+		if lower == "index.html" {
+			e.IndexHTMLFiles++
+			indexSeen = true
+		}
+		if photoNamePattern.MatchString(f.Name) {
+			e.PhotoFiles++
+			if f.Read == dataset.ReadYes || f.Read == dataset.ReadUnknown {
+				e.PhotoReadable++
+			}
+			photoSeen = true
+		}
+		if lower == ".htaccess" {
+			e.HtaccessFiles++
+			htaccessSeen = true
+		}
+		if dot := strings.LastIndexByte(lower, '.'); dot >= 0 {
+			if scriptExtensions[lower[dot+1:]] {
+				e.ScriptFiles++
+				scriptSeen = true
+			}
+		}
 
-		for i := range r.Files {
-			f := &r.Files[i]
-			if f.IsDir {
-				dirs[f.Path] = true
+		for _, m := range sensitiveMatchers {
+			if !m.match(f.Name, lower) {
 				continue
 			}
-			lower := strings.ToLower(f.Name)
+			sc := a.sens[m.name]
+			sc.Files++
+			switch f.Read {
+			case dataset.ReadYes:
+				sc.Readable++
+			case dataset.ReadNo:
+				sc.NonReadable++
+			default:
+				sc.UnkReadable++
+			}
+			if !sensSeen[m.name] {
+				sensSeen[m.name] = true
+				sc.Servers++
+			}
+			break
+		}
+	}
 
-			if isSOHO {
-				if dot := strings.LastIndexByte(lower, '.'); dot >= 0 && dot < len(lower)-1 {
-					ext := lower[dot+1:]
-					extFiles["."+ext]++
-					set, ok := extServers["."+ext]
-					if !ok {
-						set = make(map[*dataset.HostRecord]bool)
-						extServers["."+ext] = set
-					}
-					set[r] = true
-				}
-			}
+	if indexSeen {
+		e.IndexHTMLServers++
+	}
+	if photoSeen {
+		e.PhotoServers++
+	}
+	if scriptSeen {
+		e.ScriptServers++
+	}
+	if htaccessSeen {
+		e.HtaccessServers++
+	}
 
-			if lower == "index.html" {
-				e.IndexHTMLFiles++
-				indexSeen = true
-			}
-			if photoNamePattern.MatchString(f.Name) {
-				e.PhotoFiles++
-				if f.Read == dataset.ReadYes || f.Read == dataset.ReadUnknown {
-					e.PhotoReadable++
-				}
-				photoSeen = true
-			}
-			if lower == ".htaccess" {
-				e.HtaccessFiles++
-				htaccessSeen = true
-			}
-			if dot := strings.LastIndexByte(lower, '.'); dot >= 0 {
-				if scriptExtensions[lower[dot+1:]] {
-					e.ScriptFiles++
-					scriptSeen = true
-				}
-			}
-
-			for _, m := range sensitiveMatchers {
-				if !m.match(f.Name, lower) {
-					continue
-				}
-				sc := sens[m.name]
-				sc.Files++
-				switch f.Read {
-				case dataset.ReadYes:
-					sc.Readable++
-				case dataset.ReadNo:
-					sc.NonReadable++
-				default:
-					sc.UnkReadable++
-				}
-				if !sensSeen[m.name] {
-					sensSeen[m.name] = true
-					sc.Servers++
-				}
+	osRootSeen := false
+	if countMarkers(dirs, linuxRootMarkers) >= 3 {
+		e.OSRootLinux++
+		osRootSeen = true
+	} else {
+		for _, markers := range windowsRootMarkers {
+			if countMarkers(dirs, markers) >= 2 {
+				e.OSRootWindows++
+				osRootSeen = true
 				break
 			}
 		}
-
-		if indexSeen {
-			e.IndexHTMLServers++
-		}
-		if photoSeen {
-			e.PhotoServers++
-			e.photoServers[r] = true
-		}
-		if scriptSeen {
-			e.ScriptServers++
-			e.scriptingServers[r] = true
-		}
-		if htaccessSeen {
-			e.HtaccessServers++
-			if !scriptSeen {
-				e.scriptingServers[r] = true
-			}
-		}
-		if len(sensSeen) > 0 {
-			e.sensitiveServers[r] = true
-		}
-
-		if countMarkers(dirs, linuxRootMarkers) >= 3 {
-			e.OSRootLinux++
-			e.osRootServers[r] = true
-		} else {
-			for _, markers := range windowsRootMarkers {
-				if countMarkers(dirs, markers) >= 2 {
-					e.OSRootWindows++
-					e.osRootServers[r] = true
-					break
-				}
-			}
-		}
 	}
 
-	for ext, n := range extFiles {
+	// Table X: record which exposure types this server exhibits, bucketed
+	// by its device class, while the classification is still at hand.
+	exhibited := map[string]bool{
+		"Sensitive Documents": len(sensSeen) > 0,
+		"Photo Libraries":     photoSeen,
+		"Root File Systems":   osRootSeen,
+		"Scripting Source":    scriptSeen || htaccessSeen,
+	}
+	any := false
+	cls := exposureClassOf(c)
+	for _, typ := range exposureTypes {
+		if !exhibited[typ] {
+			continue
+		}
+		any = true
+		a.bumpType(typ, cls)
+	}
+	if any {
+		a.bumpType("All", cls)
+	}
+}
+
+func (a *ExposureAcc) bumpType(typ, cls string) {
+	m, ok := a.typeClasses[typ]
+	if !ok {
+		m = map[string]int{}
+		a.typeClasses[typ] = m
+	}
+	m[cls]++
+	a.typeTotals[typ]++
+}
+
+// Finalize produces Tables VIII/IX and §V's prose statistics.
+func (a *ExposureAcc) Finalize() Exposure {
+	e := a.exp
+	e.Extensions = nil
+	for ext, n := range a.extFiles {
 		e.Extensions = append(e.Extensions, ExtensionCount{
-			Ext: ext, Files: n, Servers: len(extServers[ext]),
+			Ext: ext, Files: n, Servers: a.extServers[ext],
 		})
 	}
 	sort.Slice(e.Extensions, func(i, j int) bool {
@@ -267,11 +346,48 @@ func ComputeExposure(in *Input) Exposure {
 		}
 		return e.Extensions[i].Ext < e.Extensions[j].Ext
 	})
-
+	e.Sensitive = nil
 	for _, m := range sensitiveMatchers {
-		e.Sensitive = append(e.Sensitive, *sens[m.name])
+		if sc, ok := a.sens[m.name]; ok {
+			e.Sensitive = append(e.Sensitive, *sc)
+		} else {
+			e.Sensitive = append(e.Sensitive, SensitiveClass{Type: m.typ, Name: m.name})
+		}
 	}
 	return e
+}
+
+// FinalizeByDevice produces Table X.
+func (a *ExposureAcc) FinalizeByDevice() ExposureByDevice {
+	out := ExposureByDevice{
+		Rows:   make(map[string]map[string]float64),
+		Totals: make(map[string]int),
+	}
+	for _, typ := range append(append([]string{}, exposureTypes...), "All") {
+		total := a.typeTotals[typ]
+		row := make(map[string]float64)
+		for cls, n := range a.typeClasses[typ] {
+			row[cls] = percent(n, total)
+		}
+		out.Rows[typ] = row
+		out.Totals[typ] = total
+	}
+	return out
+}
+
+// ComputeExposure derives Tables VIII and IX plus §V from a retained
+// dataset.
+func ComputeExposure(in *Input) Exposure {
+	var acc ExposureAcc
+	in.fold(&acc)
+	return acc.Finalize()
+}
+
+// ComputeExposureByDevice derives Table X from a retained dataset.
+func ComputeExposureByDevice(in *Input) ExposureByDevice {
+	var acc ExposureAcc
+	in.fold(&acc)
+	return acc.FinalizeByDevice()
 }
 
 func countMarkers(dirs map[string]bool, markers []string) int {

@@ -38,49 +38,77 @@ type FTPS struct {
 	TotalFTP    int
 }
 
-// ComputeFTPS derives §IX, Table XII, and Table XIII.
-func ComputeFTPS(in *Input, topN int) FTPS {
-	var f FTPS
-	type certAgg struct {
-		cn         string
-		selfSigned bool
-		servers    int
-		devices    map[string]int
-	}
-	byFP := map[string]*certAgg{}
+// certAgg tracks one distinct certificate's spread.
+type certAgg struct {
+	cn         string
+	selfSigned bool
+	servers    int
+	devices    map[string]int
+}
 
-	for _, r := range in.FTPRecords() {
-		f.TotalFTP++
-		if !r.FTPS.Supported {
-			continue
-		}
-		f.Supported++
-		if r.FTPS.RequiredPreLogin {
-			f.RequirePreLogin++
-		}
-		cert := r.FTPS.Cert
-		if cert == nil {
-			continue
-		}
-		if cert.SelfSigned {
-			f.SelfSigned++
-		}
-		agg, ok := byFP[cert.FingerprintSHA256]
-		if !ok {
-			agg = &certAgg{cn: cert.CommonName, selfSigned: cert.SelfSigned, devices: map[string]int{}}
-			byFP[cert.FingerprintSHA256] = agg
-		}
-		agg.servers++
-		if c := in.Classify(r); c.DeviceModel != "" {
-			agg.devices[c.DeviceModel]++
-		}
-	}
+// FTPSAcc accumulates §IX and Tables XII/XIII. The zero value is ready.
+type FTPSAcc struct {
+	totalFTP, supported, requirePre, selfSigned int
 
-	f.UniqueCerts = len(byFP)
+	byFP map[string]*certAgg
+}
+
+// Observe folds one record.
+func (a *FTPSAcc) Observe(r *Record) {
+	host := r.Host
+	if !host.FTP {
+		return
+	}
+	a.totalFTP++
+	if !host.FTPSSupported() {
+		return
+	}
+	a.supported++
+	if host.FTPS.RequiredPreLogin {
+		a.requirePre++
+	}
+	cert := host.FTPS.Cert
+	if cert == nil {
+		return
+	}
+	if cert.SelfSigned {
+		a.selfSigned++
+	}
+	if a.byFP == nil {
+		a.byFP = map[string]*certAgg{}
+	}
+	agg, ok := a.byFP[cert.FingerprintSHA256]
+	if !ok {
+		agg = &certAgg{cn: cert.CommonName, selfSigned: cert.SelfSigned, devices: map[string]int{}}
+		a.byFP[cert.FingerprintSHA256] = agg
+	}
+	agg.servers++
+	if c := r.Class(); c.DeviceModel != "" {
+		agg.devices[c.DeviceModel]++
+	}
+}
+
+// Finalize produces §IX, Table XII, and Table XIII. Sort keys include the
+// certificate fingerprint so tied rows order deterministically regardless
+// of map iteration order — the streaming and batch paths must render
+// byte-identically.
+func (a *FTPSAcc) Finalize(topN int) FTPS {
+	f := FTPS{
+		Supported:       a.supported,
+		RequirePreLogin: a.requirePre,
+		SelfSigned:      a.selfSigned,
+		TotalFTP:        a.totalFTP,
+		UniqueCerts:     len(a.byFP),
+	}
 	f.PctSupported = percent(f.Supported, f.TotalFTP)
 	f.PctSelfSigned = percent(f.SelfSigned, f.Supported)
 
-	for fp, agg := range byFP {
+	type deviceRow struct {
+		row DeviceCert
+		fp  string
+	}
+	var deviceRows []deviceRow
+	for fp, agg := range a.byFP {
 		f.TopCerts = append(f.TopCerts, CertCount{
 			CommonName:  agg.cn,
 			Fingerprint: fp,
@@ -91,10 +119,9 @@ func ComputeFTPS(in *Input, topN int) FTPS {
 		// device certificate (Table XIII).
 		for device, n := range agg.devices {
 			if n*2 >= agg.servers && n > 1 {
-				f.DeviceCerts = append(f.DeviceCerts, DeviceCert{
-					Device:     device,
-					CommonName: agg.cn,
-					Servers:    n,
+				deviceRows = append(deviceRows, deviceRow{
+					row: DeviceCert{Device: device, CommonName: agg.cn, Servers: n},
+					fp:  fp,
 				})
 			}
 		}
@@ -103,16 +130,37 @@ func ComputeFTPS(in *Input, topN int) FTPS {
 		if f.TopCerts[i].Servers != f.TopCerts[j].Servers {
 			return f.TopCerts[i].Servers > f.TopCerts[j].Servers
 		}
-		return f.TopCerts[i].CommonName < f.TopCerts[j].CommonName
+		if f.TopCerts[i].CommonName != f.TopCerts[j].CommonName {
+			return f.TopCerts[i].CommonName < f.TopCerts[j].CommonName
+		}
+		return f.TopCerts[i].Fingerprint < f.TopCerts[j].Fingerprint
 	})
 	if len(f.TopCerts) > topN {
 		f.TopCerts = f.TopCerts[:topN]
 	}
-	sort.Slice(f.DeviceCerts, func(i, j int) bool {
-		if f.DeviceCerts[i].Servers != f.DeviceCerts[j].Servers {
-			return f.DeviceCerts[i].Servers > f.DeviceCerts[j].Servers
+	sort.Slice(deviceRows, func(i, j int) bool {
+		a, b := deviceRows[i], deviceRows[j]
+		if a.row.Servers != b.row.Servers {
+			return a.row.Servers > b.row.Servers
 		}
-		return f.DeviceCerts[i].Device < f.DeviceCerts[j].Device
+		if a.row.Device != b.row.Device {
+			return a.row.Device < b.row.Device
+		}
+		if a.row.CommonName != b.row.CommonName {
+			return a.row.CommonName < b.row.CommonName
+		}
+		return a.fp < b.fp
 	})
+	for _, dr := range deviceRows {
+		f.DeviceCerts = append(f.DeviceCerts, dr.row)
+	}
 	return f
+}
+
+// ComputeFTPS derives §IX, Table XII, and Table XIII from a retained
+// dataset.
+func ComputeFTPS(in *Input, topN int) FTPS {
+	var acc FTPSAcc
+	in.fold(&acc)
+	return acc.Finalize(topN)
 }

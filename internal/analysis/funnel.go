@@ -11,21 +11,33 @@ type Funnel struct {
 	PctAnonymous float64 // of FTP
 }
 
-// ComputeFunnel derives Table I.
-func ComputeFunnel(in *Input) Funnel {
-	f := Funnel{IPsScanned: in.IPsScanned}
-	for _, r := range in.Records {
-		if !r.PortOpen {
-			continue
-		}
-		f.OpenPort21++
-		if !r.FTP {
-			continue
-		}
-		f.FTPServers++
-		if r.AnonymousOK {
-			f.AnonServers++
-		}
+// FunnelAcc accumulates Table I incrementally. The zero value is ready.
+type FunnelAcc struct {
+	open, ftp, anon int
+}
+
+// Observe folds one record.
+func (a *FunnelAcc) Observe(r *Record) {
+	if !r.Host.PortOpen {
+		return
+	}
+	a.open++
+	if !r.Host.FTP {
+		return
+	}
+	a.ftp++
+	if r.Host.AnonymousOK {
+		a.anon++
+	}
+}
+
+// Finalize produces Table I for the given sweep size.
+func (a *FunnelAcc) Finalize(ipsScanned uint64) Funnel {
+	f := Funnel{
+		IPsScanned:  ipsScanned,
+		OpenPort21:  a.open,
+		FTPServers:  a.ftp,
+		AnonServers: a.anon,
 	}
 	if f.IPsScanned > 0 {
 		f.PctOpen = 100 * float64(f.OpenPort21) / float64(f.IPsScanned)
@@ -33,4 +45,11 @@ func ComputeFunnel(in *Input) Funnel {
 	f.PctFTP = percent(f.FTPServers, f.OpenPort21)
 	f.PctAnonymous = percent(f.AnonServers, f.FTPServers)
 	return f
+}
+
+// ComputeFunnel derives Table I from a retained dataset.
+func ComputeFunnel(in *Input) Funnel {
+	var acc FunnelAcc
+	in.fold(&acc)
+	return acc.Finalize(in.IPsScanned)
 }

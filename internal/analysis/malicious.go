@@ -50,92 +50,129 @@ type Malicious struct {
 	TotalFTP         int
 }
 
-// ComputeMalicious derives §VI.
-func ComputeMalicious(in *Input) Malicious {
-	var m Malicious
-	writableASes := map[*asdb.AS]bool{}
-	campServers := map[string]int{}
-	campFiles := map[string]int{}
-	holyBibleWritable := 0
+// MaliciousAcc accumulates §VI. The zero value is ready.
+type MaliciousAcc struct {
+	writableServers     int
+	anonUploadConfirmed int
+	ratFiles            int
+	ratServers          int
+	ddosServers         int
+	holyBibleServers    int
+	holyBibleWritable   int
+	warezServers        int
+	ramnitServers       int
+	httpOverlap         int
+	scriptingOverlap    int
+	totalFTP            int
 
-	for _, r := range in.FTPRecords() {
-		m.TotalFTP++
-		if info, ok := in.HTTP[r.IP]; ok && info.HTTP {
-			m.HTTPOverlap++
-			if info.Scripting {
-				m.ScriptingOverlap++
+	writableASes map[*asdb.AS]bool
+	campServers  map[string]int
+	campFiles    map[string]int
+}
+
+// Observe folds one record.
+func (a *MaliciousAcc) Observe(r *Record) {
+	host := r.Host
+	if !host.FTP {
+		return
+	}
+	a.totalFTP++
+	if info, ok := r.HTTP(); ok && info.HTTP {
+		a.httpOverlap++
+		if info.Scripting {
+			a.scriptingOverlap++
+		}
+	}
+	if r.Class().Ramnit {
+		a.ramnitServers++
+	}
+	if !host.AnonymousOK {
+		return
+	}
+	if a.writableASes == nil {
+		a.writableASes = map[*asdb.AS]bool{}
+		a.campServers = map[string]int{}
+		a.campFiles = map[string]int{}
+	}
+
+	if Writable(host) {
+		a.writableServers++
+		if as := r.AS(); as != nil {
+			a.writableASes[as] = true
+		}
+	}
+	if host.AnonUploadConfirmed {
+		a.anonUploadConfirmed++
+	}
+
+	seenHere := map[string]bool{}
+	ratSeen := false
+	warezSeen := false
+	for i := range host.Files {
+		f := &host.Files[i]
+		if f.IsDir {
+			if campaigns.IsWaReZDir(f.Name) {
+				warezSeen = true
 			}
-		}
-		if in.Classify(r).Ramnit {
-			m.RamnitServers++
-		}
-		if !r.AnonymousOK {
 			continue
 		}
-
-		if Writable(r) {
-			m.WritableServers++
-			if as := in.AS(r); as != nil {
-				writableASes[as] = true
+		for _, key := range campaigns.DetectFilename(f.Name) {
+			a.campFiles[key]++
+			if !seenHere[key] {
+				seenHere[key] = true
+				a.campServers[key]++
 			}
-		}
-		if r.AnonUploadConfirmed {
-			m.AnonUploadConfirmed++
-		}
-
-		seenHere := map[string]bool{}
-		ratSeen := false
-		warezSeen := false
-		for i := range r.Files {
-			f := &r.Files[i]
-			if f.IsDir {
-				if campaigns.IsWaReZDir(f.Name) {
-					warezSeen = true
-				}
-				continue
-			}
-			for _, key := range campaigns.DetectFilename(f.Name) {
-				campFiles[key]++
-				if !seenHere[key] {
-					seenHere[key] = true
-					campServers[key]++
-				}
-				if key == campaigns.KeyRATEval {
-					m.RATFiles++
-					ratSeen = true
-				}
-			}
-		}
-		if ratSeen {
-			m.RATServers++
-		}
-		if warezSeen {
-			m.WaReZServers++
-			if !seenHere[campaigns.KeyWaReZ] {
-				campServers[campaigns.KeyWaReZ]++
-			}
-		}
-		if seenHere[campaigns.KeyDDoSHistory] || seenHere[campaigns.KeyDDoSPhzLtoxn] {
-			m.DDoSServers++
-		}
-		if hasHolyBible(r) {
-			m.HolyBibleServers++
-			if Writable(r) {
-				holyBibleWritable++
+			if key == campaigns.KeyRATEval {
+				a.ratFiles++
+				ratSeen = true
 			}
 		}
 	}
+	if ratSeen {
+		a.ratServers++
+	}
+	if warezSeen {
+		a.warezServers++
+		if !seenHere[campaigns.KeyWaReZ] {
+			a.campServers[campaigns.KeyWaReZ]++
+		}
+	}
+	if seenHere[campaigns.KeyDDoSHistory] || seenHere[campaigns.KeyDDoSPhzLtoxn] {
+		a.ddosServers++
+	}
+	if hasHolyBible(host) {
+		a.holyBibleServers++
+		if Writable(host) {
+			a.holyBibleWritable++
+		}
+	}
+}
 
-	m.WritableASes = len(writableASes)
-	m.HolyBiblePctWritable = percent(holyBibleWritable, m.HolyBibleServers)
-	for key, n := range campServers {
+// Finalize produces §VI.
+func (a *MaliciousAcc) Finalize() Malicious {
+	m := Malicious{
+		WritableServers:     a.writableServers,
+		WritableASes:        len(a.writableASes),
+		AnonUploadConfirmed: a.anonUploadConfirmed,
+		RATFiles:            a.ratFiles,
+		RATServers:          a.ratServers,
+		DDoSServers:         a.ddosServers,
+		HolyBibleServers:    a.holyBibleServers,
+		WaReZServers:        a.warezServers,
+		RamnitServers:       a.ramnitServers,
+		HTTPOverlap:         a.httpOverlap,
+		ScriptingOverlap:    a.scriptingOverlap,
+		TotalFTP:            a.totalFTP,
+	}
+	m.HolyBiblePctWritable = percent(a.holyBibleWritable, a.holyBibleServers)
+	for key, n := range a.campServers {
 		c := campaigns.ByKey(key)
 		name := key
 		if c != nil {
 			name = c.Name
 		}
 		m.Campaigns = append(m.Campaigns, CampaignHit{
-			Key: key, Name: name, Servers: n, Files: campFiles[key],
+			Key: key, Name: name, Servers: n, Files: a.campFiles[key],
 		})
 	}
 	sort.Slice(m.Campaigns, func(i, j int) bool {
@@ -145,6 +182,13 @@ func ComputeMalicious(in *Input) Malicious {
 		return m.Campaigns[i].Key < m.Campaigns[j].Key
 	})
 	return m
+}
+
+// ComputeMalicious derives §VI from a retained dataset.
+func ComputeMalicious(in *Input) Malicious {
+	var acc MaliciousAcc
+	in.fold(&acc)
+	return acc.Finalize()
 }
 
 func hasHolyBible(r *dataset.HostRecord) bool {

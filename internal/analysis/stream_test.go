@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tableSet bundles every finalized analysis for equality comparison.
+type tableSet struct {
+	Funnel           Funnel
+	Classification   Classification
+	ASConcentration  ASConcentration
+	Devices          DeviceBreakdown
+	TopASes          []TopAS
+	Exposure         Exposure
+	ExposureByDevice ExposureByDevice
+	CVEs             CVEExposure
+	Malicious        Malicious
+	PortBounce       PortBounce
+	FTPS             FTPS
+}
+
+func computeAll(in *Input) tableSet {
+	return tableSet{
+		Funnel:           ComputeFunnel(in),
+		Classification:   ComputeClassification(in),
+		ASConcentration:  ComputeASConcentration(in),
+		Devices:          ComputeDevices(in),
+		TopASes:          ComputeTopASes(in, 10),
+		Exposure:         ComputeExposure(in),
+		ExposureByDevice: ComputeExposureByDevice(in),
+		CVEs:             ComputeCVEs(in),
+		Malicious:        ComputeMalicious(in),
+		PortBounce:       ComputePortBounce(in),
+		FTPS:             ComputeFTPS(in, 10),
+	}
+}
+
+func finalizeAll(agg *Aggregator, ipsScanned uint64) tableSet {
+	return tableSet{
+		Funnel:           agg.Funnel(ipsScanned),
+		Classification:   agg.Classification(),
+		ASConcentration:  agg.ASConcentration(),
+		Devices:          agg.Devices(),
+		TopASes:          agg.TopASes(10),
+		Exposure:         agg.Exposure(),
+		ExposureByDevice: agg.ExposureByDevice(),
+		CVEs:             agg.CVEs(),
+		Malicious:        agg.Malicious(),
+		PortBounce:       agg.PortBounce(),
+		FTPS:             agg.FTPS(10),
+	}
+}
+
+// TestAggregatorMatchesCompute feeds the hand-built dataset through a
+// streaming Aggregator — in reverse order, to prove order independence —
+// and checks every table against the batch Compute path.
+func TestAggregatorMatchesCompute(t *testing.T) {
+	in := buildInput(t)
+	agg := NewAggregator(in.ASDB, func(r *Record) (HTTPInfo, bool) {
+		info, ok := in.HTTP[r.Host.IP]
+		return info, ok
+	})
+	for i := len(in.Records) - 1; i >= 0; i-- {
+		if err := agg.Observe(in.Records[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if agg.Observed() != len(in.Records) {
+		t.Errorf("Observed = %d, want %d", agg.Observed(), len(in.Records))
+	}
+	got := finalizeAll(agg, in.IPsScanned)
+	want := computeAll(in)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streaming tables diverge from batch tables:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Finalize is pure: a second pass must be identical.
+	again := finalizeAll(agg, in.IPsScanned)
+	if !reflect.DeepEqual(got, again) {
+		t.Error("second finalize diverges — finalize mutated accumulator state")
+	}
+
+	// Close drops hooks but keeps finalize working.
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, finalizeAll(agg, in.IPsScanned)) {
+		t.Error("finalize after Close diverges")
+	}
+}
+
+// TestAggregateInputMatchesCompute checks the batch bridge (parallel
+// derivation + sequential fold) against the direct Compute path.
+func TestAggregateInputMatchesCompute(t *testing.T) {
+	in := buildInput(t)
+	agg := AggregateInput(in)
+	got := finalizeAll(agg, in.IPsScanned)
+	want := computeAll(in)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("AggregateInput tables diverge:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestAggregatorEmpty: finalizing with no observations must match the
+// batch path over an empty Input.
+func TestAggregatorEmpty(t *testing.T) {
+	in := &Input{IPsScanned: 10}
+	agg := NewAggregator(nil, nil)
+	got := finalizeAll(agg, 10)
+	want := computeAll(in)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("empty aggregate diverges:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -188,12 +188,12 @@ func (a *Auditor) Audit(ctx context.Context, target string) (*Report, error) {
 	}
 
 	// FTPS availability.
-	add(CheckTLSAvailable, rec.FTPS.Supported, SeverityWarning,
-		pick(rec.FTPS.Supported, "AUTH TLS available", "no TLS: credentials and data travel in cleartext"))
+	add(CheckTLSAvailable, rec.FTPSSupported(), SeverityWarning,
+		pick(rec.FTPSSupported(), "AUTH TLS available", "no TLS: credentials and data travel in cleartext"))
 
 	// Fleet-shared certificate.
-	if rec.FTPS.Cert != nil {
-		n := a.SharedFingerprints[rec.FTPS.Cert.FingerprintSHA256]
+	if cert := rec.FTPSCert(); cert != nil {
+		n := a.SharedFingerprints[cert.FingerprintSHA256]
 		add(CheckUniqueCert, n <= 1, SeverityCritical,
 			pick(n > 1,
 				fmt.Sprintf("certificate shared with %d other devices: one extracted key MITMs the whole fleet", n),

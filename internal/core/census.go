@@ -10,7 +10,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"ftpcloud/internal/analysis"
@@ -62,7 +61,32 @@ type CensusConfig struct {
 	// Params overrides the generated world's parameters entirely when
 	// non-nil.
 	Params *worldgen.Params
+
+	// RetainRecords chooses what Run keeps after folding each record
+	// into the analysis accumulators. The zero value (RetainAll) is the
+	// legacy buffered mode.
+	RetainRecords Retention
+	// StreamTo, when non-nil, receives every record the moment its
+	// enumeration finishes — ahead of the analysis accumulators in the
+	// sink chain. Run closes it when the census ends. Combine with
+	// RetainNone and a dataset.WriterSink for constant-memory
+	// persistence.
+	StreamTo dataset.Sink
 }
+
+// Retention selects the census memory model.
+type Retention int
+
+const (
+	// RetainAll keeps every HostRecord: Result.Records and the legacy
+	// analysis Input are populated. The default.
+	RetainAll Retention = iota
+	// RetainNone streams: each record is folded into the analysis
+	// accumulators (and StreamTo) as it arrives and then dropped, so
+	// peak memory is the aggregate state, not the dataset — listings
+	// never accumulate. Result.Records and Result.Input stay nil.
+	RetainNone
+)
 
 // Census is a ready-to-run measurement pipeline over one world.
 type Census struct {
@@ -95,8 +119,16 @@ func NewCensus(cfg CensusConfig) (*Census, error) {
 
 // Result is a completed census.
 type Result struct {
+	// Input and Records are populated only in RetainAll mode; in
+	// streaming mode the records were folded into the accumulators and
+	// released.
 	Input   *analysis.Input
 	Records []*dataset.HostRecord
+
+	// Observed counts the records that flowed through the sink chain —
+	// equal to len(Records) in retained mode, and the only cardinality
+	// available in streaming mode.
+	Observed int
 
 	// ScanDuration is the time until discovery finished; EnumDuration
 	// the time until the last enumeration finished. The stages overlap
@@ -106,14 +138,26 @@ type Result struct {
 	EnumDuration time.Duration
 	Probed       uint64
 	Responded    uint64
+
+	// agg holds the streaming accumulators Run folded every record
+	// into; ComputeTables finalizes from it without touching records.
+	agg     *analysis.Aggregator
+	scanned uint64
 }
 
 // Run executes discovery and enumeration as an overlapping pipeline — the
 // enumerator fleet follows up on hosts as the scanner discovers them, the
-// way the paper's toolchain chained ZMap with its libevent enumerator —
-// and returns the assembled dataset.
+// way the paper's toolchain chained ZMap with its libevent enumerator.
+// Every finished record flows through a sink chain in a single pass:
+// first the caller's StreamTo sink (if any), then the analysis
+// accumulators, then — in RetainAll mode only — an in-memory collector.
+// The HTTP (Censys-equivalent) join is resolved per record inside that
+// pass, so the join is always consistent with the records that actually
+// flowed, even when the run is cancelled mid-flight.
 func (c *Census) Run(ctx context.Context) (*Result, error) {
 	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	scanner, err := zmap.NewScanner(zmap.Config{
 		Network: c.Network,
 		Base:    c.World.ScanBase,
@@ -149,6 +193,46 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 		Workers:    c.Config.EnumWorkers,
 	}
 
+	// The sink chain. The aggregator resolves each record's HTTP join
+	// through a per-record truth lookup — replacing the old post-hoc
+	// join over a `discovered` slice that could be left inconsistent
+	// with in-flight records on cancellation. In retained mode the same
+	// hook also materializes the legacy Input.HTTP map as a side effect,
+	// so the map covers exactly the records that flowed.
+	retained := c.Config.RetainRecords == RetainAll
+	var join map[string]analysis.HTTPInfo
+	if retained {
+		join = make(map[string]analysis.HTTPInfo)
+	}
+	world := c.World
+	httpHook := func(r *analysis.Record) (analysis.HTTPInfo, bool) {
+		ip, ok := r.IPNum()
+		if !ok {
+			return analysis.HTTPInfo{}, false
+		}
+		truth, ok := world.Truth(ip)
+		if !ok || !truth.FTP {
+			return analysis.HTTPInfo{}, false
+		}
+		info := analysis.HTTPInfo{HTTP: truth.HTTP, Scripting: truth.Scripting}
+		if join != nil {
+			join[r.Host.IP] = info
+		}
+		return info, true
+	}
+	agg := analysis.NewAggregator(c.World.ASDB, httpHook)
+	sinks := make([]dataset.Sink, 0, 3)
+	if c.Config.StreamTo != nil {
+		sinks = append(sinks, c.Config.StreamTo)
+	}
+	sinks = append(sinks, agg)
+	var coll *dataset.Collector
+	if retained {
+		coll = &dataset.Collector{}
+		sinks = append(sinks, coll)
+	}
+	sink := dataset.Tee(sinks...)
+
 	// Pipeline: scanner results flow straight into the fleet's intake, in
 	// batches so discovery fan-out costs one channel handoff per slice.
 	found := make(chan []zmap.Result, 64)
@@ -162,14 +246,10 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 		scanDur = time.Since(start)
 		scanErr <- err
 	}()
-	// The forwarder also keeps the numeric addresses of every discovered
-	// host so the HTTP join never re-parses IP strings.
-	var discovered []simnet.IP
 	go func() {
 		defer close(in)
 		for batch := range found {
 			for _, r := range batch {
-				discovered = append(discovered, r.IP)
 				select {
 				case in <- r.IP:
 				case <-ctx.Done():
@@ -181,32 +261,53 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 			}
 		}
 	}()
-	done := make(chan []*dataset.HostRecord, 1)
+	// The single drain goroutine feeds the sink chain, honoring the Sink
+	// contract (one Observe at a time). A sink failure cancels the
+	// pipeline but keeps draining so the fleet can shut down.
+	drained := make(chan error, 1)
 	go func() {
-		var records []*dataset.HostRecord
+		var sinkErr error
 		for rec := range out {
-			records = append(records, rec)
+			if sinkErr != nil {
+				continue
+			}
+			if err := sink.Observe(rec); err != nil {
+				sinkErr = err
+				cancel()
+			}
 		}
-		done <- records
+		drained <- sinkErr
 	}()
 	fleet.Run(ctx, in, out)
-	records := <-done
+	sinkErr := <-drained
+	closeErr := sink.Close()
 	if err := <-scanErr; err != nil {
 		return nil, fmt.Errorf("core: discovery scan: %w", err)
 	}
+	if sinkErr != nil {
+		return nil, fmt.Errorf("core: record sink: %w", sinkErr)
+	}
+	if closeErr != nil {
+		return nil, fmt.Errorf("core: closing record sink: %w", closeErr)
+	}
 
 	result := &Result{
-		Records:      records,
+		Observed:     agg.Observed(),
 		ScanDuration: scanDur,
 		EnumDuration: time.Since(start),
 		Probed:       scanner.Stats.Probed.Load(),
 		Responded:    scanner.Stats.Responded.Load(),
+		agg:          agg,
+		scanned:      c.World.ScanSize,
 	}
-	result.Input = &analysis.Input{
-		IPsScanned: c.World.ScanSize,
-		Records:    records,
-		ASDB:       c.World.ASDB,
-		HTTP:       c.httpJoinIPs(discovered),
+	if retained {
+		result.Records = coll.Records
+		result.Input = &analysis.Input{
+			IPsScanned: c.World.ScanSize,
+			Records:    coll.Records,
+			ASDB:       c.World.ASDB,
+			HTTP:       join,
+		}
 	}
 	return result, ctx.Err()
 }
@@ -260,35 +361,32 @@ type Tables struct {
 	FTPS             analysis.FTPS
 }
 
-// ComputeTables runs every analysis over the result. The computations are
-// independent, so after the Input's shared per-record caches are built
-// (classification, AS resolution — see analysis.Input.Prepare) they run
-// concurrently.
+// ComputeTables produces every analysis table. After a census run this is
+// a thin finalize over the accumulators the pipeline already folded — no
+// record is touched again, which is what lets streaming mode drop them.
+// For hand-built Results (an Input loaded from disk, say) it folds the
+// retained records through a fresh aggregator first, fanning the per-record
+// derivation across CPUs.
 func (r *Result) ComputeTables() Tables {
-	in := r.Input
-	in.Prepare()
-	var t Tables
-	var wg sync.WaitGroup
-	run := func(f func()) {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			f()
-		}()
+	agg := r.agg
+	scanned := r.scanned
+	if agg == nil {
+		agg = analysis.AggregateInput(r.Input)
+		scanned = r.Input.IPsScanned
 	}
-	run(func() { t.Funnel = analysis.ComputeFunnel(in) })
-	run(func() { t.Classification = analysis.ComputeClassification(in) })
-	run(func() { t.ASConcentration = analysis.ComputeASConcentration(in) })
-	run(func() { t.Devices = analysis.ComputeDevices(in) })
-	run(func() { t.TopASes = analysis.ComputeTopASes(in, 10) })
-	run(func() { t.Exposure = analysis.ComputeExposure(in) })
-	run(func() { t.ExposureByDevice = analysis.ComputeExposureByDevice(in) })
-	run(func() { t.CVEs = analysis.ComputeCVEs(in) })
-	run(func() { t.Malicious = analysis.ComputeMalicious(in) })
-	run(func() { t.PortBounce = analysis.ComputePortBounce(in) })
-	run(func() { t.FTPS = analysis.ComputeFTPS(in, 10) })
-	wg.Wait()
-	return t
+	return Tables{
+		Funnel:           agg.Funnel(scanned),
+		Classification:   agg.Classification(),
+		ASConcentration:  agg.ASConcentration(),
+		Devices:          agg.Devices(),
+		TopASes:          agg.TopASes(10),
+		Exposure:         agg.Exposure(),
+		ExposureByDevice: agg.ExposureByDevice(),
+		CVEs:             agg.CVEs(),
+		Malicious:        agg.Malicious(),
+		PortBounce:       agg.PortBounce(),
+		FTPS:             agg.FTPS(10),
+	}
 }
 
 // HoneypotStudyConfig sizes a §VIII run.

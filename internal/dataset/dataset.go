@@ -102,7 +102,9 @@ type HostRecord struct {
 
 	PortCheck PortValidation `json:"port_check,omitempty"`
 
-	FTPS FTPSInfo `json:"ftps,omitempty"`
+	// FTPS is nil until the enumerator attempts AUTH TLS; a pointer so
+	// omitempty actually elides it from hosts with no TLS observations.
+	FTPS *FTPSInfo `json:"ftps,omitempty"`
 
 	// WriteEvidence lists reference-set filenames observed in listings
 	// (§VI.A's world-writability indicator).
@@ -114,6 +116,28 @@ type HostRecord struct {
 
 	// Error records a fatal enumeration failure, if any.
 	Error string `json:"error,omitempty"`
+}
+
+// EnsureFTPS returns the record's FTPS observations, allocating them on
+// first use.
+func (r *HostRecord) EnsureFTPS() *FTPSInfo {
+	if r.FTPS == nil {
+		r.FTPS = &FTPSInfo{}
+	}
+	return r.FTPS
+}
+
+// FTPSSupported reports whether the host completed AUTH TLS.
+func (r *HostRecord) FTPSSupported() bool {
+	return r.FTPS != nil && r.FTPS.Supported
+}
+
+// FTPSCert returns the collected certificate, or nil.
+func (r *HostRecord) FTPSCert() *CertInfo {
+	if r.FTPS == nil {
+		return nil
+	}
+	return r.FTPS.Cert
 }
 
 // Writer persists records as JSON lines.

@@ -21,7 +21,7 @@ func sampleRecord() *HostRecord {
 			{Path: "/pub/x.txt", Name: "x.txt", Size: 42, Read: ReadYes, Owner: "ftp"},
 		},
 		PortCheck:     PortNotValidated,
-		FTPS:          FTPSInfo{Supported: true, Cert: &CertInfo{FingerprintSHA256: "abcd", CommonName: "*.home.pl"}},
+		FTPS:          &FTPSInfo{Supported: true, Cert: &CertInfo{FingerprintSHA256: "abcd", CommonName: "*.home.pl"}},
 		WriteEvidence: []string{"w0000000t.txt"},
 	}
 }
@@ -54,8 +54,8 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if r.Files[1].Size != 42 || r.Files[1].Read != ReadYes {
 		t.Errorf("file entry: %+v", r.Files[1])
 	}
-	if r.FTPS.Cert == nil || r.FTPS.Cert.CommonName != "*.home.pl" {
-		t.Errorf("cert: %+v", r.FTPS.Cert)
+	if r.FTPSCert() == nil || r.FTPSCert().CommonName != "*.home.pl" {
+		t.Errorf("cert: %+v", r.FTPSCert())
 	}
 }
 
@@ -85,7 +85,9 @@ func TestOmitEmpty(t *testing.T) {
 	}
 	w.Flush()
 	line := buf.String()
-	for _, absent := range []string{"banner", "files", "robots", "write_evidence", "error"} {
+	// "ftps" is in this list because FTPS is a pointer precisely so that
+	// hosts without TLS observations serialize without an empty object.
+	for _, absent := range []string{"banner", "files", "robots", "write_evidence", "error", "ftps"} {
 		if strings.Contains(line, `"`+absent+`"`) {
 			t.Errorf("empty field %q serialized: %s", absent, line)
 		}

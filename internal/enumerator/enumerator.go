@@ -224,7 +224,7 @@ func (s *session) login(ctx context.Context) {
 	if r.Code == ftp.CodeNotLoggedIn && strings.Contains(strings.ToUpper(r.Text()), "TLS") {
 		// "FTPS required prior to login" — one of the four meanings the
 		// paper attributes to login replies.
-		s.rec.FTPS.RequiredPreLogin = true
+		s.rec.EnsureFTPS().RequiredPreLogin = true
 		if !s.upgradeTLS() {
 			return
 		}
@@ -272,14 +272,15 @@ func (s *session) upgradeTLS() bool {
 
 // recordTLSState captures the peer certificate.
 func (s *session) recordTLSState(tc *tls.Conn) {
-	s.rec.FTPS.Supported = true
+	ftps := s.rec.EnsureFTPS()
+	ftps.Supported = true
 	peer := tc.ConnectionState().PeerCertificates
 	if len(peer) == 0 {
 		return
 	}
 	leaf := peer[0]
 	fp := fingerprintHex(leaf.Raw)
-	s.rec.FTPS.Cert = &dataset.CertInfo{
+	ftps.Cert = &dataset.CertInfo{
 		FingerprintSHA256: fp,
 		CommonName:        leaf.Subject.CommonName,
 		SelfSigned:        leaf.Issuer.CommonName == leaf.Subject.CommonName,
@@ -289,7 +290,7 @@ func (s *session) recordTLSState(tc *tls.Conn) {
 // tryTLS attempts AUTH TLS at the end of the session (the paper collects
 // certificates from every host, anonymous or not).
 func (s *session) tryTLS() {
-	if s.rec.FTPS.Cert != nil {
+	if s.rec.FTPSCert() != nil {
 		return // already collected during a required-TLS login
 	}
 	s.upgradeTLS()

@@ -279,17 +279,18 @@ func TestFTPSCertCollection(t *testing.T) {
 		Cert:           pool.Get("c"),
 	})
 	rec := Enumerate(context.Background(), enumConfig(nw), srvIP.String())
-	if !rec.FTPS.Supported || rec.FTPS.Cert == nil {
+	if !rec.FTPSSupported() || rec.FTPSCert() == nil {
 		t.Fatalf("FTPS not collected: %+v", rec.FTPS)
 	}
-	if rec.FTPS.Cert.CommonName != "*.home.pl" {
-		t.Errorf("CN = %q", rec.FTPS.Cert.CommonName)
+	cert := rec.FTPSCert()
+	if cert.CommonName != "*.home.pl" {
+		t.Errorf("CN = %q", cert.CommonName)
 	}
-	if rec.FTPS.Cert.SelfSigned {
+	if cert.SelfSigned {
 		t.Error("CA-signed cert reported self-signed")
 	}
-	if len(rec.FTPS.Cert.FingerprintSHA256) != 64 {
-		t.Errorf("fingerprint: %q", rec.FTPS.Cert.FingerprintSHA256)
+	if len(cert.FingerprintSHA256) != 64 {
+		t.Errorf("fingerprint: %q", cert.FingerprintSHA256)
 	}
 }
 
@@ -308,14 +309,14 @@ func TestRequireTLSLogin(t *testing.T) {
 		RequireTLS:     true,
 	})
 	rec := Enumerate(context.Background(), enumConfig(nw), srvIP.String())
-	if !rec.FTPS.RequiredPreLogin {
+	if rec.FTPS == nil || !rec.FTPS.RequiredPreLogin {
 		t.Fatalf("TLS requirement not detected: %+v", rec)
 	}
 	if !rec.AnonymousOK {
 		t.Fatal("login after TLS upgrade failed")
 	}
-	if rec.FTPS.Cert == nil || rec.FTPS.Cert.CommonName != "secure.example.org" {
-		t.Errorf("cert: %+v", rec.FTPS.Cert)
+	if rec.FTPSCert() == nil || rec.FTPSCert().CommonName != "secure.example.org" {
+		t.Errorf("cert: %+v", rec.FTPSCert())
 	}
 	if len(rec.Files) == 0 {
 		t.Error("no traversal after TLS login")

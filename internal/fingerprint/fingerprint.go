@@ -124,9 +124,9 @@ func Classify(rec *dataset.HostRecord) Classification {
 
 	// Hosting signals: provider banners or shared wildcard certificates.
 	hosted := strings.Contains(banner, "home.pl") || strings.Contains(banner, "Plesk")
-	if !hosted && rec.FTPS.Cert != nil {
+	if cert := rec.FTPSCert(); !hosted && cert != nil {
 		for _, cn := range hostingCertCNs {
-			if rec.FTPS.Cert.CommonName == cn {
+			if cert.CommonName == cn {
 				hosted = true
 				break
 			}

@@ -76,7 +76,7 @@ func TestClassifyHosted(t *testing.T) {
 	}
 	// Hosting identified through a shared wildcard certificate.
 	r := rec("---------- Welcome to Pure-FTPd [privsep] [TLS] ----------")
-	r.FTPS.Cert = &dataset.CertInfo{CommonName: "*.bluehost.com"}
+	r.EnsureFTPS().Cert = &dataset.CertInfo{CommonName: "*.bluehost.com"}
 	c = Classify(r)
 	if c.Category != personality.CategoryHosted {
 		t.Errorf("cert-based hosting: %+v", c)

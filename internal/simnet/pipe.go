@@ -71,6 +71,17 @@ func (d *deadline) set(t time.Time) {
 	d.timer = time.AfterFunc(dur, d.wake)
 }
 
+// stop cancels a pending timer without clearing the deadline itself.
+// Called on close: a stopped timer is released from the runtime timer heap
+// immediately, instead of pinning the pipe (via the wake closure) until the
+// deadline would have fired.
+func (d *deadline) stop() {
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+}
+
 func (d *deadline) expired() bool {
 	return !d.t.IsZero() && !time.Now().Before(d.t)
 }
@@ -126,6 +137,10 @@ func (h *halfPipe) close() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.closed = true
+	// Blocked goroutines observe closed before any deadline check, so the
+	// pending wake-ups are no longer needed.
+	h.readDeadline.stop()
+	h.writeDeadline.stop()
 	h.cond.Broadcast()
 }
 

@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_current.json}"
 BENCHTIME="${BENCHTIME:-1s}"
-BENCH='BenchmarkProbeFanout|BenchmarkProbeClosedPort|BenchmarkComputeTables|BenchmarkSimnetThroughput$|BenchmarkPipeline_FullCensus'
+BENCH='BenchmarkProbeFanout|BenchmarkProbeClosedPort|BenchmarkComputeTables|BenchmarkSimnetThroughput$|BenchmarkPipeline_FullCensus|BenchmarkCensusMemory'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
