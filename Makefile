@@ -2,6 +2,9 @@
 #
 #   make tier1   — what every PR must keep green: build, vet, full test
 #                  suite, and race-mode tests on the scan-path packages.
+#   make chaos   — the fault-injection suite under the race detector:
+#                  hostile servers, malformed protocol input, budget and
+#                  degradation paths.
 #   make bench   — regenerate the scan-path benchmark numbers (BENCH json).
 
 GO ?= go
@@ -9,7 +12,12 @@ GO ?= go
 # Packages whose hot paths are exercised by many goroutines; always raced.
 RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen
 
-.PHONY: build test vet race race-full tier1 bench
+# Packages holding the chaos suite: fault injection, hostile worlds, the
+# enumerator's retry/degradation layer, and the end-to-end hostile census.
+CHAOS_PKGS = ./internal/simnet ./internal/ftp ./internal/listparse \
+	./internal/enumerator ./internal/worldgen ./internal/core
+
+.PHONY: build test vet race race-full tier1 chaos bench
 
 build:
 	$(GO) build ./...
@@ -28,6 +36,11 @@ race-full: race
 	$(GO) test -race ./internal/core ./internal/analysis
 
 tier1: build vet test race
+
+# Chaos suite: every fault class must yield a classified partial record —
+# no hangs, no silent host drops — with the race detector watching.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Hostile|Benign|Malformed|Truncated|Oversized|MidReply|UnexpectedEOF' $(CHAOS_PKGS)
 
 bench:
 	scripts/bench.sh

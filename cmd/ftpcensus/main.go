@@ -12,13 +12,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"ftpcloud/internal/core"
 	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/enumerator"
 	"ftpcloud/internal/notify"
 	"ftpcloud/internal/report"
+	"ftpcloud/internal/worldgen"
 )
 
 func main() {
@@ -40,8 +43,26 @@ func run() error {
 		csvTo    = flag.String("figure1-csv", "", "write Figure 1's CDF series (CSV) to this file")
 		quiet    = flag.Bool("quiet", false, "suppress the table report")
 		timeout  = flag.Duration("timeout", 30*time.Minute, "overall run deadline")
+
+		hostile = flag.Float64("hostile", 0,
+			"fraction of FTP hosts given a hostile fault personality")
+		faultMix = flag.String("fault-mix", "",
+			"hostile class weights, e.g. latency=1,drip=2,rst=1,stall=1,garbage=1,eof=1")
+		enumTimeout = flag.Duration("enum-timeout", 0,
+			"per-operation enumerator timeout (0 = default 15s)")
+		enumRetries = flag.Int("enum-retries", 0,
+			"enumerator transport retry attempts (0 = default)")
+		hostBudget = flag.Duration("host-budget", 0,
+			"wall-clock budget per enumerated host (0 = default 2m, negative = off)")
+		byteBudget = flag.Int64("byte-budget", 0,
+			"data-channel byte budget per host (0 = default 64MiB, negative = off)")
 	)
 	flag.Parse()
+
+	mix, err := worldgen.ParseFaultMix(*faultMix)
+	if err != nil {
+		return err
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -73,6 +94,12 @@ func run() error {
 		LossRate:      *loss,
 		RetainRecords: retain,
 		StreamTo:      streamTo,
+		HostileRate:   *hostile,
+		FaultMix:      mix,
+		EnumTimeout:   *enumTimeout,
+		EnumRetry:     enumerator.RetryPolicy{Attempts: *enumRetries},
+		HostBudget:    *hostBudget,
+		ByteBudget:    *byteBudget,
 	})
 	if err != nil {
 		return err
@@ -87,6 +114,24 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "ftpcensus: discovery %v (%d probed, %d responsive); enumeration %v (%d records)\n",
 		result.ScanDuration.Round(time.Millisecond), result.Probed, result.Responded,
 		result.EnumDuration.Round(time.Millisecond), result.Observed)
+
+	if r := result.Robustness; r.Partial > 0 || len(r.Failures) > 0 || *hostile > 0 {
+		fmt.Fprintf(os.Stderr,
+			"ftpcensus: robustness: %d partial, %d terminated, %d truncated, %d dirs skipped, %d retries\n",
+			r.Partial, r.Terminated, r.Truncated, r.SkippedDirs, r.Retries)
+		if len(r.Failures) > 0 {
+			classes := make([]string, 0, len(r.Failures))
+			for c := range r.Failures {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			parts := make([]string, 0, len(classes))
+			for _, c := range classes {
+				parts = append(parts, fmt.Sprintf("%s=%d", c, r.Failures[c]))
+			}
+			fmt.Fprintf(os.Stderr, "ftpcensus: failure classes: %s\n", strings.Join(parts, " "))
+		}
+	}
 
 	if streamSink != nil {
 		// Run already flushed and closed the sink chain.

@@ -62,6 +62,29 @@ type CensusConfig struct {
 	// non-nil.
 	Params *worldgen.Params
 
+	// HostileRate assigns this fraction of FTP hosts a hostile fault
+	// personality (slow drip, mid-session reset, stalled data channels,
+	// garbage replies, premature EOF, connect latency). Zero — the
+	// default — keeps the calibrated benign world. Ignored when Params
+	// is set (override Params.HostileRate there instead).
+	HostileRate float64
+	// FaultMix weights the hostile classes; the zero value means the
+	// uniform default mix. Only meaningful with HostileRate > 0.
+	FaultMix worldgen.FaultMix
+
+	// EnumTimeout bounds individual enumerator control-channel
+	// operations. Zero means 15s.
+	EnumTimeout time.Duration
+	// EnumRetry bounds enumerator transport retries (control dial,
+	// banner read, data dial) with jittered backoff; the zero value
+	// means the enumerator defaults.
+	EnumRetry enumerator.RetryPolicy
+	// HostBudget caps wall-clock time spent enumerating one host;
+	// ByteBudget caps data-channel bytes read from one host. Zero means
+	// the enumerator defaults; negative disables the budget.
+	HostBudget time.Duration
+	ByteBudget int64
+
 	// RetainRecords chooses what Run keeps after folding each record
 	// into the analysis accumulators. The zero value (RetainAll) is the
 	// legacy buffered mode.
@@ -88,6 +111,46 @@ const (
 	RetainNone
 )
 
+// Robustness sums the per-record fault and degradation counters.
+type Robustness struct {
+	// Partial counts records flagged incomplete by the degradation
+	// layer; Failures breaks them (and outright failures) down by class.
+	Partial int
+	// Terminated counts control connections that ended early — server
+	// request limits and transport faults both land here.
+	Terminated int
+	// Truncated counts listings cut by the request cap.
+	Truncated int
+	// SkippedDirs, Retries, and DataBytes sum the per-record counters.
+	SkippedDirs int
+	Retries     int
+	DataBytes   int64
+	Failures    map[string]int
+}
+
+// observe folds one record in. Called only from the census drain
+// goroutine, so no locking is needed.
+func (r *Robustness) observe(rec *dataset.HostRecord) {
+	if rec.Partial {
+		r.Partial++
+	}
+	if rec.ConnTerminated {
+		r.Terminated++
+	}
+	if rec.ListingTruncated {
+		r.Truncated++
+	}
+	r.SkippedDirs += rec.SkippedDirs
+	r.Retries += rec.Retries
+	r.DataBytes += rec.DataBytes
+	if rec.FailureClass != "" {
+		if r.Failures == nil {
+			r.Failures = make(map[string]int)
+		}
+		r.Failures[rec.FailureClass]++
+	}
+}
+
 // Census is a ready-to-run measurement pipeline over one world.
 type Census struct {
 	Config  CensusConfig
@@ -103,6 +166,9 @@ func NewCensus(cfg CensusConfig) (*Census, error) {
 	params := worldgen.DefaultParams(cfg.Seed, cfg.Scale)
 	if cfg.Params != nil {
 		params = *cfg.Params
+	} else {
+		params.HostileRate = cfg.HostileRate
+		params.FaultMix = cfg.FaultMix
 	}
 	world, err := worldgen.New(params)
 	if err != nil {
@@ -111,6 +177,11 @@ func NewCensus(cfg CensusConfig) (*Census, error) {
 	nw := simnet.NewNetwork(world)
 	nw.LossRate = cfg.LossRate
 	nw.LossSeed = cfg.Seed
+	if world.Params.HostileRate > 0 {
+		// The world doubles as the network's fault injector: transport
+		// faults derive from the same truth as everything else.
+		nw.Faults = world
+	}
 	if cfg.RealisticLatency {
 		nw.Latency = world.LatencyModel()
 	}
@@ -138,6 +209,12 @@ type Result struct {
 	EnumDuration time.Duration
 	Probed       uint64
 	Responded    uint64
+
+	// Robustness aggregates the fault and degradation counters across
+	// every record — the evidence that hostile hosts degraded into
+	// classified partial records instead of hanging the pipeline or
+	// silently vanishing from the dataset.
+	Robustness Robustness
 
 	// agg holds the streaming accumulators Run folded every record
 	// into; ComputeTables finalizes from it without touching records.
@@ -181,12 +258,19 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 		collector = simCollector
 	}
 
+	enumTimeout := c.Config.EnumTimeout
+	if enumTimeout == 0 {
+		enumTimeout = 15 * time.Second
+	}
 	fleet := &enumerator.Fleet{
 		Cfg: enumerator.Config{
 			Collector:  collector,
 			RequestCap: c.Config.RequestCap,
 			TryTLS:     !c.Config.DisableTLS,
-			Timeout:    15 * time.Second,
+			Timeout:    enumTimeout,
+			Retry:      c.Config.EnumRetry,
+			HostBudget: c.Config.HostBudget,
+			ByteBudget: c.Config.ByteBudget,
 		},
 		Network:    c.Network,
 		SourceBase: ScannerBase,
@@ -265,12 +349,14 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 	// contract (one Observe at a time). A sink failure cancels the
 	// pipeline but keeps draining so the fleet can shut down.
 	drained := make(chan error, 1)
+	var robust Robustness
 	go func() {
 		var sinkErr error
 		for rec := range out {
 			if sinkErr != nil {
 				continue
 			}
+			robust.observe(rec)
 			if err := sink.Observe(rec); err != nil {
 				sinkErr = err
 				cancel()
@@ -297,6 +383,7 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 		EnumDuration: time.Since(start),
 		Probed:       scanner.Stats.Probed.Load(),
 		Responded:    scanner.Stats.Responded.Load(),
+		Robustness:   robust,
 		agg:          agg,
 		scanned:      c.World.ScanSize,
 	}

@@ -114,6 +114,23 @@ type HostRecord struct {
 	// §VI.A's strongest write evidence.
 	AnonUploadConfirmed bool `json:"anon_upload_confirmed,omitempty"`
 
+	// Partial marks records whose enumeration was degraded by a fault —
+	// a reset mid-traversal, a stalled data channel, an exhausted budget —
+	// rather than completing or being refused. The data present is valid;
+	// the host simply was not fully explored.
+	Partial bool `json:"partial,omitempty"`
+	// FailureClass names the dominant fault behind a partial or failed
+	// enumeration: "connect", "timeout", "reset", "eof", "protocol",
+	// "stall", "budget-time", "budget-bytes", or "io".
+	FailureClass string `json:"failure_class,omitempty"`
+	// SkippedDirs counts subtrees abandoned to keep the host alive (e.g.
+	// a stalled LIST skips that directory, not the whole host).
+	SkippedDirs int `json:"skipped_dirs,omitempty"`
+	// Retries counts transport-level retry attempts consumed.
+	Retries int `json:"retries,omitempty"`
+	// DataBytes totals bytes read over data channels.
+	DataBytes int64 `json:"data_bytes,omitempty"`
+
 	// Error records a fatal enumeration failure, if any.
 	Error string `json:"error,omitempty"`
 }

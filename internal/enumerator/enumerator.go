@@ -74,6 +74,20 @@ type Config struct {
 	// Port is the control-channel port; 0 means 21. Non-standard ports
 	// matter for testbeds (and for Ramnit-style rogue servers).
 	Port uint16
+	// Retry bounds transport-level retries (control dial, banner read,
+	// data dial) with jittered backoff.
+	Retry RetryPolicy
+	// DataIdleTimeout bounds the gap between consecutive data-channel
+	// reads; the deadline rolls forward while bytes flow, so long
+	// transfers survive but stalled peers do not. Zero means Timeout.
+	DataIdleTimeout time.Duration
+	// HostBudget caps wall-clock time spent on one host — the temporal
+	// analogue of the paper's 500-request cap. Zero means 2 minutes;
+	// negative disables.
+	HostBudget time.Duration
+	// ByteBudget caps total data-channel bytes read from one host. Zero
+	// means 64 MiB; negative disables.
+	ByteBudget int64
 }
 
 // withDefaults fills zero values.
@@ -89,6 +103,22 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Port == 0 {
 		c.Port = 21
+	}
+	c.Retry = c.Retry.withDefaults()
+	if c.DataIdleTimeout == 0 {
+		c.DataIdleTimeout = c.Timeout
+	}
+	switch {
+	case c.HostBudget == 0:
+		c.HostBudget = 2 * time.Minute
+	case c.HostBudget < 0:
+		c.HostBudget = 0
+	}
+	switch {
+	case c.ByteBudget == 0:
+		c.ByteBudget = 64 << 20
+	case c.ByteBudget < 0:
+		c.ByteBudget = 0
 	}
 	return c
 }
@@ -106,16 +136,21 @@ var bannerIPPattern = regexp.MustCompile(`\b(\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})
 
 // session carries one enumeration's state.
 type session struct {
-	cfg    Config
-	conn   *ftp.Conn
-	rec    *dataset.HostRecord
-	target string // control IP
-	used   int    // requests consumed
+	cfg     Config
+	conn    *ftp.Conn
+	rec     *dataset.HostRecord
+	target  string // control IP
+	used    int    // requests consumed
+	bud     budget // per-host time/byte ceilings
+	closing bool   // in the QUIT path; failures are no longer degradation
 }
 
 // Enumerate performs the full follow-up protocol against one discovered
-// host. It always returns a record — partial data plus an Error field on
-// failure.
+// host. It always returns a record — partial data plus Error/FailureClass
+// fields on failure. Hostile servers cannot make it hang (per-command and
+// rolling data deadlines), hold it forever (host time budget), or feed it
+// unbounded data (byte budget); transient transport faults are retried with
+// jittered backoff.
 func Enumerate(ctx context.Context, cfg Config, targetIP string) *dataset.HostRecord {
 	cfg = cfg.withDefaults()
 	rec := &dataset.HostRecord{
@@ -124,24 +159,17 @@ func Enumerate(ctx context.Context, cfg Config, targetIP string) *dataset.HostRe
 		PortOpen:  true,
 		PortCheck: dataset.PortNotTested,
 	}
+	s := &session{cfg: cfg, rec: rec, target: targetIP}
+	if cfg.HostBudget > 0 {
+		s.bud.deadline = time.Now().Add(cfg.HostBudget)
+	}
+	s.bud.maxBytes = cfg.ByteBudget
 
-	nc, err := cfg.Dialer.Dial("tcp", net.JoinHostPort(targetIP, fmt.Sprintf("%d", cfg.Port)))
-	if err != nil {
-		rec.PortOpen = false
-		rec.Error = fmt.Sprintf("connect: %v", err)
+	banner, ok := s.connect()
+	if !ok {
 		return rec
 	}
-	defer nc.Close()
-
-	c := ftp.NewConn(nc)
-	c.Timeout = cfg.Timeout
-	s := &session{cfg: cfg, conn: c, rec: rec, target: targetIP}
-
-	banner, err := c.ReadReply()
-	if err != nil || banner.Code != ftp.CodeReady {
-		rec.Error = "no FTP banner"
-		return rec
-	}
+	defer s.conn.Close()
 	rec.FTP = true
 	rec.Banner = banner.Text()
 	if m := bannerIPPattern.FindString(rec.Banner); m != "" {
@@ -174,8 +202,86 @@ func Enumerate(ctx context.Context, cfg Config, targetIP string) *dataset.HostRe
 	if cfg.TryTLS {
 		s.tryTLS()
 	}
+	s.closing = true
 	s.cmd("QUIT", "")
 	return rec
+}
+
+// retryableDial reports whether a dial error is worth retrying: refusal is a
+// definitive answer (nothing listens there), everything else — timeouts,
+// resets, transient routing — may clear up. The check is by message so it
+// covers simnet and kernel errors alike.
+func retryableDial(err error) bool {
+	return !strings.Contains(err.Error(), "connection refused")
+}
+
+// connect dials the control channel and reads the banner, spending the retry
+// budget on transient failures. A garbage banner (protocol violation) or a
+// well-formed non-220 greeting is an answer about the host, not a transient
+// fault, and is never retried.
+func (s *session) connect() (ftp.Reply, bool) {
+	addr := net.JoinHostPort(s.target, fmt.Sprintf("%d", s.cfg.Port))
+	pol := s.cfg.Retry
+
+	var nc net.Conn
+	var err error
+	for attempt := 1; ; attempt++ {
+		nc, err = s.cfg.Dialer.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		if attempt >= pol.Attempts || !retryableDial(err) {
+			s.rec.PortOpen = false
+			s.rec.Error = fmt.Sprintf("connect: %v", err)
+			s.rec.FailureClass = FailConnect
+			return ftp.Reply{}, false
+		}
+		s.rec.Retries++
+		time.Sleep(pol.backoff(s.target, attempt))
+	}
+
+	for attempt := 1; ; attempt++ {
+		s.conn = ftp.NewConn(nc)
+		s.conn.Timeout = s.opTimeout()
+		banner, rerr := s.conn.ReadReply()
+		if rerr == nil && banner.Code == ftp.CodeReady {
+			return banner, true
+		}
+		nc.Close()
+		if rerr == nil {
+			s.rec.Error = "no FTP banner"
+			return ftp.Reply{}, false
+		}
+		class := classifyErr(rerr)
+		if class == FailProtocol || attempt >= pol.Attempts {
+			s.rec.Error = fmt.Sprintf("banner: %v", rerr)
+			s.rec.FailureClass = class
+			return ftp.Reply{}, false
+		}
+		// Transient (reset, timeout, premature EOF): a fresh session
+		// costs one dial and often succeeds against flaky gear.
+		s.rec.Retries++
+		time.Sleep(pol.backoff(s.target, attempt))
+		if nc, err = s.cfg.Dialer.Dial("tcp", addr); err != nil {
+			s.rec.Error = fmt.Sprintf("banner: %v", rerr)
+			s.rec.FailureClass = class
+			return ftp.Reply{}, false
+		}
+	}
+}
+
+// opTimeout bounds one control-channel operation: the configured per-command
+// timeout, clipped to whatever remains of the host budget.
+func (s *session) opTimeout() time.Duration {
+	t := s.cfg.Timeout
+	left, ok := s.bud.timeLeft()
+	if !ok {
+		return time.Millisecond // budget spent: fail fast
+	}
+	if !s.bud.deadline.IsZero() && left < t {
+		t = left
+	}
+	return t
 }
 
 // isPrivateIP reports RFC 1918 membership for a dotted quad.
@@ -187,11 +293,19 @@ func isPrivateIP(sIP string) bool {
 	return ip.IsPrivate()
 }
 
-// cmd issues one request, accounting against the cap and honoring the rate
-// limit. A nil error with ok=false means the cap is exhausted.
+// cmd issues one request, accounting against the cap, the rate limit, and
+// the host budget, with a per-command deadline. ok=false means this session
+// can issue no further requests; the record explains why (ListingTruncated,
+// ConnTerminated, or Partial+FailureClass).
 func (s *session) cmd(name, arg string) (ftp.Reply, bool) {
 	if s.used >= s.cfg.RequestCap {
 		s.rec.ListingTruncated = true
+		return ftp.Reply{}, false
+	}
+	if _, ok := s.bud.timeLeft(); !ok {
+		if !s.closing {
+			s.markDegraded(FailBudgetTime)
+		}
 		return ftp.Reply{}, false
 	}
 	if s.cfg.RequestDelay > 0 && s.used > 0 {
@@ -199,14 +313,23 @@ func (s *session) cmd(name, arg string) (ftp.Reply, bool) {
 	}
 	s.used++
 	s.rec.RequestsUsed = s.used
+	// Per-command deadline: ftp.Conn re-arms it for every read and write,
+	// so one slow reply cannot consume more than Timeout, and the whole
+	// session cannot outlive the host budget.
+	s.conn.Timeout = s.opTimeout()
 	r, err := s.conn.Cmd(name, arg)
 	if err != nil {
-		// Server-initiated termination is an explicit refusal of
-		// service; record and stop.
+		// Transport death mid-session: keep the partial record and
+		// classify the fault instead of silently abandoning the host.
 		s.rec.ConnTerminated = true
+		if !s.closing {
+			s.markDegraded(classifyErr(err))
+		}
 		return ftp.Reply{}, false
 	}
 	if r.Code == ftp.CodeServiceNotAvail {
+		// Polite 421: an explicit refusal of further service — recorded
+		// as termination, but not as a fault.
 		s.rec.ConnTerminated = true
 		return r, false
 	}
@@ -259,9 +382,13 @@ func (s *session) upgradeTLS() bool {
 		// The enumerator collects certificates; it never trusts them.
 		InsecureSkipVerify: true,
 	})
-	tc.SetDeadline(time.Now().Add(s.cfg.Timeout))
+	// The handshake is the one operation outside ftp.Conn's per-command
+	// arming, so it gets its own budget-clipped deadline; afterwards the
+	// deadline is cleared because every subsequent operation re-arms it.
+	tc.SetDeadline(time.Now().Add(s.opTimeout()))
 	if err := tc.Handshake(); err != nil {
 		s.rec.ConnTerminated = true
+		s.markDegraded(classifyErr(err))
 		return false
 	}
 	tc.SetDeadline(time.Time{})
@@ -301,6 +428,11 @@ func (s *session) tryTLS() {
 // address. When the advertised IP differs from the control IP, the
 // enumerator falls back to the control IP — the smart-client recovery real
 // crawlers need behind NATs.
+//
+// The second return value reports whether the control channel remains
+// usable: (nil, true) means this one transfer failed — an unparseable PASV
+// reply, a dead data port — but the session can continue; (nil, false)
+// means the session is over.
 func (s *session) openDataConn() (net.Conn, bool) {
 	var port uint16
 	r, ok := s.cmd("PASV", "")
@@ -311,7 +443,8 @@ func (s *session) openDataConn() (net.Conn, bool) {
 	case r.Code == ftp.CodePassive:
 		hp, err := ftp.ParsePASVReply(r.Text())
 		if err != nil {
-			return nil, false
+			s.markDegraded(FailProtocol)
+			return nil, true
 		}
 		if s.rec.PASVIP == "" {
 			s.rec.PASVIP = hp.IPString()
@@ -324,33 +457,123 @@ func (s *session) openDataConn() (net.Conn, bool) {
 	default:
 		// Some implementations support only extended passive mode.
 		r, ok = s.cmd("EPSV", "")
-		if !ok || r.Code != ftp.CodeExtendedPassive {
+		if !ok {
 			return nil, false
+		}
+		if r.Code != ftp.CodeExtendedPassive {
+			return nil, true
 		}
 		p, err := ftp.ParseEPSVReply(r.Text())
 		if err != nil {
-			return nil, false
+			s.markDegraded(FailProtocol)
+			return nil, true
 		}
 		port = p
 	}
 	return s.dialData(net.JoinHostPort(s.target, fmt.Sprintf("%d", port)))
 }
 
-// dialData opens the data connection with a deadline.
+// dialData opens the data connection, retrying transient failures. The
+// deadline set here covers the connection as a whole; readData re-arms the
+// read deadline per chunk, so it governs writes and acts as a backstop. A
+// failed data dial degrades the transfer, never the session: (nil, true).
 func (s *session) dialData(addr string) (net.Conn, bool) {
-	dc, err := s.cfg.Dialer.Dial("tcp", addr)
-	if err != nil {
-		return nil, false
+	pol := s.cfg.Retry
+	for attempt := 1; ; attempt++ {
+		dc, err := s.cfg.Dialer.Dial("tcp", addr)
+		if err == nil {
+			dc.SetDeadline(time.Now().Add(s.opTimeout()))
+			return dc, true
+		}
+		if attempt >= pol.Attempts || !retryableDial(err) {
+			s.markDegraded(FailConnect)
+			return nil, true
+		}
+		s.rec.Retries++
+		time.Sleep(pol.backoff(addr, attempt))
 	}
-	dc.SetDeadline(time.Now().Add(s.cfg.Timeout))
-	return dc, true
+}
+
+// readData drains a data connection under a rolling idle deadline: the
+// deadline advances after every chunk, so a long transfer survives as long
+// as bytes keep flowing while a stalled peer trips the idle timeout. Bytes
+// are charged against the host byte budget; the body is truncated at limit
+// without error (mirroring the old io.LimitReader behaviour).
+func (s *session) readData(dc net.Conn, limit int64) (string, error) {
+	var b strings.Builder
+	buf := make([]byte, 16<<10)
+	var total int64
+	for {
+		left, ok := s.bud.timeLeft()
+		if !ok {
+			return b.String(), errBudgetTime
+		}
+		idle := s.cfg.DataIdleTimeout
+		if !s.bud.deadline.IsZero() && left < idle {
+			idle = left
+		}
+		if idle > 0 {
+			dc.SetReadDeadline(time.Now().Add(idle))
+		}
+		n, err := dc.Read(buf)
+		if n > 0 {
+			if total+int64(n) > limit {
+				n = int(limit - total)
+			}
+			b.Write(buf[:n])
+			total += int64(n)
+			s.rec.DataBytes += int64(n)
+			if !s.bud.addBytes(int64(n)) {
+				return b.String(), errBudgetBytes
+			}
+			if total >= limit {
+				return b.String(), nil
+			}
+		}
+		if err == io.EOF {
+			return b.String(), nil
+		}
+		if err != nil {
+			return b.String(), err
+		}
+	}
+}
+
+// dataFail classifies a failed data-channel read. A timeout on the data
+// channel is a stall by definition — the rolling idle deadline only expires
+// when the peer stops sending without closing.
+func dataFail(err error) string {
+	class := classifyErr(err)
+	if class == FailTimeout {
+		return FailStall
+	}
+	return class
+}
+
+// drainCompletion reads the transfer-completion reply under a short
+// deadline (after a broken transfer the server may never send one) and
+// reports whether the control channel is still alive.
+func (s *session) drainCompletion() bool {
+	t := s.opTimeout()
+	if t > 2*time.Second {
+		t = 2 * time.Second
+	}
+	s.conn.Timeout = t
+	if _, err := s.conn.ReadReply(); err != nil {
+		s.rec.ConnTerminated = true
+		if !s.closing {
+			s.markDegraded(classifyErr(err))
+		}
+		return false
+	}
+	return true
 }
 
 // retrieve downloads one small file over a data connection (used only for
 // robots.txt).
 func (s *session) retrieve(path string) (string, bool) {
-	dc, ok := s.openDataConn()
-	if !ok {
+	dc, _ := s.openDataConn()
+	if dc == nil {
 		return "", false
 	}
 	defer dc.Close()
@@ -358,17 +581,17 @@ func (s *session) retrieve(path string) (string, bool) {
 	if !ok || !r.Preliminary() {
 		return "", false
 	}
-	body, err := io.ReadAll(io.LimitReader(dc, 64<<10))
+	body, err := s.readData(dc, 64<<10)
 	dc.Close()
 	if err != nil {
+		s.markDegraded(dataFail(err))
+		s.drainCompletion()
 		return "", false
 	}
 	// Drain the completion reply; tolerate unusual codes — the body is
 	// what matters.
-	if _, err := s.conn.ReadReply(); err != nil {
-		s.rec.ConnTerminated = true
-	}
-	return string(body), true
+	s.drainCompletion()
+	return body, true
 }
 
 // fetchRobots retrieves and parses robots.txt per the Robots Exclusion
@@ -397,33 +620,56 @@ func (s *session) featHasMLST() bool {
 	return false
 }
 
+// listStatus is the outcome of one directory listing.
+type listStatus int
+
+const (
+	listOK    listStatus = iota // listing retrieved
+	listSkip                    // this directory failed; the host is still usable
+	listFatal                   // the session is over
+)
+
 // list retrieves one directory listing using the given verb (LIST or MLSD).
-func (s *session) list(verb, dir string) (string, bool) {
-	dc, ok := s.openDataConn()
-	if !ok {
-		return "", false
+// A stalled or broken transfer skips the directory — degrading the crawl —
+// rather than abandoning the host; any bytes received before the failure
+// are still returned for parsing.
+func (s *session) list(verb, dir string) (string, listStatus) {
+	dc, ctlOK := s.openDataConn()
+	if dc == nil {
+		if ctlOK {
+			s.rec.SkippedDirs++
+			return "", listSkip
+		}
+		return "", listFatal
 	}
 	defer dc.Close()
 	r, ok := s.cmd(verb, dir)
 	if !ok {
-		return "", false
+		return "", listFatal
 	}
 	if !r.Preliminary() {
-		return "", true // directory refused; connection still healthy
+		return "", listSkip // directory refused; connection still healthy
 	}
-	body, err := io.ReadAll(io.LimitReader(dc, s.cfg.MaxListBytes))
+	body, err := s.readData(dc, s.cfg.MaxListBytes)
 	dc.Close()
 	if err != nil {
-		return "", false
+		class := dataFail(err)
+		s.markDegraded(class)
+		if class == FailBudgetTime || class == FailBudgetBytes {
+			return body, listFatal
+		}
+		s.rec.SkippedDirs++
+		// Closing the data connection above unblocks a stalled sender;
+		// now find out whether the control channel survived.
+		if !s.drainCompletion() {
+			return body, listFatal
+		}
+		return body, listSkip
 	}
-	if reply, err := s.conn.ReadReply(); err != nil {
-		s.rec.ConnTerminated = true
-		return string(body), false
-	} else if reply.Code != ftp.CodeTransferOK && !reply.Negative() {
-		// Unexpected but non-fatal completion.
-		_ = reply
+	if !s.drainCompletion() {
+		return body, listFatal
 	}
-	return string(body), true
+	return body, listOK
 }
 
 // traverse walks the accessible tree breadth-first, respecting robots rules
@@ -460,19 +706,19 @@ func (s *session) traverse(ctx context.Context) {
 		item := queue[0]
 		queue = queue[1:]
 
-		body, ok := s.list(verb, item.path)
-		if body == "" && !ok {
+		body, st := s.list(verb, item.path)
+		if st == listFatal && body == "" {
 			return
 		}
 		var entries []listparse.Entry
 		if verb == "MLSD" {
 			entries, _ = listparse.ParseMLSDListing(body)
-			if len(entries) == 0 && body != "" {
+			if len(entries) == 0 && body != "" && st == listOK {
 				// Advertised but broken MLSD: fall back to LIST for
 				// the remainder of the crawl.
 				verb = "LIST"
-				body, ok = s.list(verb, item.path)
-				if body == "" && !ok {
+				body, st = s.list(verb, item.path)
+				if st == listFatal && body == "" {
 					return
 				}
 				entries, _ = listparse.ParseListing(body, now)
@@ -504,9 +750,13 @@ func (s *session) traverse(ctx context.Context) {
 				queue = append(queue, dirItem{path: full})
 			}
 		}
-		if !ok {
+		if st == listFatal {
+			// A partial body was parsed above so nothing already
+			// received is lost, but the session is over.
 			return
 		}
+		// listSkip: this subtree is abandoned; the rest of the queue —
+		// and the host — survives.
 	}
 }
 
@@ -582,10 +832,7 @@ func (s *session) probePortValidation() {
 	}
 	// The PORT was accepted; LIST triggers the outbound connection.
 	if r, ok := s.cmd("LIST", "/"); ok && r.Preliminary() {
-		// Drain the completion reply.
-		if _, err := s.conn.ReadReply(); err != nil {
-			s.rec.ConnTerminated = true
-		}
+		s.drainCompletion()
 	}
 	if s.cfg.Collector.Saw(s.target, 2*time.Second) {
 		s.rec.PortCheck = dataset.PortNotValidated

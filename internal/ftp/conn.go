@@ -2,6 +2,7 @@ package ftp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -14,6 +15,25 @@ import (
 // directory names, but an unbounded reader is a denial-of-service hazard for
 // a crawler talking to adversarial hosts.
 const MaxLineLen = 8192
+
+// MaxReplyBytes caps a complete (possibly multi-line) reply. A garbage-
+// spewing server can stay under MaxLineLen per line while streaming an
+// endless multi-line reply; the total cap bounds memory and forces a typed
+// failure instead of unbounded growth.
+const MaxReplyBytes = 64 << 10
+
+// ErrProtocol is the root of every typed protocol violation this package
+// reports: oversized lines, oversized replies, and malformed reply framing
+// all wrap it, so callers can classify hostile-server behaviour with a
+// single errors.Is check.
+var ErrProtocol = errors.New("ftp: protocol violation")
+
+// ErrLineTooLong marks a control line exceeding MaxLineLen — the signature
+// of a server spewing garbage without line framing.
+var ErrLineTooLong = fmt.Errorf("%w: control line exceeds %d bytes", ErrProtocol, MaxLineLen)
+
+// ErrReplyTooLong marks a reply exceeding MaxReplyBytes across all lines.
+var ErrReplyTooLong = fmt.Errorf("%w: reply exceeds %d bytes", ErrProtocol, MaxReplyBytes)
 
 // Conn wraps a control connection with buffered line-oriented I/O and the
 // FTP reply state machine. It is used from both sides: servers read commands
@@ -74,7 +94,7 @@ func (c *Conn) readLine() (string, error) {
 		chunk, err := c.r.ReadSlice('\n')
 		b.Write(chunk)
 		if b.Len() > MaxLineLen {
-			return "", fmt.Errorf("ftp: control line exceeds %d bytes", MaxLineLen)
+			return "", ErrLineTooLong
 		}
 		if err == bufio.ErrBufferFull {
 			continue
@@ -172,10 +192,15 @@ func (c *Conn) ReadReply() (Reply, error) {
 	}
 	terminator := fmt.Sprintf("%03d ", code)
 	terminatorBare := fmt.Sprintf("%03d", code)
+	total := len(line)
 	for {
 		line, err := c.readLine()
 		if err != nil {
 			return reply, fmt.Errorf("ftp: truncated multi-line reply: %w", err)
+		}
+		total += len(line)
+		if total > MaxReplyBytes {
+			return reply, ErrReplyTooLong
 		}
 		if strings.HasPrefix(line, terminator) {
 			reply.Lines = append(reply.Lines, line[len(terminator):])
@@ -191,7 +216,7 @@ func (c *Conn) ReadReply() (Reply, error) {
 		}
 		reply.Lines = append(reply.Lines, strings.TrimPrefix(line, " "))
 		if len(reply.Lines) > 4096 {
-			return reply, fmt.Errorf("ftp: multi-line reply exceeds 4096 lines")
+			return reply, fmt.Errorf("%w: multi-line reply exceeds 4096 lines", ErrProtocol)
 		}
 	}
 }
@@ -200,11 +225,11 @@ func (c *Conn) ReadReply() (Reply, error) {
 // opens a multi-line reply.
 func parseReplyLine(line string) (code int, text string, multi bool, err error) {
 	if len(line) < 3 {
-		return 0, "", false, fmt.Errorf("ftp: short reply line %q", line)
+		return 0, "", false, fmt.Errorf("%w: short reply line %q", ErrProtocol, line)
 	}
 	code, err = strconv.Atoi(line[:3])
 	if err != nil || code < 100 || code > 599 {
-		return 0, "", false, fmt.Errorf("ftp: bad reply code in %q", line)
+		return 0, "", false, fmt.Errorf("%w: bad reply code in %q", ErrProtocol, line)
 	}
 	switch {
 	case len(line) == 3:
@@ -214,7 +239,7 @@ func parseReplyLine(line string) (code int, text string, multi bool, err error) 
 	case line[3] == '-':
 		return code, line[4:], true, nil
 	default:
-		return 0, "", false, fmt.Errorf("ftp: malformed reply line %q", line)
+		return 0, "", false, fmt.Errorf("%w: malformed reply line %q", ErrProtocol, line)
 	}
 }
 

@@ -2,6 +2,7 @@ package ftp
 
 import (
 	"net"
+	"strings"
 	"testing"
 	"time"
 )
@@ -66,6 +67,12 @@ func FuzzReadReply(f *testing.F) {
 		"22",
 		"",
 		"220-never terminated\r\nmore\r\n",
+		// Hostile-server shapes: oversized single line, endless multi-line
+		// body, mid-line truncation, and continuation with a wrong code.
+		"220 " + strings.Repeat("A", MaxLineLen+1) + "\r\n",
+		"220-spew\r\n" + strings.Repeat("x\r\n", 256),
+		"220-hello\r\n230 done\r\n",
+		"220 cut-off-mid-li",
 	} {
 		f.Add(s)
 	}

@@ -1,0 +1,205 @@
+package ftp
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// replyFrom feeds raw bytes to a fresh Conn and reads one reply. closeAfter
+// closes the writer when the bytes are exhausted, simulating a server that
+// dies mid-reply.
+func replyFrom(t *testing.T, raw string, closeAfter bool) (Reply, error) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	go func() {
+		b.Write([]byte(raw))
+		if closeAfter {
+			b.Close()
+		}
+	}()
+	c := NewConn(a)
+	c.Timeout = 2 * time.Second
+	return c.ReadReply()
+}
+
+// TestMalformedMultilineReplies drives the reply reader through the framing
+// corruption real hostile servers produce. Every case must terminate with a
+// classified error — never a hang, panic, or silent misparse.
+func TestMalformedMultilineReplies(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		raw  string
+		// wantErr nil means the lenient parser should accept it; wantIs
+		// non-nil requires errors.Is(err, wantIs).
+		wantErr bool
+		wantIs  error
+	}{
+		{
+			name:    "truncated multiline then EOF",
+			raw:     "220-welcome\r\npart of the banner\r\n",
+			wantErr: true,
+		},
+		{
+			name:    "mid-line cutoff",
+			raw:     "220-welcome\r\n220 don",
+			wantErr: true,
+		},
+		{
+			name: "wrong code terminator accepted as continuation then EOF",
+			// A 230 terminator never closes a 220 reply.
+			raw:     "220-hello\r\n230 done\r\n",
+			wantErr: true,
+		},
+		{
+			name:    "garbage opening line",
+			raw:     "!!! not ftp at all\r\n",
+			wantErr: true,
+			wantIs:  ErrProtocol,
+		},
+		{
+			name:    "code out of range",
+			raw:     "999 impossible\r\n",
+			wantErr: true,
+			wantIs:  ErrProtocol,
+		},
+		{
+			name:    "bad separator after code",
+			raw:     "220~oops\r\n",
+			wantErr: true,
+			wantIs:  ErrProtocol,
+		},
+		{
+			name: "continuation lines with and without code prefixes",
+			raw:  "220-a\r\n220-b\r\n  indented\r\n220 end\r\n",
+		},
+		{
+			name: "bare code terminator",
+			raw:  "211-Features:\r\nMDTM\r\n211\r\n",
+		},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			r, err := replyFrom(t, tt.raw, true)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("parsed hostile input as %+v", r)
+				}
+				if tt.wantIs != nil && !errors.Is(err, tt.wantIs) {
+					t.Errorf("err = %v, want errors.Is(%v)", err, tt.wantIs)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("lenient case rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestOversizedLineTypedError: a garbage-spewing server that never sends a
+// newline must yield ErrLineTooLong (and ErrProtocol) with bounded memory —
+// the reader gives up after MaxLineLen, long before the stream ends.
+func TestOversizedLineTypedError(t *testing.T) {
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	go func() {
+		b.Write([]byte("220 "))
+		junk := strings.Repeat("A", 4096)
+		// Stream far more than the cap; the reader must abort early.
+		for i := 0; i < 16; i++ {
+			if _, err := b.Write([]byte(junk)); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewConn(a)
+	c.Timeout = 2 * time.Second
+	_, err := c.ReadReply()
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("ErrLineTooLong does not wrap ErrProtocol")
+	}
+}
+
+// TestOversizedReplyTypedError: a server can stay under the per-line cap
+// while streaming an endless multi-line reply; the total-bytes cap must stop
+// it with a typed error.
+func TestOversizedReplyTypedError(t *testing.T) {
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	go func() {
+		if _, err := b.Write([]byte("220-endless\r\n")); err != nil {
+			return
+		}
+		line := []byte(strings.Repeat("y", 1024) + "\r\n")
+		for {
+			if _, err := b.Write(line); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewConn(a)
+	c.Timeout = 2 * time.Second
+	_, err := c.ReadReply()
+	if !errors.Is(err, ErrReplyTooLong) {
+		t.Fatalf("err = %v, want ErrReplyTooLong", err)
+	}
+	a.Close() // unblock the writer goroutine
+}
+
+// TestCommandLineTooLong: the server side shares the line cap, so a hostile
+// client cannot grow server memory either.
+func TestCommandLineTooLong(t *testing.T) {
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	go func() {
+		b.Write([]byte("STOR "))
+		junk := strings.Repeat("x", 4096)
+		for i := 0; i < 8; i++ {
+			if _, err := b.Write([]byte(junk)); err != nil {
+				return
+			}
+		}
+	}()
+	c := NewConn(a)
+	c.Timeout = 2 * time.Second
+	_, err := c.ReadCommand()
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+}
+
+// TestMidReplyConnectionDrop: the banner arrives, then the connection dies
+// before the next reply — the second read must surface an I/O error, not
+// block or fabricate a reply.
+func TestMidReplyConnectionDrop(t *testing.T) {
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close() })
+	go func() {
+		b.Write([]byte("220 ready\r\n"))
+		b.Close()
+	}()
+	c := NewConn(a)
+	c.Timeout = 2 * time.Second
+	if r, err := c.ReadReply(); err != nil || r.Code != 220 {
+		t.Fatalf("banner: %+v, %v", r, err)
+	}
+	if _, err := c.ReadReply(); err == nil {
+		t.Fatal("read after connection drop succeeded")
+	}
+}
+
+// TestUnexpectedEOFMidLine: bytes then EOF without a newline is the
+// premature-EOF fault class; it must map to io.ErrUnexpectedEOF.
+func TestUnexpectedEOFMidLine(t *testing.T) {
+	_, err := replyFrom(t, "220 rea", true)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}

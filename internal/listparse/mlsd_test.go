@@ -130,3 +130,59 @@ func TestMLSDRoundTripAgainstVFS(t *testing.T) {
 		}
 	}
 }
+
+// TestParseMLSDTruncatedFacts models a listing cut off mid-transfer (a
+// stalled or reset data channel): complete leading lines must parse, the
+// severed tail must be skipped — not crash, and not fabricate an entry.
+func TestParseMLSDTruncatedFacts(t *testing.T) {
+	for _, tt := range []struct {
+		name    string
+		body    string
+		want    int // complete entries recovered
+		skipped int
+	}{
+		{
+			name: "cut mid-fact",
+			body: "type=file;size=5;UNIX.mode=0644; a.txt\r\n" +
+				"type=file;siz",
+			want: 1, skipped: 1,
+		},
+		{
+			name: "cut before name separator",
+			body: "type=dir;UNIX.mode=0755; pub\r\n" +
+				"type=file;size=100;UNIX.mode=0644;",
+			want: 1, skipped: 1,
+		},
+		{
+			name: "cut mid-name keeps the damaged entry",
+			// The "; " separator survived, so the truncated name is
+			// indistinguishable from a short one; the entry parses.
+			body: "type=file;size=7;UNIX.mode=0644; repor",
+			want: 1, skipped: 0,
+		},
+		{
+			name:    "only a fragment",
+			body:    "type=",
+			want:    0,
+			skipped: 1,
+		},
+		{
+			name: "fragment between valid lines",
+			// "e=..." still looks like a fact, so the damaged middle
+			// line parses leniently — with unknown readability rather
+			// than a fabricated permission.
+			body: "type=file;size=1;UNIX.mode=0644; a\r\n" +
+				"e=20150618120000; b.txt\r\n" +
+				"type=file;size=2;UNIX.mode=0644; c\r\n",
+			want: 3, skipped: 0,
+		},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			entries, skipped := ParseMLSDListing(tt.body)
+			if len(entries) != tt.want || skipped != tt.skipped {
+				t.Errorf("got %d entries (%d skipped), want %d (%d): %+v",
+					len(entries), skipped, tt.want, tt.skipped, entries)
+			}
+		})
+	}
+}

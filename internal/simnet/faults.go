@@ -1,0 +1,228 @@
+package simnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultProfile describes the misbehaviour injected into one connection. The
+// zero value injects nothing. Profiles model the hostile tail of a real scan
+// — LZR-style unexpected services, consumer gear behind lossy links, and
+// actively adversarial servers — so the enumerator can be exercised against
+// every failure class the paper's crawler survived.
+type FaultProfile struct {
+	// ConnectLatency delays connection establishment (applied in DialFrom
+	// before the connection is built, in addition to Network.Latency).
+	ConnectLatency time.Duration
+
+	// DripBytes caps the bytes delivered per Read and DripDelay is imposed
+	// before each Read — together they model a slow-drip sender that keeps
+	// the connection alive while starving the reader.
+	DripBytes int
+	DripDelay time.Duration
+
+	// ResetAfterBytes tears the connection down mid-session: once this many
+	// bytes have been read by the faulted endpoint, reads fail with a
+	// connection-reset error and the underlying connection closes.
+	ResetAfterBytes int64
+
+	// StallAfterBytes freezes the stream: after this many bytes, reads
+	// block — delivering nothing — until the read deadline expires or the
+	// connection is closed. Models a stalled data channel whose peer
+	// neither sends nor closes.
+	StallAfterBytes int64
+
+	// CloseAfterBytes ends the stream early but cleanly: after this many
+	// bytes, reads return io.EOF — a premature EOF mid-reply.
+	CloseAfterBytes int64
+}
+
+// active reports whether the profile needs a connection wrapper (connect
+// latency alone is applied at dial time and needs none).
+func (p *FaultProfile) active() bool {
+	return p.DripBytes > 0 || p.DripDelay > 0 || p.ResetAfterBytes > 0 ||
+		p.StallAfterBytes > 0 || p.CloseAfterBytes > 0
+}
+
+// FaultInjector assigns fault profiles per connection. FaultFor is consulted
+// on every DialFrom; returning nil leaves the connection clean. It must be
+// safe for concurrent use and deterministic if runs are to reproduce.
+type FaultInjector interface {
+	FaultFor(src, dst IP, port uint16) *FaultProfile
+}
+
+// errConnReset mirrors ECONNRESET. Its message deliberately contains
+// "connection reset" so transport-agnostic classifiers treat simulated and
+// real resets identically.
+var errConnReset = errors.New("simnet: connection reset by peer")
+
+// ErrReset reports whether err represents a mid-session connection reset.
+func ErrReset(err error) bool { return errors.Is(err, errConnReset) }
+
+// faultPoll is the granularity at which a stalled read re-checks its
+// deadline; stalls are test-scale (tens to hundreds of ms), so a fine poll
+// keeps chaos suites fast without a condvar per wrapper.
+const faultPoll = 5 * time.Millisecond
+
+// faultConn wraps one endpooint of a connection and applies a FaultProfile to
+// its read side. Writes pass through untouched (a reset closes the underlying
+// connection, so subsequent writes fail naturally).
+type faultConn struct {
+	inner net.Conn
+	prof  FaultProfile
+
+	mu       sync.Mutex
+	consumed int64 // bytes delivered to the reader
+	deadline time.Time
+	closed   bool
+	reset    bool
+}
+
+// wrapFault applies prof to conn's read side.
+func wrapFault(conn net.Conn, prof *FaultProfile) net.Conn {
+	return &faultConn{inner: conn, prof: *prof}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return 0, net.ErrClosed
+		}
+		if c.reset {
+			c.mu.Unlock()
+			return 0, errConnReset
+		}
+		if c.prof.ResetAfterBytes > 0 && c.consumed >= c.prof.ResetAfterBytes {
+			c.reset = true
+			c.mu.Unlock()
+			c.inner.Close()
+			return 0, errConnReset
+		}
+		if c.prof.CloseAfterBytes > 0 && c.consumed >= c.prof.CloseAfterBytes {
+			c.mu.Unlock()
+			c.inner.Close()
+			return 0, io.EOF
+		}
+		stalled := c.prof.StallAfterBytes > 0 && c.consumed >= c.prof.StallAfterBytes
+		c.mu.Unlock()
+		if !stalled {
+			break
+		}
+		// Stalled: deliver nothing until the deadline fires or the
+		// connection is torn down, then re-check (Close may race).
+		if err := c.waitStalled(); err != nil {
+			return 0, err
+		}
+	}
+
+	if c.prof.DripDelay > 0 {
+		if err := c.sleepDrip(); err != nil {
+			return 0, err
+		}
+	}
+
+	// Cap the chunk so byte-count thresholds trigger exactly at their
+	// boundary instead of being overshot by a large read.
+	max := len(p)
+	if c.prof.DripBytes > 0 && max > c.prof.DripBytes {
+		max = c.prof.DripBytes
+	}
+	c.mu.Lock()
+	for _, threshold := range []int64{c.prof.ResetAfterBytes, c.prof.StallAfterBytes, c.prof.CloseAfterBytes} {
+		if threshold > 0 {
+			if left := threshold - c.consumed; left > 0 && int64(max) > left {
+				max = int(left)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if max <= 0 {
+		max = 1
+	}
+
+	n, err := c.inner.Read(p[:max])
+	c.mu.Lock()
+	c.consumed += int64(n)
+	c.mu.Unlock()
+	return n, err
+}
+
+// waitStalled blocks until the read deadline expires (timeout error), the
+// wrapper is closed, or — because deadlines can be re-armed concurrently —
+// the state changes; it polls rather than carrying condvar machinery.
+func (c *faultConn) waitStalled() error {
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		dl := c.deadline
+		c.mu.Unlock()
+		if closed {
+			return net.ErrClosed
+		}
+		if !dl.IsZero() && !time.Now().Before(dl) {
+			return timeoutError{}
+		}
+		sleep := faultPoll
+		if !dl.IsZero() {
+			if until := time.Until(dl); until < sleep {
+				sleep = until
+			}
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+	}
+}
+
+// sleepDrip imposes the per-read drip delay, clipped to the read deadline.
+func (c *faultConn) sleepDrip() error {
+	c.mu.Lock()
+	dl := c.deadline
+	c.mu.Unlock()
+	delay := c.prof.DripDelay
+	if !dl.IsZero() {
+		if until := time.Until(dl); until <= 0 {
+			return timeoutError{}
+		} else if until < delay {
+			time.Sleep(until)
+			return timeoutError{}
+		}
+	}
+	time.Sleep(delay)
+	return nil
+}
+
+func (c *faultConn) Write(p []byte) (int, error) { return c.inner.Write(p) }
+
+func (c *faultConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+func (c *faultConn) LocalAddr() net.Addr  { return c.inner.LocalAddr() }
+func (c *faultConn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+func (c *faultConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.deadline = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+func (c *faultConn) SetWriteDeadline(t time.Time) error {
+	return c.inner.SetWriteDeadline(t)
+}

@@ -59,6 +59,8 @@ type Stats struct {
 	// HandlerPanics counts provider handlers that crashed; their
 	// connections are reset rather than propagating the panic.
 	HandlerPanics atomic.Uint64
+	// FaultedDials counts connections that received a fault profile.
+	FaultedDials atomic.Uint64
 }
 
 // providerBox pairs a provider with its pre-asserted fast-path interface so
@@ -88,6 +90,9 @@ type Network struct {
 	LossRate float64
 	// LossSeed derandomizes packet loss across worlds.
 	LossSeed uint64
+	// Faults, when set, assigns per-connection fault profiles (hostile
+	// servers, lossy paths). Set before traffic flows, like Latency.
+	Faults FaultInjector
 
 	ephemeral sync.Map // IP -> *uint32 ephemeral port counter
 
@@ -261,6 +266,18 @@ func (nw *Network) DialFrom(src IP, dst IP, port uint16) (net.Conn, error) {
 			time.Sleep(d)
 		}
 	}
+	var fault *FaultProfile
+	if nw.Faults != nil {
+		if fault = nw.Faults.FaultFor(src, dst, port); fault != nil {
+			nw.Stats.FaultedDials.Add(1)
+			if fault.ConnectLatency > 0 {
+				time.Sleep(fault.ConnectLatency)
+			}
+			if !fault.active() {
+				fault = nil
+			}
+		}
+	}
 	local := Addr{IP: src, Port: nw.nextEphemeral(src)}
 	remote := Addr{IP: dst, Port: port}
 
@@ -269,7 +286,7 @@ func (nw *Network) DialFrom(src IP, dst IP, port uint16) (net.Conn, error) {
 		select {
 		case l.accept <- serverEnd:
 			nw.Stats.Dials.Add(1)
-			return clientEnd, nil
+			return faulted(clientEnd, fault), nil
 		case <-l.done:
 			nw.Stats.DialsFailed.Add(1)
 			return nil, errRefused
@@ -286,11 +303,19 @@ func (nw *Network) DialFrom(src IP, dst IP, port uint16) (net.Conn, error) {
 			clientEnd, serverEnd := NewConnPair(local, remote)
 			nw.Stats.Dials.Add(1)
 			go serveIsolated(nw, handler, serverEnd)
-			return clientEnd, nil
+			return faulted(clientEnd, fault), nil
 		}
 	}
 	nw.Stats.DialsFailed.Add(1)
 	return nil, errRefused
+}
+
+// faulted wraps the client end of a new connection when a profile applies.
+func faulted(conn net.Conn, fault *FaultProfile) net.Conn {
+	if fault == nil {
+		return conn
+	}
+	return wrapFault(conn, fault)
 }
 
 // serveIsolated runs a host handler with panic isolation: one misbehaving

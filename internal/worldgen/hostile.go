@@ -1,0 +1,239 @@
+package worldgen
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"ftpcloud/internal/simnet"
+)
+
+// The hostile layer assigns a fraction of FTP hosts a fault personality —
+// the adversarial tail every Internet-wide crawl meets: consumer gear on
+// congested links, middleboxes that reset long sessions, broken stacks that
+// stall data channels, and servers that spew garbage. Transport faults
+// (latency, drip, reset, stall) are realized as simnet fault profiles;
+// application faults (garbage, premature EOF) replace the host's handler.
+//
+// Like everything in worldgen, fault assignment is a pure function of
+// (seed, ip), so the same world always misbehaves in the same ways.
+
+// FaultClass is a host's hostile personality.
+type FaultClass int
+
+// Fault classes.
+const (
+	FaultNone FaultClass = iota
+	// FaultConnectLatency delays connection establishment by 100-350ms.
+	FaultConnectLatency
+	// FaultSlowDrip delivers bytes a few at a time with per-read delays.
+	FaultSlowDrip
+	// FaultMidReset resets the control connection after a few hundred
+	// bytes — mid-login or mid-traversal.
+	FaultMidReset
+	// FaultDataStall freezes data channels shortly into each transfer.
+	FaultDataStall
+	// FaultGarbage greets politely, then answers commands with an endless
+	// unterminated reply line.
+	FaultGarbage
+	// FaultPrematureEOF closes the connection partway through a reply.
+	FaultPrematureEOF
+)
+
+// String names the class for counters and logs.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultConnectLatency:
+		return "latency"
+	case FaultSlowDrip:
+		return "drip"
+	case FaultMidReset:
+		return "rst"
+	case FaultDataStall:
+		return "stall"
+	case FaultGarbage:
+		return "garbage"
+	case FaultPrematureEOF:
+		return "eof"
+	default:
+		return fmt.Sprintf("fault(%d)", int(c))
+	}
+}
+
+// FaultMix weights the hostile classes among hostile hosts. Weights are
+// relative; the zero value means DefaultFaultMix.
+type FaultMix struct {
+	Latency float64
+	Drip    float64
+	Reset   float64
+	Stall   float64
+	Garbage float64
+	EOF     float64
+}
+
+// DefaultFaultMix spreads hostile hosts evenly across the classes.
+func DefaultFaultMix() FaultMix {
+	return FaultMix{Latency: 1, Drip: 1, Reset: 1, Stall: 1, Garbage: 1, EOF: 1}
+}
+
+func (m FaultMix) total() float64 {
+	return m.Latency + m.Drip + m.Reset + m.Stall + m.Garbage + m.EOF
+}
+
+// pick selects a class from the mix with a uniform hash draw.
+func (m FaultMix) pick(h uint64) FaultClass {
+	if m.total() <= 0 {
+		m = DefaultFaultMix()
+	}
+	x := float64(h%1_000_000) / 1_000_000 * m.total()
+	for _, c := range []struct {
+		w     float64
+		class FaultClass
+	}{
+		{m.Latency, FaultConnectLatency},
+		{m.Drip, FaultSlowDrip},
+		{m.Reset, FaultMidReset},
+		{m.Stall, FaultDataStall},
+		{m.Garbage, FaultGarbage},
+		{m.EOF, FaultPrematureEOF},
+	} {
+		if x < c.w {
+			return c.class
+		}
+		x -= c.w
+	}
+	return FaultPrematureEOF
+}
+
+// ParseFaultMix parses "latency=1,drip=2,rst=1,stall=1,garbage=0,eof=1".
+// Omitted classes get weight zero; an empty string means DefaultFaultMix.
+func ParseFaultMix(s string) (FaultMix, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultFaultMix(), nil
+	}
+	var m FaultMix
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("worldgen: fault mix term %q: want class=weight", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("worldgen: fault mix weight %q", kv[1])
+		}
+		switch strings.ToLower(kv[0]) {
+		case "latency":
+			m.Latency = w
+		case "drip":
+			m.Drip = w
+		case "rst":
+			m.Reset = w
+		case "stall":
+			m.Stall = w
+		case "garbage":
+			m.Garbage = w
+		case "eof":
+			m.EOF = w
+		default:
+			return m, fmt.Errorf("worldgen: unknown fault class %q", kv[0])
+		}
+	}
+	if m.total() <= 0 {
+		return m, fmt.Errorf("worldgen: fault mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+// faultClassFor derives a host's fault personality — a pure function of
+// (seed, ip), independent of every pre-existing derivation (the salts sit at
+// the end of the list).
+func (w *World) faultClassFor(u uint32) FaultClass {
+	if w.Params.HostileRate <= 0 {
+		return FaultNone
+	}
+	seed := w.Params.Seed
+	if !chance(derive(seed, u, saltFault), w.Params.HostileRate) {
+		return FaultNone
+	}
+	return w.Params.FaultMix.pick(derive(seed, u, saltFaultClass))
+}
+
+// Compile-time assertion: a World plugs straight into Network.Faults.
+var _ simnet.FaultInjector = (*World)(nil)
+
+// FaultFor implements simnet.FaultInjector: transport-level fault profiles
+// for connections to hostile hosts. It derives from truth without
+// materializing anything — the scan path stays allocation-free for the
+// benign majority. Application-level classes (garbage, EOF) return nil here;
+// they are realized in materialize.
+func (w *World) FaultFor(_, dst simnet.IP, port uint16) *simnet.FaultProfile {
+	if w.Params.HostileRate <= 0 {
+		return nil
+	}
+	// Fault personalities only attach to FTP hosts (the derivation
+	// mirrors Truth's presence decision).
+	u := uint32(dst)
+	prof := w.profileFor(dst)
+	if prof == nil || !chance(derive(w.Params.Seed, u, saltFTP), prof.Density) {
+		return nil
+	}
+	h := derive(w.Params.Seed, u, saltFaultParam)
+	switch w.faultClassFor(u) {
+	case FaultConnectLatency:
+		return &simnet.FaultProfile{
+			ConnectLatency: 100*time.Millisecond + time.Duration(h%250)*time.Millisecond,
+		}
+	case FaultSlowDrip:
+		return &simnet.FaultProfile{
+			DripBytes: 16 + int(h%48),
+			DripDelay: time.Millisecond + time.Duration(h>>8%4)*time.Millisecond,
+		}
+	case FaultMidReset:
+		if port != 21 {
+			return nil
+		}
+		return &simnet.FaultProfile{ResetAfterBytes: 256 + int64(h%1024)}
+	case FaultDataStall:
+		if port == 21 {
+			return nil
+		}
+		return &simnet.FaultProfile{StallAfterBytes: int64(h % 256)}
+	default:
+		return nil
+	}
+}
+
+// garbageHandler greets with a valid banner, then answers the first command
+// with a bounded flood of unterminated garbage — the shape that trips the
+// ftp package's line cap.
+func garbageHandler(u uint32, seed uint64) simnet.Handler {
+	return simnet.HandlerFunc(func(_ *simnet.Network, conn net.Conn) {
+		defer conn.Close()
+		if _, err := conn.Write([]byte("220 FTP server ready\r\n")); err != nil {
+			return
+		}
+		buf := make([]byte, 512)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		h := derive(seed, u, saltFaultParam)
+		junk := []byte(strings.Repeat("\xfe#@!", 1024)) // 4 KiB, no newline
+		for i, n := 0, 16+int(h%48); i < n; i++ {
+			if _, err := conn.Write(junk); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// prematureEOFHandler sends part of a multi-line banner and hangs up.
+func prematureEOFHandler() simnet.Handler {
+	return simnet.HandlerFunc(func(_ *simnet.Network, conn net.Conn) {
+		conn.Write([]byte("220-Welcome to the\r\n220-file archi"))
+		conn.Close()
+	})
+}

@@ -1,0 +1,164 @@
+package worldgen
+
+import (
+	"testing"
+
+	"ftpcloud/internal/simnet"
+)
+
+func hostileWorld(t *testing.T, rate float64, mix FaultMix) *World {
+	t.Helper()
+	p := DefaultParams(77, 65536)
+	p.HostileRate = rate
+	p.FaultMix = mix
+	w, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// ftpHosts samples FTP addresses from the scan space.
+func ftpHosts(w *World, max int) []simnet.IP {
+	var out []simnet.IP
+	for off := uint64(0); off < w.ScanSize && len(out) < max; off++ {
+		ip := simnet.IP(uint32(w.ScanBase) + uint32(off))
+		if t, ok := w.Truth(ip); ok && t.FTP {
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+func TestHostileRateZeroMeansNoFaults(t *testing.T) {
+	w := hostileWorld(t, 0, FaultMix{})
+	for _, ip := range ftpHosts(w, 200) {
+		truth, _ := w.Truth(ip)
+		if truth.Fault != FaultNone {
+			t.Fatalf("%s assigned %v with HostileRate=0", ip, truth.Fault)
+		}
+		if prof := w.FaultFor(0, ip, 21); prof != nil {
+			t.Fatalf("%s got a fault profile with HostileRate=0", ip)
+		}
+	}
+}
+
+func TestFaultAssignmentDeterministic(t *testing.T) {
+	a := hostileWorld(t, 0.5, DefaultFaultMix())
+	b := hostileWorld(t, 0.5, DefaultFaultMix())
+	for _, ip := range ftpHosts(a, 300) {
+		ta, _ := a.Truth(ip)
+		tb, _ := b.Truth(ip)
+		if ta.Fault != tb.Fault {
+			t.Fatalf("%s: fault differs across identical worlds: %v vs %v", ip, ta.Fault, tb.Fault)
+		}
+	}
+}
+
+// TestFaultForAgreesWithTruth: the injector consulted by the network must
+// describe the same personality Truth reports — transport classes yield a
+// profile, application classes and FaultNone yield none on the control port.
+func TestFaultForAgreesWithTruth(t *testing.T) {
+	w := hostileWorld(t, 1.0, DefaultFaultMix())
+	seen := map[FaultClass]int{}
+	for _, ip := range ftpHosts(w, 400) {
+		truth, _ := w.Truth(ip)
+		seen[truth.Fault]++
+		ctl := w.FaultFor(0, ip, 21)
+		data := w.FaultFor(0, ip, 2121)
+		switch truth.Fault {
+		case FaultConnectLatency:
+			if ctl == nil || ctl.ConnectLatency <= 0 {
+				t.Errorf("%s: latency class without latency profile", ip)
+			}
+		case FaultSlowDrip:
+			if ctl == nil || ctl.DripBytes == 0 {
+				t.Errorf("%s: drip class without drip profile", ip)
+			}
+		case FaultMidReset:
+			if ctl == nil || ctl.ResetAfterBytes == 0 {
+				t.Errorf("%s: reset class without control-port profile", ip)
+			}
+			if data != nil {
+				t.Errorf("%s: reset profile leaked onto data port", ip)
+			}
+		case FaultDataStall:
+			if data == nil || data.StallAfterBytes < 0 {
+				t.Errorf("%s: stall class without data-port profile", ip)
+			}
+			if ctl != nil {
+				t.Errorf("%s: stall profile leaked onto control port", ip)
+			}
+		case FaultGarbage, FaultPrematureEOF:
+			if ctl != nil || data != nil {
+				t.Errorf("%s: application-level class %v got a transport profile", ip, truth.Fault)
+			}
+		}
+	}
+	// With HostileRate=1 and a uniform mix, every class must appear.
+	for _, c := range []FaultClass{
+		FaultConnectLatency, FaultSlowDrip, FaultMidReset,
+		FaultDataStall, FaultGarbage, FaultPrematureEOF,
+	} {
+		if seen[c] == 0 {
+			t.Errorf("class %v never assigned across %d hosts", c, len(ftpHosts(w, 400)))
+		}
+	}
+	if seen[FaultNone] != 0 {
+		t.Errorf("HostileRate=1 left %d hosts benign", seen[FaultNone])
+	}
+}
+
+func TestFaultForNonFTPHostsClean(t *testing.T) {
+	w := hostileWorld(t, 1.0, DefaultFaultMix())
+	checked := 0
+	for off := uint64(0); off < w.ScanSize && checked < 300; off++ {
+		ip := simnet.IP(uint32(w.ScanBase) + uint32(off))
+		if truth, ok := w.Truth(ip); ok && truth.FTP {
+			continue
+		}
+		checked++
+		if prof := w.FaultFor(0, ip, 21); prof != nil {
+			t.Fatalf("non-FTP address %s got a fault profile", ip)
+		}
+	}
+}
+
+func TestParseFaultMix(t *testing.T) {
+	m, err := ParseFaultMix("drip=2,rst=1,stall=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Drip != 2 || m.Reset != 1 || m.Stall != 0.5 || m.Garbage != 0 {
+		t.Errorf("parsed mix: %+v", m)
+	}
+	if m, err := ParseFaultMix(""); err != nil || m != DefaultFaultMix() {
+		t.Errorf("empty mix: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"bogus=1", "drip", "drip=-1", "drip=0"} {
+		if _, err := ParseFaultMix(bad); err == nil {
+			t.Errorf("ParseFaultMix(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestHostileSaltsPreserveBenignDerivations: a hostile world's benign hosts
+// must be identical to the same seed's fully benign world — the new salts
+// sit at the end of the list and perturb nothing else.
+func TestHostileSaltsPreserveBenignDerivations(t *testing.T) {
+	benign := hostileWorld(t, 0, FaultMix{})
+	hostile := hostileWorld(t, 0.3, DefaultFaultMix())
+	for _, ip := range ftpHosts(benign, 200) {
+		tb, _ := benign.Truth(ip)
+		th, okH := hostile.Truth(ip)
+		if !okH {
+			t.Fatalf("%s present in benign world only", ip)
+		}
+		th.Fault = FaultNone
+		tb.Fault = FaultNone
+		if tb.PersonalityKey != th.PersonalityKey || tb.Anonymous != th.Anonymous ||
+			tb.Writable != th.Writable || tb.Tree != th.Tree || tb.CertName != th.CertName {
+			t.Fatalf("%s: benign attributes changed by hostile layer:\n%+v\n%+v", ip, tb, th)
+		}
+	}
+}

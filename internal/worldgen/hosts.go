@@ -82,6 +82,16 @@ func (w *World) materialize(t HostTruth) *hostEntry {
 		return &hostEntry{truth: t, handler: nonFTPHandler(uint32(t.IP), w.Params.Seed)}
 	}
 
+	// Application-level hostile personalities replace the server outright;
+	// transport-level classes keep the real server and get their faults
+	// from FaultFor via the network layer.
+	switch t.Fault {
+	case FaultGarbage:
+		return &hostEntry{truth: t, handler: garbageHandler(uint32(t.IP), w.Params.Seed)}
+	case FaultPrematureEOF:
+		return &hostEntry{truth: t, handler: prematureEOFHandler()}
+	}
+
 	pers := personality.ByKey(t.PersonalityKey)
 	fs := w.buildHostFS(t)
 

@@ -54,6 +54,16 @@ type Params struct {
 	// tree needs more than the enumerator's request cap (paper: 26.7K of
 	// 1.12M ≈ 2.4%).
 	DeepTreeRate float64
+
+	// HostileRate is the fraction of FTP hosts assigned a hostile fault
+	// personality (slow drip, mid-session reset, stalled data channels,
+	// garbage replies, premature EOF, connect latency). Zero — the
+	// default — generates the calibrated benign world bit-for-bit; chaos
+	// runs opt in.
+	HostileRate float64
+	// FaultMix weights the hostile classes; the zero value means
+	// DefaultFaultMix.
+	FaultMix FaultMix
 }
 
 // DefaultParams returns parameters calibrated to the paper's published

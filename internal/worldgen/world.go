@@ -114,6 +114,12 @@ const (
 	saltInternal
 	saltTreeSeed
 	saltOSRoot
+	// Hostile-layer salts; appended so earlier derivations are unchanged
+	// across versions (worlds with HostileRate=0 are bit-identical to
+	// worlds generated before the fault layer existed).
+	saltFault
+	saltFaultClass
+	saltFaultParam
 )
 
 // nonFTPOpenRate derives the global density of hosts that accept TCP/21
@@ -165,6 +171,9 @@ type HostTruth struct {
 	Campaigns      []string
 	RequestLimit   int
 	HostName       string
+	// Fault is the host's hostile personality (FaultNone for the well
+	// behaved majority; see hostile.go).
+	Fault FaultClass
 }
 
 // LatencyModel returns a deterministic per-pair connection-setup latency
@@ -201,6 +210,7 @@ func (w *World) Truth(ip simnet.IP) (HostTruth, bool) {
 	t.FTP = true
 	t.AS = prof.AS
 	t.HostName = fmt.Sprintf("h%08x.example.net", u)
+	t.Fault = w.faultClassFor(u)
 
 	entry := prof.Mix.pick(derive(seed, u, saltPers))
 	t.PersonalityKey = entry.key
