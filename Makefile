@@ -10,14 +10,14 @@
 GO ?= go
 
 # Packages whose hot paths are exercised by many goroutines; always raced.
-RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen
+RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen ./internal/obs
 
 # Packages holding the chaos suite: fault injection, hostile worlds, the
 # enumerator's retry/degradation layer, and the end-to-end hostile census.
 CHAOS_PKGS = ./internal/simnet ./internal/ftp ./internal/listparse \
 	./internal/enumerator ./internal/worldgen ./internal/core
 
-.PHONY: build test vet race race-full tier1 chaos bench
+.PHONY: build test vet vet-obs race race-full tier1 chaos bench smoke
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,11 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The metrics layer sits on every hot path; vet it on its own so a
+# tier1 failure names the package directly.
+vet-obs:
+	$(GO) vet ./internal/obs
+
 race:
 	$(GO) test -race $(RACE_PKGS)
 
@@ -35,7 +40,12 @@ race:
 race-full: race
 	$(GO) test -race ./internal/core ./internal/analysis
 
-tier1: build vet test race
+tier1: build vet vet-obs test race smoke
+
+# Observability smoke test: a real ftpcensus run with live progress must
+# produce a parseable, non-empty metrics snapshot.
+smoke:
+	scripts/smoke.sh
 
 # Chaos suite: every fault class must yield a classified partial record —
 # no hangs, no silent host drops — with the race detector watching.

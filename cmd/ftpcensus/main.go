@@ -11,6 +11,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/enumerator"
 	"ftpcloud/internal/notify"
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/report"
 	"ftpcloud/internal/worldgen"
 )
@@ -56,6 +58,13 @@ func run() error {
 			"wall-clock budget per enumerated host (0 = default 2m, negative = off)")
 		byteBudget = flag.Int64("byte-budget", 0,
 			"data-channel byte budget per host (0 = default 64MiB, negative = off)")
+
+		progress = flag.Duration("progress", 0,
+			"emit a progress line to stderr at this interval (0 = off)")
+		debugAddr = flag.String("debug-addr", "",
+			"serve /debug/pprof, /debug/vars and /metrics on this address")
+		metricsOut = flag.String("metrics-out", "",
+			"write the final metrics snapshot (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -67,12 +76,15 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	reg := obs.NewRegistry()
+
 	// The dataset is persisted by streaming each record into the JSONL
 	// file as its enumeration finishes — and unless another consumer
 	// needs the retained slice (the notify builder does), the census
 	// runs in streaming-only mode so listings never pile up in memory.
 	var streamSink *dataset.WriterSink
 	var streamTo dataset.Sink
+	ran := false
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -80,10 +92,42 @@ func run() error {
 		}
 		streamSink = dataset.NewWriterSink(f)
 		streamTo = streamSink
+		// Until Run takes ownership of the sink chain, every early-error
+		// return must flush/close the handle and clear the empty file it
+		// would otherwise leave behind.
+		defer func() {
+			if ran {
+				return
+			}
+			streamSink.Close()
+			if streamSink.Count() == 0 {
+				os.Remove(*out)
+			}
+		}()
 	}
 	retain := core.RetainNone
 	if *notifyTo != "" {
 		retain = core.RetainAll
+	}
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, "ftpcensus", reg)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "ftpcensus: debug endpoints at http://%s/debug/pprof/ and /debug/vars\n", dbg.Addr())
+	}
+	if *metricsOut != "" {
+		// Snapshot on every exit path — a truncated or failed run still
+		// leaves its metrics behind for postmortem.
+		defer func() {
+			if err := writeSnapshot(reg, *metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "ftpcensus: metrics snapshot: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "ftpcensus: wrote metrics snapshot to %s\n", *metricsOut)
+			}
+		}()
 	}
 
 	census, err := core.NewCensus(core.CensusConfig{
@@ -100,6 +144,7 @@ func run() error {
 		EnumRetry:     enumerator.RetryPolicy{Attempts: *enumRetries},
 		HostBudget:    *hostBudget,
 		ByteBudget:    *byteBudget,
+		Metrics:       reg,
 	})
 	if err != nil {
 		return err
@@ -107,9 +152,21 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "ftpcensus: scanning %d addresses (scale 1:%d, seed %d)\n",
 		census.World.ScanSize, *scale, *seed)
 
+	if *progress > 0 {
+		rep := &obs.Reporter{Registry: reg, Interval: *progress, Format: censusProgress}
+		stop := rep.Start(ctx)
+		defer stop()
+	}
+
+	ran = true // Run owns the sink chain from here: it flushes and closes it.
 	result, err := census.Run(ctx)
 	if err != nil {
 		return err
+	}
+	if result.Truncated {
+		fmt.Fprintf(os.Stderr,
+			"ftpcensus: *** TRUNCATED at %s — partial results below (%d records enumerated) ***\n",
+			result.TruncatedBy, result.Observed)
 	}
 	fmt.Fprintf(os.Stderr, "ftpcensus: discovery %v (%d probed, %d responsive); enumeration %v (%d records)\n",
 		result.ScanDuration.Round(time.Millisecond), result.Probed, result.Responded,
@@ -166,7 +223,55 @@ func run() error {
 	}
 
 	if !*quiet {
+		if result.Truncated {
+			fmt.Printf("*** TRUNCATED at %s — partial ledger (%d records) ***\n\n",
+				result.TruncatedBy, result.Observed)
+		}
 		fmt.Println(tables.Render())
 	}
 	return nil
+}
+
+// censusProgress renders one progress line tuned to the census pipeline:
+// probe rate, discovery yield, enumeration throughput, live worker load,
+// and any failure classes that moved during the interval.
+func censusProgress(w io.Writer, delta, cur obs.Snapshot, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	fmt.Fprintf(w, "progress: probed=%d (%.0f/s) responded=%d enumerated=%d (%.1f/s) inflight=%d",
+		cur.Counters["zmap.probed"], float64(delta.Counters["zmap.probed"])/secs,
+		cur.Counters["zmap.responded"],
+		cur.Counters["census.observed"], float64(delta.Counters["census.observed"])/secs,
+		cur.Gauges["enum.inflight"])
+
+	var classes []string
+	for name := range delta.Counters {
+		if strings.HasPrefix(name, "census.failure.") && delta.Counters[name] > 0 {
+			classes = append(classes, name)
+		}
+	}
+	if len(classes) > 0 {
+		sort.Strings(classes)
+		parts := make([]string, 0, len(classes))
+		for _, name := range classes {
+			parts = append(parts, fmt.Sprintf("%s=+%d",
+				strings.TrimPrefix(name, "census.failure."), delta.Counters[name]))
+		}
+		fmt.Fprintf(w, " failures: %s", strings.Join(parts, " "))
+	}
+	fmt.Fprintln(w)
+}
+
+func writeSnapshot(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

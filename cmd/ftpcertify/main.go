@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ftpcloud/internal/certify"
+	"ftpcloud/internal/obs"
 )
 
 type tcpDialer struct{ timeout time.Duration }
@@ -37,6 +38,8 @@ func main() {
 
 func run() error {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-operation timeout")
+	metricsOut := flag.String("metrics-out", "",
+		"write audit timing (JSON snapshot) to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		return fmt.Errorf("usage: ftpcertify [flags] <host>")
@@ -45,7 +48,24 @@ func run() error {
 		Dialer:  tcpDialer{timeout: *timeout},
 		Timeout: *timeout,
 	}
+	reg := obs.NewRegistry()
+	start := time.Now()
 	report, err := auditor.Audit(context.Background(), flag.Arg(0))
+	reg.Histogram("certify.audit_seconds", obs.WideBuckets...).Since(start)
+	if *metricsOut != "" {
+		f, ferr := os.Create(*metricsOut)
+		if ferr != nil {
+			return ferr
+		}
+		if werr := reg.Snapshot().WriteJSON(f); werr != nil {
+			f.Close()
+			return werr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(os.Stderr, "ftpcertify: wrote timing snapshot to %s\n", *metricsOut)
+	}
 	if err != nil {
 		return err
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ftpcloud/internal/enumerator"
+	"ftpcloud/internal/obs"
 )
 
 // tcpDialer adapts net.Dialer to the enumerator's Dialer interface.
@@ -45,6 +46,9 @@ func run() error {
 		timeout = flag.Duration("timeout", 10*time.Second, "per-operation timeout")
 		noTLS   = flag.Bool("no-tls", false, "skip the AUTH TLS certificate grab")
 		port    = flag.Uint("port", 21, "control-channel port")
+
+		metricsOut = flag.String("metrics-out", "",
+			"write per-command latency histograms (JSON snapshot) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -68,6 +72,11 @@ func run() error {
 		return fmt.Errorf("no IPv4 address for %s", host)
 	}
 
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+
 	cfg := enumerator.Config{
 		Dialer:       tcpDialer{timeout: *timeout},
 		RequestCap:   *reqCap,
@@ -75,8 +84,24 @@ func run() error {
 		Timeout:      *timeout,
 		TryTLS:       !*noTLS,
 		Port:         uint16(*port),
+		Metrics:      reg,
 	}
 	rec := enumerator.Enumerate(context.Background(), cfg, target)
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ftpenum: wrote latency snapshot to %s\n", *metricsOut)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"ftpcloud/internal/ftpserver"
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/personality"
 	"ftpcloud/internal/vfs"
 )
@@ -51,6 +52,9 @@ func run() error {
 		anon     = flag.Bool("anon", true, "allow anonymous logins")
 		writable = flag.Bool("writable", false, "allow anonymous writes")
 		list     = flag.Bool("list", false, "list available personalities and exit")
+
+		debugAddr = flag.String("debug-addr", "",
+			"serve /debug/pprof, /debug/vars and /metrics on this address")
 	)
 	flag.Parse()
 
@@ -80,6 +84,17 @@ func run() error {
 		return err
 	}
 
+	reg := obs.NewRegistry()
+	conns := reg.Counter("ftpserved.conns")
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, "ftpserved", reg)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "ftpserved: debug endpoints at http://%s/debug/pprof/ and /debug/vars\n", dbg.Addr())
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -106,6 +121,7 @@ func run() error {
 			}
 			return err
 		}
+		conns.Inc()
 		go srv.ServeTCP(conn)
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"ftpcloud/internal/core"
 	"ftpcloud/internal/honeypot"
+	"ftpcloud/internal/obs"
 )
 
 func main() {
@@ -32,17 +33,56 @@ func run() error {
 		concentrated = flag.Float64("concentrated", 0.30, "share of attackers from one network")
 		seed         = flag.Uint64("seed", 3, "attacker fleet seed")
 		timeout      = flag.Duration("timeout", 10*time.Minute, "run deadline")
+
+		progress = flag.Duration("progress", 0,
+			"emit a progress line to stderr at this interval (0 = off)")
+		debugAddr = flag.String("debug-addr", "",
+			"serve /debug/pprof, /debug/vars and /metrics on this address")
+		metricsOut = flag.String("metrics-out", "",
+			"write the final metrics snapshot (JSON) to this file")
 	)
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, "honeypotd", reg)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "honeypotd: debug endpoints at http://%s/debug/pprof/ and /debug/vars\n", dbg.Addr())
+	}
+	if *metricsOut != "" {
+		defer func() {
+			f, err := os.Create(*metricsOut)
+			if err == nil {
+				err = reg.Snapshot().WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "honeypotd: metrics snapshot: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "honeypotd: wrote metrics snapshot to %s\n", *metricsOut)
+			}
+		}()
+	}
+	if *progress > 0 {
+		rep := &obs.Reporter{Registry: reg, Interval: *progress}
+		stop := rep.Start(ctx)
+		defer stop()
+	}
+
 	summary, err := core.HoneypotStudy(ctx, core.HoneypotStudyConfig{
 		Seed:         *seed,
 		Honeypots:    *honeypots,
 		Attackers:    *attackers,
 		Concentrated: *concentrated,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ftpcloud/internal/ftp"
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/simnet"
 )
 
@@ -89,6 +90,11 @@ type Fleet struct {
 	BounceTarget ftp.HostPort
 	// Timeout bounds each bot's control operations.
 	Timeout time.Duration
+	// Metrics, when non-nil, mirrors the run's aggregate Stats into
+	// registry counters (attacker.bots, attacker.sessions,
+	// attacker.errors) as bots complete, so live progress can watch an
+	// attack campaign the way the census watches enumeration.
+	Metrics *obs.Registry
 }
 
 // weakCredentials is the guessing dictionary; combined with per-bot suffix
@@ -179,6 +185,9 @@ func (f *Fleet) Run(ctx context.Context) Stats {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
+	botsC := f.Metrics.Counter("attacker.bots")
+	sessionsC := f.Metrics.Counter("attacker.sessions")
+	errorsC := f.Metrics.Counter("attacker.errors")
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, 32)
@@ -189,6 +198,9 @@ func (f *Fleet) Run(ctx context.Context) Stats {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			sessions, errs := f.runBot(ctx, b, timeout)
+			botsC.Inc()
+			sessionsC.Add(uint64(sessions))
+			errorsC.Add(uint64(errs))
 			mu.Lock()
 			stats.BotsRun++
 			stats.Sessions += sessions

@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"ftpcloud/internal/enumerator"
 	"ftpcloud/internal/ftp"
 	"ftpcloud/internal/honeypot"
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/simnet"
 	"ftpcloud/internal/worldgen"
 	"ftpcloud/internal/zmap"
@@ -95,6 +97,13 @@ type CensusConfig struct {
 	// RetainNone and a dataset.WriterSink for constant-memory
 	// persistence.
 	StreamTo dataset.Sink
+
+	// Metrics, when non-nil, wires every stage into one registry: the
+	// simulated network (simnet.*), discovery (zmap.*), the enumerator
+	// fleet (enum.*), and the drain-side robustness deltas (census.*).
+	// The caller can then serve it over expvar, diff it for progress
+	// lines, or snapshot it to disk.
+	Metrics *obs.Registry
 }
 
 // Retention selects the census memory model.
@@ -111,8 +120,22 @@ const (
 	RetainNone
 )
 
+// Truncation classes recorded in Result.TruncatedBy (and folded into
+// Robustness.Failures) when a run is cut short by its caller.
+const (
+	// TruncateDeadline marks a run cut by context deadline expiry.
+	TruncateDeadline = "deadline"
+	// TruncateCanceled marks a run cut by explicit cancellation.
+	TruncateCanceled = "canceled"
+)
+
 // Robustness sums the per-record fault and degradation counters.
 type Robustness struct {
+	// Records counts the records folded into these counters. A record is
+	// counted only after the sink chain accepts it, so Records always
+	// equals Result.Observed — the two ledgers cannot disagree even when
+	// a sink fails mid-stream.
+	Records int
 	// Partial counts records flagged incomplete by the degradation
 	// layer; Failures breaks them (and outright failures) down by class.
 	Partial int
@@ -131,6 +154,7 @@ type Robustness struct {
 // observe folds one record in. Called only from the census drain
 // goroutine, so no locking is needed.
 func (r *Robustness) observe(rec *dataset.HostRecord) {
+	r.Records++
 	if rec.Partial {
 		r.Partial++
 	}
@@ -175,6 +199,9 @@ func NewCensus(cfg CensusConfig) (*Census, error) {
 		return nil, fmt.Errorf("core: building world: %w", err)
 	}
 	nw := simnet.NewNetwork(world)
+	if cfg.Metrics != nil {
+		nw.BindMetrics(cfg.Metrics)
+	}
 	nw.LossRate = cfg.LossRate
 	nw.LossSeed = cfg.Seed
 	if world.Params.HostileRate > 0 {
@@ -210,6 +237,14 @@ type Result struct {
 	Probed       uint64
 	Responded    uint64
 
+	// Truncated reports that the run was cut short by caller
+	// cancellation or deadline expiry. The result still holds every
+	// record drained before the cut — a scan stopped at its deadline is
+	// a usable (truncated) dataset, not a failure. TruncatedBy names the
+	// cause: TruncateDeadline or TruncateCanceled.
+	Truncated   bool
+	TruncatedBy string
+
 	// Robustness aggregates the fault and degradation counters across
 	// every record — the evidence that hostile hosts degraded into
 	// classified partial records instead of hanging the pipeline or
@@ -243,6 +278,7 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 		Seed:    c.Config.Seed,
 		Workers: c.Config.ScanWorkers,
 		Retries: c.Config.Retries,
+		Metrics: c.Config.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: scanner: %w", err)
@@ -275,6 +311,7 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 		Network:    c.Network,
 		SourceBase: ScannerBase,
 		Workers:    c.Config.EnumWorkers,
+		Metrics:    c.Config.Metrics,
 	}
 
 	// The sink chain. The aggregator resolves each record's HTTP join
@@ -347,35 +384,34 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 	}()
 	// The single drain goroutine feeds the sink chain, honoring the Sink
 	// contract (one Observe at a time). A sink failure cancels the
-	// pipeline but keeps draining so the fleet can shut down.
+	// pipeline but keeps draining so the fleet can shut down. Robustness
+	// is folded only after the whole chain accepts a record, so its
+	// totals always agree with the aggregator's Observed count.
+	mets := newCensusMetrics(c.Config.Metrics)
 	drained := make(chan error, 1)
 	var robust Robustness
 	go func() {
 		var sinkErr error
 		for rec := range out {
+			mets.drained.Inc()
 			if sinkErr != nil {
 				continue
 			}
-			robust.observe(rec)
 			if err := sink.Observe(rec); err != nil {
 				sinkErr = err
+				mets.sinkErrors.Inc()
 				cancel()
+				continue
 			}
+			robust.observe(rec)
+			mets.record(rec)
 		}
 		drained <- sinkErr
 	}()
 	fleet.Run(ctx, in, out)
 	sinkErr := <-drained
 	closeErr := sink.Close()
-	if err := <-scanErr; err != nil {
-		return nil, fmt.Errorf("core: discovery scan: %w", err)
-	}
-	if sinkErr != nil {
-		return nil, fmt.Errorf("core: record sink: %w", sinkErr)
-	}
-	if closeErr != nil {
-		return nil, fmt.Errorf("core: closing record sink: %w", closeErr)
-	}
+	scanErrVal := <-scanErr
 
 	result := &Result{
 		Observed:     agg.Observed(),
@@ -396,7 +432,87 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 			HTTP:       join,
 		}
 	}
-	return result, ctx.Err()
+
+	// Error precedence: a broken sink is fatal (the dataset is suspect)
+	// but the partial result still rides along for inspection; a scanner
+	// failure other than cancellation is fatal outright.
+	if sinkErr != nil {
+		return result, fmt.Errorf("core: record sink: %w", sinkErr)
+	}
+	if closeErr != nil {
+		return result, fmt.Errorf("core: closing record sink: %w", closeErr)
+	}
+	if scanErrVal != nil && !isContextErr(scanErrVal) {
+		return nil, fmt.Errorf("core: discovery scan: %w", scanErrVal)
+	}
+
+	// Caller cancellation is graceful truncation, not failure: everything
+	// drained before the cut is a usable dataset — the paper's days-long
+	// measurement had to survive exactly this. Flag the result and hand
+	// it back whole.
+	if err := ctx.Err(); err != nil {
+		result.Truncated = true
+		result.TruncatedBy = TruncateCanceled
+		if err == context.DeadlineExceeded {
+			result.TruncatedBy = TruncateDeadline
+		}
+		if result.Robustness.Failures == nil {
+			result.Robustness.Failures = make(map[string]int)
+		}
+		result.Robustness.Failures[result.TruncatedBy]++
+		mets.reg.Counter("census.truncated." + result.TruncatedBy).Inc()
+	}
+	return result, nil
+}
+
+// isContextErr reports whether err is caller cancellation or deadline
+// expiry — the graceful-truncation causes.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// censusMetrics is the drain side of the registry: robustness deltas as
+// they fold, so live progress can show failure classes mid-run.
+type censusMetrics struct {
+	reg        *obs.Registry
+	drained    *obs.Counter
+	observed   *obs.Counter
+	partial    *obs.Counter
+	terminated *obs.Counter
+	sinkErrors *obs.Counter
+	failures   map[string]*obs.Counter
+}
+
+func newCensusMetrics(reg *obs.Registry) *censusMetrics {
+	return &censusMetrics{
+		reg:        reg,
+		drained:    reg.Counter("census.drained"),
+		observed:   reg.Counter("census.observed"),
+		partial:    reg.Counter("census.partial"),
+		terminated: reg.Counter("census.terminated"),
+		sinkErrors: reg.Counter("census.sink_errors"),
+		failures:   make(map[string]*obs.Counter),
+	}
+}
+
+// record mirrors one accepted record into the counters. Called only from
+// the drain goroutine, so the failure-class cache needs no lock.
+func (m *censusMetrics) record(rec *dataset.HostRecord) {
+	m.observed.Inc()
+	if rec.Partial {
+		m.partial.Inc()
+	}
+	if rec.ConnTerminated {
+		m.terminated.Inc()
+	}
+	if class := rec.FailureClass; class != "" {
+		c, ok := m.failures[class]
+		if !ok {
+			c = m.reg.Counter("census.failure." + class)
+			m.failures[class] = c
+		}
+		c.Inc()
+	}
 }
 
 // HTTPJoin plays the role of the paper's Censys HTTP dataset: an external
@@ -482,6 +598,10 @@ type HoneypotStudyConfig struct {
 	Honeypots    int     // paper: 8
 	Attackers    int     // paper: 457 unique IPs
 	Concentrated float64 // share of attackers from one network (paper: ~0.30)
+	// Metrics, when non-nil, wires the study into one registry: network
+	// counters (simnet.*), honeypot event counts (honeypot.events), and
+	// attacker fleet progress (attacker.*).
+	Metrics *obs.Registry
 }
 
 // HoneypotStudy deploys honeypots on a fresh network, runs the attacker
@@ -502,11 +622,16 @@ func HoneypotStudy(ctx context.Context, cfg HoneypotStudyConfig) (honeypot.Summa
 		return honeypot.Summary{}, err
 	}
 	nw := simnet.NewNetwork(provider)
+	if cfg.Metrics != nil {
+		nw.BindMetrics(cfg.Metrics)
+		dep.BindMetrics(cfg.Metrics)
+	}
 	fleet := &attacker.Fleet{
 		Network:      nw,
 		Bots:         attacker.DefaultMix(cfg.Attackers, cfg.Seed, cfg.Concentrated),
 		Targets:      dep.IPs,
 		BounceTarget: ftp.HostPort{IP: [4]byte{203, 0, 113, 66}, Port: 9999},
+		Metrics:      cfg.Metrics,
 	}
 	fleet.Run(ctx)
 	return honeypot.Summarize(dep), nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"ftpcloud/internal/dataset"
 )
@@ -152,6 +153,9 @@ func TestHTTPJoin(t *testing.T) {
 	}
 }
 
+// TestCensusCancellation: caller cancellation is graceful truncation, not
+// failure — the partial result comes back flagged instead of being thrown
+// away (the pre-fix behaviour lost the whole run).
 func TestCensusCancellation(t *testing.T) {
 	c, err := NewCensus(CensusConfig{Seed: 7, Scale: 2048, ScanWorkers: 2})
 	if err != nil {
@@ -159,8 +163,109 @@ func TestCensusCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := c.Run(ctx); err == nil {
-		t.Error("cancelled census returned nil error")
+	res, err := c.Run(ctx)
+	if err != nil {
+		t.Fatalf("cancelled census returned error: %v", err)
+	}
+	if !res.Truncated || res.TruncatedBy != TruncateCanceled {
+		t.Errorf("Truncated=%v TruncatedBy=%q, want true/%q",
+			res.Truncated, res.TruncatedBy, TruncateCanceled)
+	}
+	if res.Robustness.Failures[TruncateCanceled] != 1 {
+		t.Errorf("robustness missing %q class: %v", TruncateCanceled, res.Robustness.Failures)
+	}
+}
+
+// TestCensusDeadlineTruncation: an expired deadline mid-run must yield the
+// partial dataset — every record drained before the cut, flagged with the
+// deadline truncation class — and the tables must still compute.
+func TestCensusDeadlineTruncation(t *testing.T) {
+	probe := &cancelAfterSink{after: 2}
+	c, err := NewCensus(CensusConfig{
+		Seed: 7, Scale: 32768,
+		RetainRecords: RetainNone,
+		StreamTo:      probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sink stalls the third record until after the deadline, so the
+	// deadline deterministically fires mid-run no matter how fast the
+	// machine: the run cannot complete before the stall lifts at 100ms,
+	// and the deadline expires at 50ms.
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(50*time.Millisecond))
+	defer cancel()
+	probe.block = make(chan struct{})
+	time.AfterFunc(100*time.Millisecond, func() { close(probe.block) })
+
+	res, err := c.Run(ctx)
+	if err != nil {
+		t.Fatalf("deadline-truncated census returned error: %v", err)
+	}
+	if !res.Truncated || res.TruncatedBy != TruncateDeadline {
+		t.Fatalf("Truncated=%v TruncatedBy=%q, want true/%q",
+			res.Truncated, res.TruncatedBy, TruncateDeadline)
+	}
+	if res.Observed != probe.seen {
+		t.Errorf("Observed=%d but StreamTo saw %d records", res.Observed, probe.seen)
+	}
+	if res.Observed != res.Robustness.Records {
+		t.Errorf("Observed=%d disagrees with Robustness.Records=%d",
+			res.Observed, res.Robustness.Records)
+	}
+	if res.Robustness.Failures[TruncateDeadline] != 1 {
+		t.Errorf("robustness missing %q class: %v", TruncateDeadline, res.Robustness.Failures)
+	}
+	// The partial ledger still renders.
+	if out := res.ComputeTables().Render(); !strings.Contains(out, "Table I") {
+		t.Error("partial tables failed to render")
+	}
+}
+
+// cancelAfterSink passes records through, optionally stalling after a few
+// so a surrounding deadline reliably fires mid-drain.
+type cancelAfterSink struct {
+	after int
+	seen  int
+	block chan struct{}
+}
+
+func (s *cancelAfterSink) Observe(*dataset.HostRecord) error {
+	if s.block != nil && s.seen >= s.after {
+		<-s.block
+	}
+	s.seen++
+	return nil
+}
+
+func (s *cancelAfterSink) Close() error { return nil }
+
+// TestDrainConsistencyOnSinkFailure: a sink failing mid-stream must not
+// desynchronize the ledgers — Robustness counts exactly the records the
+// sink chain accepted, which is exactly what the aggregator observed, and
+// the pipeline still drains to completion instead of deadlocking.
+func TestDrainConsistencyOnSinkFailure(t *testing.T) {
+	c, err := NewCensus(CensusConfig{
+		Seed: 7, Scale: 32768,
+		RetainRecords: RetainNone,
+		StreamTo:      &failAfterSink{after: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err == nil {
+		t.Fatal("Run succeeded despite failing sink")
+	}
+	if res == nil {
+		t.Fatal("Run returned no partial result alongside the sink error")
+	}
+	if res.Observed != 3 {
+		t.Errorf("Observed=%d, want 3 (records accepted before the sink broke)", res.Observed)
+	}
+	if res.Robustness.Records != res.Observed {
+		t.Errorf("Robustness.Records=%d disagrees with Observed=%d",
+			res.Robustness.Records, res.Observed)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/ftp"
 	"ftpcloud/internal/listparse"
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/robots"
 	"ftpcloud/internal/vfs"
 )
@@ -88,6 +89,10 @@ type Config struct {
 	// ByteBudget caps total data-channel bytes read from one host. Zero
 	// means 64 MiB; negative disables.
 	ByteBudget int64
+	// Metrics, when non-nil, receives per-interaction latency histograms
+	// under enum.latency.* (dial, banner, list, retr, cmd) — the
+	// LZR-style timing data service identification leans on.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills zero values.
@@ -134,6 +139,39 @@ var bannerOptOutMarkers = []string{
 
 var bannerIPPattern = regexp.MustCompile(`\b(\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})\b`)
 
+// latencies is one enumeration's histogram set, resolved from the registry
+// once per host (never per operation).
+type latencies struct {
+	dial, banner, list, retr, cmd *obs.Histogram
+}
+
+// noLatencies absorbs observations when no registry is configured; sharing
+// one standalone instance avoids per-host histogram allocation.
+var noLatencies = newLatencies(nil)
+
+func newLatencies(reg *obs.Registry) *latencies {
+	return &latencies{
+		dial:   reg.Histogram("enum.latency.dial"),
+		banner: reg.Histogram("enum.latency.banner"),
+		list:   reg.Histogram("enum.latency.list"),
+		retr:   reg.Histogram("enum.latency.retr"),
+		cmd:    reg.Histogram("enum.latency.cmd"),
+	}
+}
+
+// forVerb routes a control command's round-trip time: the listing and
+// RETR-probe verbs get their own histograms, everything else pools.
+func (l *latencies) forVerb(verb string) *obs.Histogram {
+	switch verb {
+	case "LIST", "MLSD":
+		return l.list
+	case "RETR":
+		return l.retr
+	default:
+		return l.cmd
+	}
+}
+
 // session carries one enumeration's state.
 type session struct {
 	cfg     Config
@@ -142,7 +180,8 @@ type session struct {
 	target  string // control IP
 	used    int    // requests consumed
 	bud     budget // per-host time/byte ceilings
-	closing bool   // in the QUIT path; failures are no longer degradation
+	lat     *latencies
+	closing bool // in the QUIT path; failures are no longer degradation
 }
 
 // Enumerate performs the full follow-up protocol against one discovered
@@ -159,7 +198,10 @@ func Enumerate(ctx context.Context, cfg Config, targetIP string) *dataset.HostRe
 		PortOpen:  true,
 		PortCheck: dataset.PortNotTested,
 	}
-	s := &session{cfg: cfg, rec: rec, target: targetIP}
+	s := &session{cfg: cfg, rec: rec, target: targetIP, lat: noLatencies}
+	if cfg.Metrics != nil {
+		s.lat = newLatencies(cfg.Metrics)
+	}
 	if cfg.HostBudget > 0 {
 		s.bud.deadline = time.Now().Add(cfg.HostBudget)
 	}
@@ -226,7 +268,9 @@ func (s *session) connect() (ftp.Reply, bool) {
 	var nc net.Conn
 	var err error
 	for attempt := 1; ; attempt++ {
+		start := time.Now()
 		nc, err = s.cfg.Dialer.Dial("tcp", addr)
+		s.lat.dial.Since(start)
 		if err == nil {
 			break
 		}
@@ -243,7 +287,9 @@ func (s *session) connect() (ftp.Reply, bool) {
 	for attempt := 1; ; attempt++ {
 		s.conn = ftp.NewConn(nc)
 		s.conn.Timeout = s.opTimeout()
+		start := time.Now()
 		banner, rerr := s.conn.ReadReply()
+		s.lat.banner.Since(start)
 		if rerr == nil && banner.Code == ftp.CodeReady {
 			return banner, true
 		}
@@ -262,7 +308,10 @@ func (s *session) connect() (ftp.Reply, bool) {
 		// costs one dial and often succeeds against flaky gear.
 		s.rec.Retries++
 		time.Sleep(pol.backoff(s.target, attempt))
-		if nc, err = s.cfg.Dialer.Dial("tcp", addr); err != nil {
+		redial := time.Now()
+		nc, err = s.cfg.Dialer.Dial("tcp", addr)
+		s.lat.dial.Since(redial)
+		if err != nil {
 			s.rec.Error = fmt.Sprintf("banner: %v", rerr)
 			s.rec.FailureClass = class
 			return ftp.Reply{}, false
@@ -317,7 +366,9 @@ func (s *session) cmd(name, arg string) (ftp.Reply, bool) {
 	// so one slow reply cannot consume more than Timeout, and the whole
 	// session cannot outlive the host budget.
 	s.conn.Timeout = s.opTimeout()
+	start := time.Now()
 	r, err := s.conn.Cmd(name, arg)
+	s.lat.forVerb(name).Since(start)
 	if err != nil {
 		// Transport death mid-session: keep the partial record and
 		// classify the fault instead of silently abandoning the host.
@@ -480,7 +531,9 @@ func (s *session) openDataConn() (net.Conn, bool) {
 func (s *session) dialData(addr string) (net.Conn, bool) {
 	pol := s.cfg.Retry
 	for attempt := 1; ; attempt++ {
+		start := time.Now()
 		dc, err := s.cfg.Dialer.Dial("tcp", addr)
+		s.lat.dial.Since(start)
 		if err == nil {
 			dc.SetDeadline(time.Now().Add(s.opTimeout()))
 			return dc, true

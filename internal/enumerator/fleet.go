@@ -7,6 +7,7 @@ import (
 
 	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/ftp"
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/simnet"
 )
 
@@ -24,16 +25,34 @@ type Fleet struct {
 	SourceBase simnet.IP
 	// Workers is the concurrency; 0 means 32.
 	Workers int
+	// Metrics, when non-nil, registers fleet-level throughput metrics
+	// (enum.hosts, enum.inflight, enum.host_seconds) and passes the
+	// registry down to each enumeration for per-command latencies.
+	Metrics *obs.Registry
 }
+
+// deliverGrace bounds how long a worker waits to hand over a finished
+// record after cancellation before giving up on the consumer.
+const deliverGrace = 5 * time.Second
 
 // Run enumerates every IP from in, sending records to out in completion
 // order. It closes out when done.
+//
+// Cancellation is graceful with respect to finished work: a record whose
+// enumeration completed is still delivered after ctx is cancelled — losing
+// it would turn a deadline expiry into data loss. Consumers must therefore
+// keep draining out until it closes (the census drain does); a consumer
+// that stops reading entirely only delays shutdown by a bounded grace
+// period per in-flight worker.
 func (f *Fleet) Run(ctx context.Context, in <-chan simnet.IP, out chan<- *dataset.HostRecord) {
 	defer close(out)
 	workers := f.Workers
 	if workers <= 0 {
 		workers = 32
 	}
+	hosts := f.Metrics.Counter("enum.hosts")
+	inflight := f.Metrics.Gauge("enum.inflight")
+	hostDur := f.Metrics.Histogram("enum.host_seconds", obs.WideBuckets...)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -41,6 +60,7 @@ func (f *Fleet) Run(ctx context.Context, in <-chan simnet.IP, out chan<- *datase
 			defer wg.Done()
 			cfg := f.Cfg
 			cfg.Dialer = simnet.Dialer{Net: f.Network, Src: src}
+			cfg.Metrics = f.Metrics
 			for {
 				select {
 				case <-ctx.Done():
@@ -49,10 +69,24 @@ func (f *Fleet) Run(ctx context.Context, in <-chan simnet.IP, out chan<- *datase
 					if !ok {
 						return
 					}
+					inflight.Inc()
+					start := time.Now()
 					rec := Enumerate(ctx, cfg, ip.String())
+					hostDur.Since(start)
+					inflight.Dec()
+					hosts.Inc()
 					select {
 					case out <- rec:
 					case <-ctx.Done():
+						// The work is done; give the consumer a
+						// bounded window to take the record before
+						// dropping it.
+						t := time.NewTimer(deliverGrace)
+						select {
+						case out <- rec:
+							t.Stop()
+						case <-t.C:
+						}
 						return
 					}
 				}

@@ -13,6 +13,7 @@ import (
 
 	"ftpcloud/internal/certs"
 	"ftpcloud/internal/ftpserver"
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/personality"
 	"ftpcloud/internal/simnet"
 	"ftpcloud/internal/vfs"
@@ -21,8 +22,17 @@ import (
 // Log records one honeypot's observed events. It implements
 // ftpserver.Observer and is safe for concurrent sessions.
 type Log struct {
-	mu     sync.Mutex
-	events []ftpserver.Event
+	mu      sync.Mutex
+	events  []ftpserver.Event
+	counter *obs.Counter
+}
+
+// BindCounter mirrors every subsequently recorded event into c — the
+// registry view of honeypot activity. Bind before traffic flows.
+func (l *Log) BindCounter(c *obs.Counter) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.counter = c
 }
 
 // Event implements ftpserver.Observer.
@@ -30,6 +40,9 @@ func (l *Log) Event(e ftpserver.Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.events = append(l.events, e)
+	if l.counter != nil {
+		l.counter.Inc()
+	}
 }
 
 // Events returns a copy of the recorded events.
@@ -50,6 +63,15 @@ func (l *Log) Len() int {
 type Deployment struct {
 	IPs  []simnet.IP
 	Logs map[simnet.IP]*Log
+}
+
+// BindMetrics mirrors every honeypot's event stream into the registry's
+// honeypot.events counter. Bind before the attacker fleet runs.
+func (d *Deployment) BindMetrics(reg *obs.Registry) {
+	c := reg.Counter("honeypot.events")
+	for _, log := range d.Logs {
+		log.BindCounter(c)
+	}
 }
 
 // baitFS builds the honeypot tree: writable root plus the web-root bait

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// published tracks expvar names already claimed, with one indirection so a
+// name can be re-pointed at a newer registry: expvar.Publish itself panics
+// on duplicates, which would make repeated runs (and tests) fragile.
+var (
+	pubMu     sync.Mutex
+	published = map[string]*Registry{}
+)
+
+// Publish exports the registry's live snapshot as the named expvar var.
+// Publishing the same name again re-points it at the new registry.
+func Publish(name string, r *Registry) {
+	pubMu.Lock()
+	defer pubMu.Unlock()
+	if _, ok := published[name]; !ok {
+		expvar.Publish(name, expvar.Func(func() any {
+			pubMu.Lock()
+			reg := published[name]
+			pubMu.Unlock()
+			return reg.Snapshot()
+		}))
+	}
+	published[name] = r
+}
+
+// DebugServer is a live diagnostics endpoint: net/http/pprof under
+// /debug/pprof/, the process expvar page (including the published registry)
+// under /debug/vars, and the raw registry snapshot as JSON under /metrics.
+type DebugServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr and serves the debug endpoints, publishing the
+// registry as the named expvar var. It returns immediately; Close shuts the
+// listener down.
+func ServeDebug(addr, name string, r *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	Publish(name, r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w)
+	})
+	ds := &DebugServer{lis: lis, srv: &http.Server{Handler: mux}}
+	go ds.srv.Serve(lis)
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.lis.Addr().String() }
+
+// Close stops the server.
+func (d *DebugServer) Close() error { return d.srv.Close() }

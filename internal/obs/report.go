@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// FormatFunc renders one progress line. delta is the snapshot difference
+// since the previous line, cur the current absolute snapshot, and elapsed
+// the wall-clock time the delta covers.
+type FormatFunc func(w io.Writer, delta, cur Snapshot, elapsed time.Duration)
+
+// Reporter periodically snapshots a registry and prints progress — the
+// live view a days-long scan needs. It also emits one final line when
+// stopped, so even runs shorter than the interval report once.
+type Reporter struct {
+	// Registry is the metrics source. A nil registry produces empty lines
+	// but is not an error, matching the rest of the package.
+	Registry *Registry
+	// Interval is the reporting period; 0 means 5s.
+	Interval time.Duration
+	// W receives the lines; nil means os.Stderr.
+	W io.Writer
+	// Format renders each line; nil means DefaultFormat.
+	Format FormatFunc
+}
+
+// Start launches the reporting loop. It returns a stop function that emits
+// a final line and waits for the loop to exit; stop is idempotent. The loop
+// also ends (with a final line) when ctx is cancelled.
+func (r *Reporter) Start(ctx context.Context) (stop func()) {
+	interval := r.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	w := r.W
+	if w == nil {
+		w = os.Stderr
+	}
+	format := r.Format
+	if format == nil {
+		format = DefaultFormat
+	}
+
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		prev := r.Registry.Snapshot()
+		last := time.Now()
+		emit := func() {
+			cur := r.Registry.Snapshot()
+			now := time.Now()
+			format(w, cur.Sub(prev), cur, now.Sub(last))
+			prev, last = cur, now
+		}
+		for {
+			select {
+			case <-tick.C:
+				emit()
+			case <-ctx.Done():
+				emit()
+				return
+			case <-done:
+				emit()
+				return
+			}
+		}
+	}()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// DefaultFormat prints every nonzero counter with its delta-derived rate,
+// followed by the gauges — a generic line for tools without a bespoke
+// formatter.
+func DefaultFormat(w io.Writer, delta, cur Snapshot, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	parts := make([]string, 0, len(cur.Counters)+len(cur.Gauges))
+	for _, name := range sortedKeys(cur.Counters) {
+		v := cur.Counters[name]
+		if v == 0 {
+			continue
+		}
+		if d := delta.Counters[name]; d > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d (+%d, %.0f/s)", name, v, d, float64(d)/secs))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	for _, name := range sortedKeys(cur.Gauges) {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, cur.Gauges[name]))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "(no activity)")
+	}
+	fmt.Fprintf(w, "progress: %s\n", strings.Join(parts, " "))
+}

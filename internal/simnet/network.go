@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ftpcloud/internal/obs"
 )
 
 // Handler serves one accepted connection on a provider-backed host.
@@ -50,17 +52,33 @@ type PortScanner interface {
 }
 
 // Stats counts network-level activity; useful in benches and ablations.
+// The fields are obs counters so the same numbers double as registry-backed
+// metrics: a network built with NewNetwork gets standalone counters, and
+// BindMetrics rebinds them into a Registry under simnet.* names.
 type Stats struct {
-	Probes      atomic.Uint64 // SYN-probe fast-path checks
-	ProbesOpen  atomic.Uint64 // probes that found an open port
-	Dials       atomic.Uint64 // full connections established
-	DialsFailed atomic.Uint64
-	Accepts     atomic.Uint64 // connections delivered to explicit listeners
+	Probes      *obs.Counter // SYN-probe fast-path checks
+	ProbesOpen  *obs.Counter // probes that found an open port
+	Dials       *obs.Counter // full connections established
+	DialsFailed *obs.Counter
+	Accepts     *obs.Counter // connections delivered to explicit listeners
 	// HandlerPanics counts provider handlers that crashed; their
 	// connections are reset rather than propagating the panic.
-	HandlerPanics atomic.Uint64
+	HandlerPanics *obs.Counter
 	// FaultedDials counts connections that received a fault profile.
-	FaultedDials atomic.Uint64
+	FaultedDials *obs.Counter
+}
+
+// newStats binds the counter set; a nil registry yields standalone counters.
+func newStats(reg *obs.Registry) Stats {
+	return Stats{
+		Probes:        reg.Counter("simnet.probes"),
+		ProbesOpen:    reg.Counter("simnet.probes_open"),
+		Dials:         reg.Counter("simnet.dials"),
+		DialsFailed:   reg.Counter("simnet.dials_failed"),
+		Accepts:       reg.Counter("simnet.accepts"),
+		HandlerPanics: reg.Counter("simnet.handler_panics"),
+		FaultedDials:  reg.Counter("simnet.faulted_dials"),
+	}
 }
 
 // providerBox pairs a provider with its pre-asserted fast-path interface so
@@ -101,11 +119,18 @@ type Network struct {
 
 // NewNetwork builds an empty network backed by an optional provider.
 func NewNetwork(provider HostProvider) *Network {
-	nw := &Network{}
+	nw := &Network{Stats: newStats(nil)}
 	empty := make(map[Addr]*Listener)
 	nw.listeners.Store(&empty)
 	nw.storeProvider(provider)
 	return nw
+}
+
+// BindMetrics rebinds the network's counters into reg under simnet.* names.
+// Like Latency and Faults, it must be set before traffic flows; counts
+// accumulated on the previous counters are not carried over.
+func (nw *Network) BindMetrics(reg *obs.Registry) {
+	nw.Stats = newStats(reg)
 }
 
 // SetProvider replaces the ambient host provider.

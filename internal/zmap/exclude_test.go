@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/simnet"
 )
 
@@ -95,5 +96,45 @@ func TestScannerHonorsExclusions(t *testing.T) {
 	}
 	if len(results) != want {
 		t.Errorf("found %d hosts, want %d", len(results), want)
+	}
+}
+
+// TestExclusionsSurfaceInRegistry: exclusion skips are counted through the
+// metrics registry, not just the scanner's private Stats — an operator
+// watching /debug/vars or a snapshot sees exactly what the blocklist ate.
+func TestExclusionsSurfaceInRegistry(t *testing.T) {
+	base := simnet.MustParseIP("10.0.0.0")
+	hosts := &sparseHosts{base: base, every: 10, size: 1000}
+	nw := simnet.NewNetwork(hosts)
+
+	reg := obs.NewRegistry()
+	excl := NewExclusionList(simnet.Prefix{Base: base, Bits: 23}) // 512 addresses
+	s, err := NewScanner(Config{
+		Network: nw, Base: base, Size: 1000, Port: 21, Seed: 5,
+		Exclusions: excl,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Collect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["zmap.excluded"]; got != 512 {
+		t.Errorf("zmap.excluded = %d, want 512", got)
+	}
+	if snap.Counters["zmap.excluded"] != s.Stats.Excluded.Load() {
+		t.Errorf("registry %d disagrees with Stats.Excluded %d",
+			snap.Counters["zmap.excluded"], s.Stats.Excluded.Load())
+	}
+	if got := snap.Counters["zmap.probed"]; got != 1000-512 {
+		t.Errorf("zmap.probed = %d, want %d", got, 1000-512)
+	}
+	// Excluded addresses never reach the wire, so probed + excluded
+	// covers the whole sweep.
+	if snap.Counters["zmap.probed"]+snap.Counters["zmap.excluded"] != 1000 {
+		t.Error("probed + excluded does not cover the address space")
 	}
 }

@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/simnet"
 )
 
@@ -43,13 +43,18 @@ type Config struct {
 	// Exclusions lists ranges that must never be probed (opt-out
 	// requests, critical infrastructure); nil means none.
 	Exclusions *ExclusionList
+	// Metrics, when non-nil, registers the scanner's counters under
+	// zmap.* so live progress and snapshots can read probe rates.
+	Metrics *obs.Registry
 }
 
-// Stats counts scanner activity.
+// Stats counts scanner activity. The fields are obs counters: with
+// Config.Metrics set they are registry views (zmap.probed, zmap.responded,
+// zmap.excluded); otherwise they are standalone.
 type Stats struct {
-	Probed    atomic.Uint64
-	Responded atomic.Uint64
-	Excluded  atomic.Uint64
+	Probed    *obs.Counter
+	Responded *obs.Counter
+	Excluded  *obs.Counter
 }
 
 // Scanner performs ZMap-style host discovery.
@@ -72,7 +77,11 @@ func NewScanner(cfg Config) (*Scanner, error) {
 	if cfg.TotalShards > 0 && (cfg.Shard < 0 || cfg.Shard >= cfg.TotalShards) {
 		return nil, fmt.Errorf("zmap: shard %d out of range [0,%d)", cfg.Shard, cfg.TotalShards)
 	}
-	return &Scanner{cfg: cfg}, nil
+	return &Scanner{cfg: cfg, Stats: Stats{
+		Probed:    cfg.Metrics.Counter("zmap.probed"),
+		Responded: cfg.Metrics.Counter("zmap.responded"),
+		Excluded:  cfg.Metrics.Counter("zmap.excluded"),
+	}}, nil
 }
 
 // BatchSize is the number of permutation offsets handed to a worker per

@@ -1,0 +1,55 @@
+// Command checkmetrics validates a metrics snapshot written by
+// -metrics-out: it must parse as an obs.Snapshot, carry non-zero pipeline
+// counters, and include populated enumerator latency histograms. Used by
+// scripts/smoke.sh.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ftpcloud/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "checkmetrics: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if len(os.Args) != 2 {
+		return fmt.Errorf("usage: checkmetrics <snapshot.json>")
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		return err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("parsing snapshot: %w", err)
+	}
+	if snap.Empty() {
+		return fmt.Errorf("snapshot is empty")
+	}
+	for _, name := range []string{"zmap.probed", "zmap.responded", "census.observed", "enum.hosts"} {
+		if snap.Counters[name] == 0 {
+			return fmt.Errorf("counter %s missing or zero", name)
+		}
+	}
+	if snap.Counters["census.observed"] != snap.Counters["enum.hosts"] {
+		return fmt.Errorf("census.observed=%d disagrees with enum.hosts=%d",
+			snap.Counters["census.observed"], snap.Counters["enum.hosts"])
+	}
+	for _, name := range []string{"enum.latency.dial", "enum.latency.banner", "enum.latency.list", "enum.host_seconds"} {
+		h, ok := snap.Histograms[name]
+		if !ok || h.Count == 0 {
+			return fmt.Errorf("histogram %s missing or empty", name)
+		}
+	}
+	fmt.Printf("checkmetrics: %d counters, %d gauges, %d histograms; %d hosts enumerated\n",
+		len(snap.Counters), len(snap.Gauges), len(snap.Histograms), snap.Counters["enum.hosts"])
+	return nil
+}

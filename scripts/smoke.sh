@@ -1,0 +1,15 @@
+#!/bin/sh
+# Observability smoke test: run a small census with live progress enabled
+# and a metrics snapshot, then verify the snapshot parses and carries the
+# counters and latency histograms every stage is supposed to populate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+snap="$(mktemp /tmp/ftpcensus-metrics.XXXXXX.json)"
+trap 'rm -f "$snap"' EXIT
+
+go run ./cmd/ftpcensus -scale 65536 -progress 1s -metrics-out "$snap" -quiet
+
+go run ./scripts/checkmetrics "$snap"
+echo "smoke: metrics snapshot OK"
