@@ -17,7 +17,7 @@ RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen ./internal/obs
 CHAOS_PKGS = ./internal/simnet ./internal/ftp ./internal/listparse \
 	./internal/enumerator ./internal/worldgen ./internal/core
 
-.PHONY: build test vet vet-obs race race-full tier1 chaos bench smoke
+.PHONY: build test vet vet-obs race race-full race-sharded tier1 chaos bench smoke
 
 build:
 	$(GO) build ./...
@@ -40,7 +40,15 @@ race:
 race-full: race
 	$(GO) test -race ./internal/core ./internal/analysis
 
-tier1: build vet vet-obs test race smoke
+# Sharded census under the race detector: N concurrent shard pipelines
+# share one world, collector, stream sink, and metrics registry, and the
+# aggregator snapshots merge across them — exactly the surfaces a data
+# race would corrupt silently.
+race-sharded:
+	$(GO) test -race -run 'TestSharded|TestSnapshot|TestAggregatorMerge|TestSynced|TestKeepOpen|TestChildCounter' \
+		./internal/core ./internal/analysis ./internal/dataset ./internal/obs
+
+tier1: build vet vet-obs test race race-sharded smoke
 
 # Observability smoke test: a real ftpcensus run with live progress must
 # produce a parseable, non-empty metrics snapshot.

@@ -45,6 +45,10 @@ func run() error {
 		csvTo    = flag.String("figure1-csv", "", "write Figure 1's CDF series (CSV) to this file")
 		quiet    = flag.Bool("quiet", false, "suppress the table report")
 		timeout  = flag.Duration("timeout", 30*time.Minute, "overall run deadline")
+		shards   = flag.Int("shards", 1,
+			"fan the census out over this many cooperating shard pipelines")
+		snapshotOut = flag.String("snapshot-out", "",
+			"write the merged aggregate snapshot (binary checkpoint) to this file")
 
 		hostile = flag.Float64("hostile", 0,
 			"fraction of FTP hosts given a hostile fault personality")
@@ -130,7 +134,7 @@ func run() error {
 		}()
 	}
 
-	census, err := core.NewCensus(core.CensusConfig{
+	sharded, err := core.NewShardedCensus(core.CensusConfig{
 		Seed:          *seed,
 		Scale:         *scale,
 		EnumWorkers:   *workers,
@@ -145,12 +149,17 @@ func run() error {
 		HostBudget:    *hostBudget,
 		ByteBudget:    *byteBudget,
 		Metrics:       reg,
-	})
+	}, *shards)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ftpcensus: scanning %d addresses (scale 1:%d, seed %d)\n",
-		census.World.ScanSize, *scale, *seed)
+	census := sharded.Census
+	shardNote := ""
+	if sharded.Shards > 1 {
+		shardNote = fmt.Sprintf(", %d shards", sharded.Shards)
+	}
+	fmt.Fprintf(os.Stderr, "ftpcensus: scanning %d addresses (scale 1:%d, seed %d%s)\n",
+		census.World.ScanSize, *scale, *seed, shardNote)
 
 	if *progress > 0 {
 		rep := &obs.Reporter{Registry: reg, Interval: *progress, Format: censusProgress}
@@ -159,7 +168,7 @@ func run() error {
 	}
 
 	ran = true // Run owns the sink chain from here: it flushes and closes it.
-	result, err := census.Run(ctx)
+	result, err := sharded.Run(ctx)
 	if err != nil {
 		return err
 	}
@@ -193,6 +202,13 @@ func run() error {
 	if streamSink != nil {
 		// Run already flushed and closed the sink chain.
 		fmt.Fprintf(os.Stderr, "ftpcensus: streamed %d records to %s\n", streamSink.Count(), *out)
+	}
+
+	if *snapshotOut != "" {
+		if err := writeAggregateSnapshot(result, *snapshotOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ftpcensus: wrote aggregate snapshot to %s\n", *snapshotOut)
 	}
 
 	if *notifyTo != "" {
@@ -234,7 +250,10 @@ func run() error {
 
 // censusProgress renders one progress line tuned to the census pipeline:
 // probe rate, discovery yield, enumeration throughput, live worker load,
-// and any failure classes that moved during the interval.
+// per-shard progress when the census is sharded, and any failure classes
+// that moved during the interval. The unprefixed counters are the merged
+// view — shard counters feed them on every increment — so the headline
+// numbers are identical between sharded and single-pipeline runs.
 func censusProgress(w io.Writer, delta, cur obs.Snapshot, elapsed time.Duration) {
 	secs := elapsed.Seconds()
 	if secs <= 0 {
@@ -245,6 +264,18 @@ func censusProgress(w io.Writer, delta, cur obs.Snapshot, elapsed time.Duration)
 		cur.Counters["zmap.responded"],
 		cur.Counters["census.observed"], float64(delta.Counters["census.observed"])/secs,
 		cur.Gauges["enum.inflight"])
+
+	var shardCounts []string
+	for name := range cur.Counters {
+		if strings.HasPrefix(name, "shard") && strings.HasSuffix(name, ".census.observed") {
+			shardCounts = append(shardCounts, fmt.Sprintf("%s=%d",
+				strings.TrimSuffix(name, ".census.observed"), cur.Counters[name]))
+		}
+	}
+	if len(shardCounts) > 0 {
+		sort.Strings(shardCounts)
+		fmt.Fprintf(w, " [%s]", strings.Join(shardCounts, " "))
+	}
 
 	var classes []string
 	for name := range delta.Counters {
@@ -262,6 +293,25 @@ func censusProgress(w io.Writer, delta, cur obs.Snapshot, elapsed time.Duration)
 		fmt.Fprintf(w, " failures: %s", strings.Join(parts, " "))
 	}
 	fmt.Fprintln(w)
+}
+
+// writeAggregateSnapshot persists the run's mergeable accumulator state —
+// the checkpoint form a later run (or a longitudinal diff) can decode with
+// analysis.DecodeSnapshot and merge into its own aggregate.
+func writeAggregateSnapshot(result *core.Result, path string) error {
+	snap := result.Snapshot()
+	if snap == nil {
+		return fmt.Errorf("no aggregate state to snapshot")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeSnapshot(reg *obs.Registry, path string) error {

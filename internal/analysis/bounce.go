@@ -72,6 +72,29 @@ func (a *PortBounceAcc) Observe(r *Record) {
 	}
 }
 
+// PortBounceSnap is the serializable state of a PortBounceAcc. B carries
+// only the counter fields — percentages are derived at Finalize.
+type PortBounceSnap struct {
+	B              PortBounce
+	HomePLFailures int
+}
+
+// Snapshot captures the accumulator as plain data.
+func (a *PortBounceAcc) Snapshot() PortBounceSnap {
+	return PortBounceSnap{B: a.b, HomePLFailures: a.homePLFailures}
+}
+
+// Merge folds a snapshot of another accumulator into this one.
+func (a *PortBounceAcc) Merge(s PortBounceSnap) {
+	a.b.Tested += s.B.Tested
+	a.b.NotValidated += s.B.NotValidated
+	a.b.NATed += s.B.NATed
+	a.b.NATedNotValidated += s.B.NATedNotValidated
+	a.b.WritableNotValidated += s.B.WritableNotValidated
+	a.b.FileZillaServers += s.B.FileZillaServers
+	a.homePLFailures += s.HomePLFailures
+}
+
 // Finalize produces §VII.B.
 func (a *PortBounceAcc) Finalize() PortBounce {
 	b := a.b

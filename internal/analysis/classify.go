@@ -56,6 +56,48 @@ func (a *ClassificationAcc) Observe(r *Record) {
 	}
 }
 
+// ClassificationSnap is the serializable state of a ClassificationAcc.
+type ClassificationSnap struct {
+	Counts              map[string]CategoryCount
+	TotalFTP, TotalAnon int
+}
+
+// Snapshot captures the accumulator as plain data.
+func (a *ClassificationAcc) Snapshot() ClassificationSnap {
+	s := ClassificationSnap{TotalFTP: a.totalFTP, TotalAnon: a.totalAnon}
+	if a.counts != nil {
+		s.Counts = make(map[string]CategoryCount, len(a.counts))
+		for name, c := range a.counts {
+			s.Counts[name] = *c
+		}
+	}
+	return s
+}
+
+// Merge folds a snapshot of another accumulator into this one.
+func (a *ClassificationAcc) Merge(s ClassificationSnap) {
+	a.totalFTP += s.TotalFTP
+	a.totalAnon += s.TotalAnon
+	if len(s.Counts) == 0 {
+		return
+	}
+	if a.counts == nil {
+		a.counts = map[string]*CategoryCount{}
+		for _, name := range classificationOrder {
+			a.counts[name] = &CategoryCount{Name: name}
+		}
+	}
+	for name, c := range s.Counts {
+		dst, ok := a.counts[name]
+		if !ok {
+			dst = &CategoryCount{Name: name}
+			a.counts[name] = dst
+		}
+		dst.All += c.All
+		dst.Anon += c.Anon
+	}
+}
+
 // Finalize produces Table II.
 func (a *ClassificationAcc) Finalize() Classification {
 	out := Classification{TotalFTP: a.totalFTP, TotalAnon: a.totalAnon}
@@ -151,6 +193,56 @@ func (a *DevicesAcc) Observe(r *Record) {
 	if className != "" {
 		bump(a.classes, className, r.Host.AnonymousOK)
 	}
+}
+
+// DevicesSnap is the serializable state of a DevicesAcc.
+type DevicesSnap struct {
+	Provider, Consumer, Classes map[string]DeviceCount
+}
+
+// Snapshot captures the accumulator as plain data.
+func (a *DevicesAcc) Snapshot() DevicesSnap {
+	flatten := func(m map[string]*DeviceCount) map[string]DeviceCount {
+		if m == nil {
+			return nil
+		}
+		out := make(map[string]DeviceCount, len(m))
+		for model, dc := range m {
+			out[model] = *dc
+		}
+		return out
+	}
+	return DevicesSnap{
+		Provider: flatten(a.provider),
+		Consumer: flatten(a.consumer),
+		Classes:  flatten(a.classes),
+	}
+}
+
+// Merge folds a snapshot of another accumulator into this one.
+func (a *DevicesAcc) Merge(s DevicesSnap) {
+	if len(s.Provider)+len(s.Consumer)+len(s.Classes) == 0 {
+		return
+	}
+	if a.provider == nil {
+		a.provider = map[string]*DeviceCount{}
+		a.consumer = map[string]*DeviceCount{}
+		a.classes = map[string]*DeviceCount{}
+	}
+	add := func(dst map[string]*DeviceCount, src map[string]DeviceCount) {
+		for model, c := range src {
+			dc, ok := dst[model]
+			if !ok {
+				dc = &DeviceCount{Model: model}
+				dst[model] = dc
+			}
+			dc.Found += c.Found
+			dc.Anon += c.Anon
+		}
+	}
+	add(a.provider, s.Provider)
+	add(a.consumer, s.Consumer)
+	add(a.classes, s.Classes)
 }
 
 // Finalize produces the device tables.

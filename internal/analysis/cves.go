@@ -56,6 +56,44 @@ func (a *CVEsAcc) Observe(r *Record) {
 	}
 }
 
+// CVEsSnap is the serializable state of a CVEsAcc.
+type CVEsSnap struct {
+	Counts            map[string]CVECount
+	Vulnerable, Total int
+}
+
+// Snapshot captures the accumulator as plain data.
+func (a *CVEsAcc) Snapshot() CVEsSnap {
+	s := CVEsSnap{Vulnerable: a.vulnerable, Total: a.total}
+	if a.counts != nil {
+		s.Counts = make(map[string]CVECount, len(a.counts))
+		for id, row := range a.counts {
+			s.Counts[id] = *row
+		}
+	}
+	return s
+}
+
+// Merge folds a snapshot of another accumulator into this one.
+func (a *CVEsAcc) Merge(s CVEsSnap) {
+	a.vulnerable += s.Vulnerable
+	a.total += s.Total
+	if len(s.Counts) == 0 {
+		return
+	}
+	if a.counts == nil {
+		a.counts = map[string]*CVECount{}
+	}
+	for id, src := range s.Counts {
+		row, ok := a.counts[id]
+		if !ok {
+			row = &CVECount{Implementation: src.Implementation, ID: src.ID, CVSS: src.CVSS}
+			a.counts[id] = row
+		}
+		row.IPs += src.IPs
+	}
+}
+
 // Finalize produces Table XI.
 func (a *CVEsAcc) Finalize() CVEExposure {
 	out := CVEExposure{VulnerableIPs: a.vulnerable, TotalFTP: a.total}

@@ -331,6 +331,92 @@ func (a *ExposureAcc) bumpType(typ, cls string) {
 	a.typeTotals[typ]++
 }
 
+// ExposureSnap is the serializable state of an ExposureAcc. Exp carries
+// only the counter fields — the Extensions/Sensitive slices are derived at
+// Finalize and never populated in the accumulator.
+type ExposureSnap struct {
+	Exp         Exposure
+	ExtFiles    map[string]int
+	ExtServers  map[string]int
+	Sens        map[string]SensitiveClass
+	TypeClasses map[string]map[string]int
+	TypeTotals  map[string]int
+}
+
+// Snapshot captures the accumulator as plain data.
+func (a *ExposureAcc) Snapshot() ExposureSnap {
+	s := ExposureSnap{
+		Exp:        a.exp,
+		ExtFiles:   copyCounts(a.extFiles),
+		ExtServers: copyCounts(a.extServers),
+		TypeTotals: copyCounts(a.typeTotals),
+	}
+	if a.sens != nil {
+		s.Sens = make(map[string]SensitiveClass, len(a.sens))
+		for name, sc := range a.sens {
+			s.Sens[name] = *sc
+		}
+	}
+	if a.typeClasses != nil {
+		s.TypeClasses = make(map[string]map[string]int, len(a.typeClasses))
+		for typ, m := range a.typeClasses {
+			s.TypeClasses[typ] = copyCounts(m)
+		}
+	}
+	return s
+}
+
+// Merge folds a snapshot of another accumulator into this one.
+func (a *ExposureAcc) Merge(s ExposureSnap) {
+	e := &a.exp
+	o := s.Exp
+	e.AnonServers += o.AnonServers
+	e.ExposingServers += o.ExposingServers
+	e.IndexHTMLFiles += o.IndexHTMLFiles
+	e.IndexHTMLServers += o.IndexHTMLServers
+	e.PhotoFiles += o.PhotoFiles
+	e.PhotoReadable += o.PhotoReadable
+	e.PhotoServers += o.PhotoServers
+	e.OSRootLinux += o.OSRootLinux
+	e.OSRootWindows += o.OSRootWindows
+	e.HtaccessFiles += o.HtaccessFiles
+	e.HtaccessServers += o.HtaccessServers
+	e.ScriptFiles += o.ScriptFiles
+	e.ScriptServers += o.ScriptServers
+	e.RobotsSeen += o.RobotsSeen
+	e.RobotsExcludeAll += o.RobotsExcludeAll
+	e.Truncated += o.Truncated
+	if len(s.ExtFiles)+len(s.ExtServers)+len(s.Sens)+len(s.TypeClasses)+len(s.TypeTotals) == 0 {
+		return
+	}
+	if a.sens == nil {
+		a.init()
+	}
+	addCounts(a.extFiles, s.ExtFiles)
+	addCounts(a.extServers, s.ExtServers)
+	for name, src := range s.Sens {
+		sc, ok := a.sens[name]
+		if !ok {
+			sc = &SensitiveClass{Type: src.Type, Name: src.Name}
+			a.sens[name] = sc
+		}
+		sc.Servers += src.Servers
+		sc.Files += src.Files
+		sc.Readable += src.Readable
+		sc.NonReadable += src.NonReadable
+		sc.UnkReadable += src.UnkReadable
+	}
+	for typ, src := range s.TypeClasses {
+		m, ok := a.typeClasses[typ]
+		if !ok {
+			m = map[string]int{}
+			a.typeClasses[typ] = m
+		}
+		addCounts(m, src)
+	}
+	addCounts(a.typeTotals, s.TypeTotals)
+}
+
 // Finalize produces Tables VIII/IX and §V's prose statistics.
 func (a *ExposureAcc) Finalize() Exposure {
 	e := a.exp

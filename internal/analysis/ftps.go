@@ -88,6 +88,65 @@ func (a *FTPSAcc) Observe(r *Record) {
 	}
 }
 
+// CertSnap is one certificate's serializable Table XII/XIII state.
+type CertSnap struct {
+	CN         string
+	SelfSigned bool
+	Servers    int
+	Devices    map[string]int
+}
+
+// FTPSSnap is the serializable state of an FTPSAcc.
+type FTPSSnap struct {
+	TotalFTP, Supported, RequirePre, SelfSigned int
+	ByFP                                        map[string]CertSnap
+}
+
+// Snapshot captures the accumulator as plain data.
+func (a *FTPSAcc) Snapshot() FTPSSnap {
+	s := FTPSSnap{
+		TotalFTP:   a.totalFTP,
+		Supported:  a.supported,
+		RequirePre: a.requirePre,
+		SelfSigned: a.selfSigned,
+	}
+	if a.byFP != nil {
+		s.ByFP = make(map[string]CertSnap, len(a.byFP))
+		for fp, agg := range a.byFP {
+			s.ByFP[fp] = CertSnap{
+				CN:         agg.cn,
+				SelfSigned: agg.selfSigned,
+				Servers:    agg.servers,
+				Devices:    copyCounts(agg.devices),
+			}
+		}
+	}
+	return s
+}
+
+// Merge folds a snapshot of another accumulator into this one.
+func (a *FTPSAcc) Merge(s FTPSSnap) {
+	a.totalFTP += s.TotalFTP
+	a.supported += s.Supported
+	a.requirePre += s.RequirePre
+	a.selfSigned += s.SelfSigned
+	if len(s.ByFP) == 0 {
+		return
+	}
+	if a.byFP == nil {
+		a.byFP = map[string]*certAgg{}
+	}
+	for fp, src := range s.ByFP {
+		agg, ok := a.byFP[fp]
+		if !ok {
+			agg = &certAgg{cn: src.CN, selfSigned: src.SelfSigned, devices: map[string]int{}}
+			a.byFP[fp] = agg
+		}
+		agg.servers += src.Servers
+		addCounts(agg.devices, src.Devices)
+	}
+}
+
 // Finalize produces §IX, Table XII, and Table XIII. Sort keys include the
 // certificate fingerprint so tied rows order deterministically regardless
 // of map iteration order — the streaming and batch paths must render

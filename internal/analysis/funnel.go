@@ -31,6 +31,23 @@ func (a *FunnelAcc) Observe(r *Record) {
 	}
 }
 
+// FunnelSnap is the serializable state of a FunnelAcc.
+type FunnelSnap struct {
+	Open, FTP, Anon int
+}
+
+// Snapshot captures the accumulator as plain data.
+func (a *FunnelAcc) Snapshot() FunnelSnap {
+	return FunnelSnap{Open: a.open, FTP: a.ftp, Anon: a.anon}
+}
+
+// Merge folds a snapshot of another accumulator into this one.
+func (a *FunnelAcc) Merge(s FunnelSnap) {
+	a.open += s.Open
+	a.ftp += s.FTP
+	a.anon += s.Anon
+}
+
 // Finalize produces Table I for the given sweep size.
 func (a *FunnelAcc) Finalize(ipsScanned uint64) Funnel {
 	f := Funnel{

@@ -4,7 +4,6 @@ import (
 	"sort"
 	"strings"
 
-	"ftpcloud/internal/asdb"
 	"ftpcloud/internal/campaigns"
 	"ftpcloud/internal/dataset"
 )
@@ -65,7 +64,9 @@ type MaliciousAcc struct {
 	scriptingOverlap    int
 	totalFTP            int
 
-	writableASes map[*asdb.AS]bool
+	// writableASes keys on the AS number — plain data, so snapshots of two
+	// accumulators merge as a set union.
+	writableASes map[uint32]bool
 	campServers  map[string]int
 	campFiles    map[string]int
 }
@@ -90,7 +91,7 @@ func (a *MaliciousAcc) Observe(r *Record) {
 		return
 	}
 	if a.writableASes == nil {
-		a.writableASes = map[*asdb.AS]bool{}
+		a.writableASes = map[uint32]bool{}
 		a.campServers = map[string]int{}
 		a.campFiles = map[string]int{}
 	}
@@ -98,7 +99,7 @@ func (a *MaliciousAcc) Observe(r *Record) {
 	if Writable(host) {
 		a.writableServers++
 		if as := r.AS(); as != nil {
-			a.writableASes[as] = true
+			a.writableASes[as.Number] = true
 		}
 	}
 	if host.AnonUploadConfirmed {
@@ -146,6 +147,74 @@ func (a *MaliciousAcc) Observe(r *Record) {
 			a.holyBibleWritable++
 		}
 	}
+}
+
+// MaliciousSnap is the serializable state of a MaliciousAcc.
+type MaliciousSnap struct {
+	WritableServers, AnonUploadConfirmed          int
+	RATFiles, RATServers, DDoSServers             int
+	HolyBibleServers, HolyBibleWritable           int
+	WarezServers, RamnitServers                   int
+	HTTPOverlap, ScriptingOverlap, TotalFTP       int
+	// WritableASes is the writable-AS set as a sorted slice, so a given
+	// accumulator state has one canonical snapshot.
+	WritableASes []uint32
+	CampServers  map[string]int
+	CampFiles    map[string]int
+}
+
+// Snapshot captures the accumulator as plain data.
+func (a *MaliciousAcc) Snapshot() MaliciousSnap {
+	s := MaliciousSnap{
+		WritableServers:     a.writableServers,
+		AnonUploadConfirmed: a.anonUploadConfirmed,
+		RATFiles:            a.ratFiles,
+		RATServers:          a.ratServers,
+		DDoSServers:         a.ddosServers,
+		HolyBibleServers:    a.holyBibleServers,
+		HolyBibleWritable:   a.holyBibleWritable,
+		WarezServers:        a.warezServers,
+		RamnitServers:       a.ramnitServers,
+		HTTPOverlap:         a.httpOverlap,
+		ScriptingOverlap:    a.scriptingOverlap,
+		TotalFTP:            a.totalFTP,
+		CampServers:         copyCounts(a.campServers),
+		CampFiles:           copyCounts(a.campFiles),
+	}
+	for n := range a.writableASes {
+		s.WritableASes = append(s.WritableASes, n)
+	}
+	sort.Slice(s.WritableASes, func(i, j int) bool { return s.WritableASes[i] < s.WritableASes[j] })
+	return s
+}
+
+// Merge folds a snapshot of another accumulator into this one.
+func (a *MaliciousAcc) Merge(s MaliciousSnap) {
+	a.writableServers += s.WritableServers
+	a.anonUploadConfirmed += s.AnonUploadConfirmed
+	a.ratFiles += s.RATFiles
+	a.ratServers += s.RATServers
+	a.ddosServers += s.DDoSServers
+	a.holyBibleServers += s.HolyBibleServers
+	a.holyBibleWritable += s.HolyBibleWritable
+	a.warezServers += s.WarezServers
+	a.ramnitServers += s.RamnitServers
+	a.httpOverlap += s.HTTPOverlap
+	a.scriptingOverlap += s.ScriptingOverlap
+	a.totalFTP += s.TotalFTP
+	if len(s.WritableASes)+len(s.CampServers)+len(s.CampFiles) == 0 {
+		return
+	}
+	if a.writableASes == nil {
+		a.writableASes = map[uint32]bool{}
+		a.campServers = map[string]int{}
+		a.campFiles = map[string]int{}
+	}
+	for _, n := range s.WritableASes {
+		a.writableASes[n] = true
+	}
+	addCounts(a.campServers, s.CampServers)
+	addCounts(a.campFiles, s.CampFiles)
 }
 
 // Finalize produces §VI.

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Snapshot is an Aggregator frozen as plain data: the observed-record count
+// plus every accumulator's state, with no pointers into the AS database or
+// the world. Two snapshots of disjoint record sets merge into the state a
+// single aggregator would have reached over the union — every accumulator
+// is an additive fold, and every Finalize tie-breaks deterministically, so
+// merge order cannot change any finalized table.
+//
+// The same serialization backs the sharded census merge and is the
+// foundation for checkpoint/resume: a partial aggregate written to disk is
+// a resumable position in the census.
+type Snapshot struct {
+	Observed        int
+	Funnel          FunnelSnap
+	Classification  ClassificationSnap
+	ASConcentration ASConcentrationSnap
+	Devices         DevicesSnap
+	TopASes         TopASesSnap
+	Exposure        ExposureSnap
+	CVEs            CVEsSnap
+	Malicious       MaliciousSnap
+	PortBounce      PortBounceSnap
+	FTPS            FTPSSnap
+}
+
+// snapshotMagic and snapshotVersion frame the serialized form so corrupt or
+// foreign bytes are rejected before gob sees them.
+var snapshotMagic = [4]byte{'F', 'C', 'A', 'S'}
+
+const snapshotVersion = 1
+
+// ErrCorruptSnapshot marks bytes that do not decode as a snapshot — wrong
+// magic, unknown version, or a gob stream damaged in transit. Callers
+// detect it with errors.Is.
+var ErrCorruptSnapshot = errors.New("analysis: corrupt snapshot")
+
+// Snapshot captures the aggregator's full accumulator state as plain data.
+// Like the finalize methods it is safe once observation has stopped.
+func (a *Aggregator) Snapshot() *Snapshot {
+	return &Snapshot{
+		Observed:        a.observed,
+		Funnel:          a.funnel.Snapshot(),
+		Classification:  a.class.Snapshot(),
+		ASConcentration: a.asconc.Snapshot(),
+		Devices:         a.devices.Snapshot(),
+		TopASes:         a.topASes.Snapshot(),
+		Exposure:        a.exposure.Snapshot(),
+		CVEs:            a.cves.Snapshot(),
+		Malicious:       a.malicious.Snapshot(),
+		PortBounce:      a.portBounce.Snapshot(),
+		FTPS:            a.ftps.Snapshot(),
+	}
+}
+
+// MergeSnapshot folds a snapshot into the aggregator, as if the records it
+// summarizes had been observed here. Like Observe it must not race with
+// other mutations.
+func (a *Aggregator) MergeSnapshot(s *Snapshot) {
+	a.observed += s.Observed
+	a.funnel.Merge(s.Funnel)
+	a.class.Merge(s.Classification)
+	a.asconc.Merge(s.ASConcentration)
+	a.devices.Merge(s.Devices)
+	a.topASes.Merge(s.TopASes)
+	a.exposure.Merge(s.Exposure)
+	a.cves.Merge(s.CVEs)
+	a.malicious.Merge(s.Malicious)
+	a.portBounce.Merge(s.PortBounce)
+	a.ftps.Merge(s.FTPS)
+}
+
+// Merge folds another aggregator's state into this one via its snapshot.
+// The other aggregator is left untouched.
+func (a *Aggregator) Merge(other *Aggregator) {
+	a.MergeSnapshot(other.Snapshot())
+}
+
+// Encode writes the snapshot's compact binary form: a fixed header (magic
+// plus version) followed by a gob stream.
+func (s *Snapshot) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(bw).Encode(s); err != nil {
+		return fmt.Errorf("analysis: encoding snapshot: %w", err)
+	}
+	return bw.Flush()
+}
+
+// EncodeBytes returns the snapshot's serialized form.
+func (s *Snapshot) EncodeBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot reads one serialized snapshot. Bytes that do not frame and
+// decode cleanly yield an error wrapping ErrCorruptSnapshot; decoding never
+// panics on hostile input.
+func DecodeSnapshot(r io.Reader) (s *Snapshot, err error) {
+	// gob decoding of damaged streams can panic in pathological cases;
+	// a corrupt checkpoint must surface as a typed error instead.
+	defer func() {
+		if p := recover(); p != nil {
+			s, err = nil, fmt.Errorf("%w: decode panic: %v", ErrCorruptSnapshot, p)
+		}
+	}()
+	var header [5]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptSnapshot, err)
+	}
+	if !bytes.Equal(header[:4], snapshotMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSnapshot, header[:4])
+	}
+	if header[4] != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSnapshot, header[4])
+	}
+	s = new(Snapshot)
+	if err := gob.NewDecoder(r).Decode(s); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	return s, nil
+}
+
+// DecodeSnapshotBytes decodes a snapshot from its serialized form.
+func DecodeSnapshotBytes(b []byte) (*Snapshot, error) {
+	return DecodeSnapshot(bytes.NewReader(b))
+}

@@ -151,6 +151,27 @@ type Robustness struct {
 	Failures    map[string]int
 }
 
+// Merge folds another robustness ledger into this one — the shard-merge
+// counterpart of observe.
+func (r *Robustness) Merge(o Robustness) {
+	r.Records += o.Records
+	r.Partial += o.Partial
+	r.Terminated += o.Terminated
+	r.Truncated += o.Truncated
+	r.SkippedDirs += o.SkippedDirs
+	r.Retries += o.Retries
+	r.DataBytes += o.DataBytes
+	if len(o.Failures) == 0 {
+		return
+	}
+	if r.Failures == nil {
+		r.Failures = make(map[string]int, len(o.Failures))
+	}
+	for class, n := range o.Failures {
+		r.Failures[class] += n
+	}
+}
+
 // observe folds one record in. Called only from the census drain
 // goroutine, so no locking is needed.
 func (r *Robustness) observe(rec *dataset.HostRecord) {
@@ -266,32 +287,97 @@ type Result struct {
 // The HTTP (Censys-equivalent) join is resolved per record inside that
 // pass, so the join is always consistent with the records that actually
 // flowed, even when the run is cancelled mid-flight.
+//
+// Run drives a single pipeline; ShardedCensus fans the same pipeline out
+// over strided permutation shards and merges the partial aggregates.
 func (c *Census) Run(ctx context.Context) (*Result, error) {
 	start := time.Now()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	collector, closeCollector, err := c.newCollector()
+	if err != nil {
+		return nil, err
+	}
+	defer closeCollector()
+	o := c.runShard(ctx, cancel, start, shardSpec{
+		sourceBase: ScannerBase,
+		collector:  collector,
+		stream:     c.Config.StreamTo,
+	})
+	var streamErr error
+	if c.Config.StreamTo != nil {
+		streamErr = c.Config.StreamTo.Close()
+	}
+	return c.assemble(ctx, start, []*shardOutcome{o}, streamErr)
+}
+
+// newCollector builds the PORT-validation collector unless disabled. The
+// returned closer is a no-op when there is nothing to close.
+func (c *Census) newCollector() (enumerator.Collector, func(), error) {
+	if c.Config.DisablePortProbe {
+		return nil, func() {}, nil
+	}
+	sim, err := enumerator.NewSimCollector(c.Network, CollectorIP, 3100)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: collector: %w", err)
+	}
+	return sim, func() { sim.Close() }, nil
+}
+
+// shardSpec parameterizes one census pipeline over the shared world: its
+// stride of the permutation, its source-address block, and the resources
+// shared with sibling shards (the collector and the merged stream) that
+// the pipeline must use but not own.
+type shardSpec struct {
+	index, total int
+	sourceBase   simnet.IP
+	collector    enumerator.Collector
+	// stream receives every record ahead of the aggregator; the pipeline
+	// wraps it KeepOpen so the run's owner closes it exactly once.
+	stream dataset.Sink
+	// prefix namespaces the pipeline's registry counters ("shard3.");
+	// prefixed counters also feed the unprefixed merged view.
+	prefix string
+}
+
+// shardOutcome is one pipeline's partial census: the aggregate, the
+// robustness ledger, retained records, timings, and any errors.
+type shardOutcome struct {
+	agg       *analysis.Aggregator
+	robust    Robustness
+	records   []*dataset.HostRecord
+	join      map[string]analysis.HTTPInfo
+	scanDur   time.Duration
+	probed    uint64
+	responded uint64
+	setupErr  error
+	sinkErr   error
+	closeErr  error
+	scanErr   error
+}
+
+// runShard executes one discovery+enumeration pipeline over the spec's
+// slice of the scan. A sink failure cancels the whole run (all shards share
+// the cancel); every other error is recorded in the outcome for assemble to
+// order by the established precedence.
+func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start time.Time, spec shardSpec) *shardOutcome {
+	o := &shardOutcome{}
 	scanner, err := zmap.NewScanner(zmap.Config{
-		Network: c.Network,
-		Base:    c.World.ScanBase,
-		Size:    c.World.ScanSize,
-		Port:    21,
-		Seed:    c.Config.Seed,
-		Workers: c.Config.ScanWorkers,
-		Retries: c.Config.Retries,
-		Metrics: c.Config.Metrics,
+		Network:       c.Network,
+		Base:          c.World.ScanBase,
+		Size:          c.World.ScanSize,
+		Port:          21,
+		Seed:          c.Config.Seed,
+		Workers:       c.Config.ScanWorkers,
+		Retries:       c.Config.Retries,
+		Shard:         spec.index,
+		TotalShards:   spec.total,
+		Metrics:       c.Config.Metrics,
+		MetricsPrefix: spec.prefix,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: scanner: %w", err)
-	}
-
-	var collector enumerator.Collector
-	if !c.Config.DisablePortProbe {
-		simCollector, err := enumerator.NewSimCollector(c.Network, CollectorIP, 3100)
-		if err != nil {
-			return nil, fmt.Errorf("core: collector: %w", err)
-		}
-		defer simCollector.Close()
-		collector = simCollector
+		o.setupErr = fmt.Errorf("core: scanner: %w", err)
+		return o
 	}
 
 	enumTimeout := c.Config.EnumTimeout
@@ -300,7 +386,7 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 	}
 	fleet := &enumerator.Fleet{
 		Cfg: enumerator.Config{
-			Collector:  collector,
+			Collector:  spec.collector,
 			RequestCap: c.Config.RequestCap,
 			TryTLS:     !c.Config.DisableTLS,
 			Timeout:    enumTimeout,
@@ -309,7 +395,7 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 			ByteBudget: c.Config.ByteBudget,
 		},
 		Network:    c.Network,
-		SourceBase: ScannerBase,
+		SourceBase: spec.sourceBase,
 		Workers:    c.Config.EnumWorkers,
 		Metrics:    c.Config.Metrics,
 	}
@@ -343,8 +429,8 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 	}
 	agg := analysis.NewAggregator(c.World.ASDB, httpHook)
 	sinks := make([]dataset.Sink, 0, 3)
-	if c.Config.StreamTo != nil {
-		sinks = append(sinks, c.Config.StreamTo)
+	if spec.stream != nil {
+		sinks = append(sinks, dataset.KeepOpen(spec.stream))
 	}
 	sinks = append(sinks, agg)
 	var coll *dataset.Collector
@@ -361,10 +447,9 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 	out := make(chan *dataset.HostRecord, 1024)
 
 	scanErr := make(chan error, 1)
-	var scanDur time.Duration
 	go func() {
 		err := scanner.RunBatches(ctx, found)
-		scanDur = time.Since(start)
+		o.scanDur = time.Since(start)
 		scanErr <- err
 	}()
 	go func() {
@@ -387,7 +472,7 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 	// pipeline but keeps draining so the fleet can shut down. Robustness
 	// is folded only after the whole chain accepts a record, so its
 	// totals always agree with the aggregator's Observed count.
-	mets := newCensusMetrics(c.Config.Metrics)
+	mets := newCensusMetrics(c.Config.Metrics, spec.prefix)
 	drained := make(chan error, 1)
 	var robust Robustness
 	go func() {
@@ -409,25 +494,67 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 		drained <- sinkErr
 	}()
 	fleet.Run(ctx, in, out)
-	sinkErr := <-drained
-	closeErr := sink.Close()
-	scanErrVal := <-scanErr
+	o.sinkErr = <-drained
+	o.closeErr = sink.Close()
+	o.scanErr = <-scanErr
 
+	o.agg = agg
+	o.robust = robust
+	o.probed = scanner.Stats.Probed.Load()
+	o.responded = scanner.Stats.Responded.Load()
+	if retained {
+		o.records = coll.Records
+		o.join = join
+	}
+	return o
+}
+
+// assemble merges shard outcomes into one Result, ordering errors by the
+// established precedence and flagging graceful truncation. With a single
+// outcome it reduces to the unsharded epilogue.
+func (c *Census) assemble(ctx context.Context, start time.Time, outcomes []*shardOutcome, streamErr error) (*Result, error) {
+	for _, o := range outcomes {
+		if o.setupErr != nil {
+			return nil, o.setupErr
+		}
+	}
+
+	// Fold every shard into the first, in shard order. Ordering is for
+	// reproducibility of Result.Records only — the aggregates themselves
+	// are additive, so any merge order finalizes identically.
+	base := outcomes[0]
+	agg := base.agg
+	robust := base.robust
 	result := &Result{
-		Observed:     agg.Observed(),
-		ScanDuration: scanDur,
-		EnumDuration: time.Since(start),
-		Probed:       scanner.Stats.Probed.Load(),
-		Responded:    scanner.Stats.Responded.Load(),
-		Robustness:   robust,
+		ScanDuration: base.scanDur,
+		Probed:       base.probed,
+		Responded:    base.responded,
 		agg:          agg,
 		scanned:      c.World.ScanSize,
 	}
-	if retained {
-		result.Records = coll.Records
+	records := base.records
+	join := base.join
+	for _, o := range outcomes[1:] {
+		agg.Merge(o.agg)
+		robust.Merge(o.robust)
+		result.Probed += o.probed
+		result.Responded += o.responded
+		if o.scanDur > result.ScanDuration {
+			result.ScanDuration = o.scanDur
+		}
+		records = append(records, o.records...)
+		for ip, info := range o.join {
+			join[ip] = info
+		}
+	}
+	result.Observed = agg.Observed()
+	result.Robustness = robust
+	result.EnumDuration = time.Since(start)
+	if c.Config.RetainRecords == RetainAll {
+		result.Records = records
 		result.Input = &analysis.Input{
 			IPsScanned: c.World.ScanSize,
-			Records:    coll.Records,
+			Records:    records,
 			ASDB:       c.World.ASDB,
 			HTTP:       join,
 		}
@@ -436,20 +563,30 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 	// Error precedence: a broken sink is fatal (the dataset is suspect)
 	// but the partial result still rides along for inspection; a scanner
 	// failure other than cancellation is fatal outright.
-	if sinkErr != nil {
-		return result, fmt.Errorf("core: record sink: %w", sinkErr)
+	for _, o := range outcomes {
+		if o.sinkErr != nil {
+			return result, fmt.Errorf("core: record sink: %w", o.sinkErr)
+		}
 	}
-	if closeErr != nil {
-		return result, fmt.Errorf("core: closing record sink: %w", closeErr)
+	for _, o := range outcomes {
+		if o.closeErr != nil {
+			return result, fmt.Errorf("core: closing record sink: %w", o.closeErr)
+		}
 	}
-	if scanErrVal != nil && !isContextErr(scanErrVal) {
-		return nil, fmt.Errorf("core: discovery scan: %w", scanErrVal)
+	if streamErr != nil {
+		return result, fmt.Errorf("core: closing record sink: %w", streamErr)
+	}
+	for _, o := range outcomes {
+		if o.scanErr != nil && !isContextErr(o.scanErr) {
+			return nil, fmt.Errorf("core: discovery scan: %w", o.scanErr)
+		}
 	}
 
 	// Caller cancellation is graceful truncation, not failure: everything
 	// drained before the cut is a usable dataset — the paper's days-long
-	// measurement had to survive exactly this. Flag the result and hand
-	// it back whole.
+	// measurement had to survive exactly this. All shards share the run
+	// context, so a deadline truncates them together; each one's partial
+	// records are already folded in, and the cause is recorded once.
 	if err := ctx.Err(); err != nil {
 		result.Truncated = true
 		result.TruncatedBy = TruncateCanceled
@@ -460,7 +597,7 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 			result.Robustness.Failures = make(map[string]int)
 		}
 		result.Robustness.Failures[result.TruncatedBy]++
-		mets.reg.Counter("census.truncated." + result.TruncatedBy).Inc()
+		c.Config.Metrics.Counter("census.truncated." + result.TruncatedBy).Inc()
 	}
 	return result, nil
 }
@@ -483,14 +620,17 @@ type censusMetrics struct {
 	failures   map[string]*obs.Counter
 }
 
-func newCensusMetrics(reg *obs.Registry) *censusMetrics {
+// newCensusMetrics binds the drain counters, namespaced by prefix for
+// sharded pipelines (prefixed counters feed the merged unprefixed view).
+// Failure-class counters stay global: progress reads classes, not shards.
+func newCensusMetrics(reg *obs.Registry, prefix string) *censusMetrics {
 	return &censusMetrics{
 		reg:        reg,
-		drained:    reg.Counter("census.drained"),
-		observed:   reg.Counter("census.observed"),
-		partial:    reg.Counter("census.partial"),
-		terminated: reg.Counter("census.terminated"),
-		sinkErrors: reg.Counter("census.sink_errors"),
+		drained:    reg.ChildCounter(prefix, "census.drained"),
+		observed:   reg.ChildCounter(prefix, "census.observed"),
+		partial:    reg.ChildCounter(prefix, "census.partial"),
+		terminated: reg.ChildCounter(prefix, "census.terminated"),
+		sinkErrors: reg.ChildCounter(prefix, "census.sink_errors"),
 		failures:   make(map[string]*obs.Counter),
 	}
 }
@@ -562,6 +702,16 @@ type Tables struct {
 	Malicious        analysis.Malicious
 	PortBounce       analysis.PortBounce
 	FTPS             analysis.FTPS
+}
+
+// Snapshot returns the serializable aggregate state this run folded — the
+// mergeable/checkpoint form of the census (see analysis.Snapshot). Nil for
+// hand-built results that never ran a pipeline.
+func (r *Result) Snapshot() *analysis.Snapshot {
+	if r.agg == nil {
+		return nil
+	}
+	return r.agg.Snapshot()
 }
 
 // ComputeTables produces every analysis table. After a census run this is

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/simnet"
+)
+
+// ShardedCensus fans one census out over N cooperating shard pipelines,
+// the way "Ten Years of ZMap" describes multi-machine scanning: the
+// discovery permutation is strided so each shard probes a disjoint 1/N of
+// the address walk, and every shard runs its own scanner, enumerator
+// fleet, sink chain, and aggregator against the one shared world. When the
+// shards finish, their partial aggregates merge through the accumulator
+// snapshots and their robustness ledgers sum — the merged Result finalizes
+// byte-identical tables to a single-process run over the same world,
+// because every accumulator is an additive fold with deterministic
+// tie-breaking (see analysis.Snapshot).
+//
+// Shared pieces are shared safely: one PORT-validation collector serves
+// all shards, and a configured StreamTo sink is serialized behind a mutex
+// so the merged JSONL ledger carries every shard's records (interleaved in
+// completion order) and is closed exactly once. All shards run under one
+// context, so a deadline truncates them together; each shard's partial
+// records are merged as truncated partials, not dropped.
+type ShardedCensus struct {
+	Census *Census
+	Shards int
+}
+
+// shardSourceStride spaces the shards' enumerator source-address blocks:
+// shard i's fleet binds sources starting at ScannerBase + i*stride. The
+// block must hold EnumWorkers addresses, and maxShards blocks must stay
+// below CollectorIP.
+const shardSourceStride = 1024
+
+// maxShards caps the fan-out at what the measurement-address block holds:
+// (CollectorIP - ScannerBase) / shardSourceStride.
+const maxShards = 63
+
+// NewShardedCensus synthesizes the world and network once, shared by every
+// shard. Shards below 1 mean 1 (a plain single-pipeline census).
+func NewShardedCensus(cfg CensusConfig, shards int) (*ShardedCensus, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxShards {
+		return nil, fmt.Errorf("core: %d shards exceeds the source-address budget (max %d)", shards, maxShards)
+	}
+	if shards > 1 && cfg.EnumWorkers > shardSourceStride {
+		return nil, fmt.Errorf("core: %d enum workers per shard exceeds the source block (max %d)", cfg.EnumWorkers, shardSourceStride)
+	}
+	c, err := NewCensus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedCensus{Census: c, Shards: shards}, nil
+}
+
+// Run executes the shard pipelines concurrently and merges their partial
+// results. With one shard it is exactly Census.Run.
+func (s *ShardedCensus) Run(ctx context.Context) (*Result, error) {
+	n := s.Shards
+	if n <= 1 {
+		return s.Census.Run(ctx)
+	}
+	if n > maxShards {
+		return nil, fmt.Errorf("core: %d shards exceeds the source-address budget (max %d)", n, maxShards)
+	}
+	c := s.Census
+	start := time.Now()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	collector, closeCollector, err := c.newCollector()
+	if err != nil {
+		return nil, err
+	}
+	defer closeCollector()
+
+	// One merged ledger: the caller's sink observes records from N drain
+	// goroutines, so serialize it; each shard gets a KeepOpen view and
+	// the real Close happens once, below, after every shard has finished.
+	var stream dataset.Sink
+	if c.Config.StreamTo != nil {
+		stream = dataset.Synced(c.Config.StreamTo)
+	}
+
+	outcomes := make([]*shardOutcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		spec := shardSpec{
+			index:      i,
+			total:      n,
+			sourceBase: simnet.IP(uint64(ScannerBase) + uint64(i)*shardSourceStride),
+			collector:  collector,
+			stream:     stream,
+			prefix:     fmt.Sprintf("shard%d.", i),
+		}
+		wg.Add(1)
+		go func(i int, spec shardSpec) {
+			defer wg.Done()
+			outcomes[i] = c.runShard(ctx, cancel, start, spec)
+		}(i, spec)
+	}
+	wg.Wait()
+
+	var streamErr error
+	if c.Config.StreamTo != nil {
+		streamErr = c.Config.StreamTo.Close()
+	}
+	return c.assemble(ctx, start, outcomes, streamErr)
+}

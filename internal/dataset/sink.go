@@ -1,6 +1,9 @@
 package dataset
 
-import "io"
+import (
+	"io"
+	"sync"
+)
 
 // Sink consumes host records as a census emits them, one at a time. This is
 // the streaming counterpart of a record slice: the pipeline pushes each
@@ -89,6 +92,47 @@ func (c *Counter) Close() error {
 	}
 	return nil
 }
+
+// Synced adapts a sink for concurrent producers by serializing Observe and
+// Close under a mutex. The Sink contract promises one goroutine at a time;
+// when several pipelines share one ledger (the sharded census streaming to
+// a single JSONL sink), Synced restores that promise at the merge point.
+func Synced(s Sink) Sink {
+	return &syncedSink{s: s}
+}
+
+type syncedSink struct {
+	mu sync.Mutex
+	s  Sink
+}
+
+func (s *syncedSink) Observe(rec *HostRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Observe(rec)
+}
+
+func (s *syncedSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.s.Close()
+}
+
+// KeepOpen returns a view of s whose Close is a no-op. Sink chains close
+// everything they own; when a sink is shared across several chains, each
+// chain gets a KeepOpen view and the owner closes the real sink once after
+// every chain has finished.
+func KeepOpen(s Sink) Sink {
+	return keepOpenSink{s: s}
+}
+
+type keepOpenSink struct {
+	s Sink
+}
+
+func (s keepOpenSink) Observe(rec *HostRecord) error { return s.s.Observe(rec) }
+
+func (s keepOpenSink) Close() error { return nil }
 
 // Tee fans every record out to each sink in order. Observe stops at the
 // first failing sink; Close closes every sink and reports the first error.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -100,5 +101,60 @@ func TestTeeFanOutAndError(t *testing.T) {
 	// Single-sink Tee collapses to the sink itself.
 	if got := Tee(&a); got != Sink(&a) {
 		t.Error("Tee of one sink should return it unchanged")
+	}
+}
+
+func TestSyncedSerializesConcurrentProducers(t *testing.T) {
+	var coll Collector
+	s := Synced(&coll)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := s.Observe(sampleRecord()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(coll.Records) != 400 {
+		t.Errorf("collector saw %d records, want 400", len(coll.Records))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type closeCountSink struct {
+	Collector
+	closes int
+}
+
+func (s *closeCountSink) Close() error {
+	s.closes++
+	return nil
+}
+
+func TestKeepOpenSuppressesClose(t *testing.T) {
+	inner := &closeCountSink{}
+	view := KeepOpen(inner)
+	if err := view.Observe(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.Records) != 1 {
+		t.Errorf("KeepOpen did not forward Observe: %d records", len(inner.Records))
+	}
+	if err := view.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if inner.closes != 0 {
+		t.Errorf("KeepOpen leaked Close to the shared sink (%d closes)", inner.closes)
+	}
+	if err := inner.Close(); err != nil || inner.closes != 1 {
+		t.Errorf("owner close: err=%v closes=%d", err, inner.closes)
 	}
 }

@@ -14,13 +14,22 @@ import (
 // Permutation enumerates [0, n) in pseudorandom order by iterating the
 // multiplicative group of integers modulo a prime p > n, skipping values
 // outside the range. Each element appears exactly once per cycle.
+//
+// A sharded permutation (NewShardedPermutation) walks a stride of the same
+// cycle: shard i of N visits group positions i, i+N, i+2N, ... by stepping
+// with gen^N from a start of first*gen^i. The union of all N shards is
+// exactly the unsharded sequence and the shards are pairwise disjoint, so
+// cooperating scanners each pay O(n/N) work with no filtering.
 type Permutation struct {
 	n     uint64
 	prime uint64
 	gen   uint64
 	first uint64
 	cur   uint64
-	done  bool
+	// span is how many group elements this walk emits (p-1 unsharded, a
+	// near-equal share of that per shard); remaining counts down to zero.
+	span      uint64
+	remaining uint64
 }
 
 // smallPrimes seed the generator search.
@@ -40,37 +49,64 @@ func NewPermutation(n uint64, seed uint64) (*Permutation, error) {
 	// The starting point is any group element derived from the seed.
 	first := seed%(p-1) + 1
 	return &Permutation{
-		n:     n,
-		prime: p,
-		gen:   gen,
-		first: first,
-		cur:   first,
+		n:         n,
+		prime:     p,
+		gen:       gen,
+		first:     first,
+		cur:       first,
+		span:      p - 1,
+		remaining: p - 1,
 	}, nil
 }
 
-// Next returns the next element of the permutation; ok is false once the
-// full cycle has been emitted.
+// NewShardedPermutation builds shard (0-based) of totalShards strided walks
+// over the same cycle NewPermutation(n, seed) produces: identical union,
+// pairwise disjoint, each ~1/totalShards of the group.
+func NewShardedPermutation(n, seed uint64, shard, totalShards int) (*Permutation, error) {
+	pm, err := NewPermutation(n, seed)
+	if err != nil {
+		return nil, err
+	}
+	if totalShards <= 1 {
+		return pm, nil
+	}
+	if shard < 0 || shard >= totalShards {
+		return nil, fmt.Errorf("zmap: shard %d out of range [0,%d)", shard, totalShards)
+	}
+	seq := pm.prime - 1 // full-cycle length
+	// Shard i owns positions k ≡ i (mod N) of the full walk: start at
+	// first*gen^i, step by gen^N, and emit ceil((seq-i)/N) elements.
+	var span uint64
+	if uint64(shard) < seq {
+		span = (seq-1-uint64(shard))/uint64(totalShards) + 1
+	}
+	pm.first = mulmod(pm.first, powmod(pm.gen, uint64(shard), pm.prime), pm.prime)
+	pm.gen = powmod(pm.gen, uint64(totalShards), pm.prime)
+	pm.cur = pm.first
+	pm.span = span
+	pm.remaining = span
+	return pm, nil
+}
+
+// Next returns the next element of the permutation; ok is false once this
+// walk's share of the cycle has been emitted.
 func (pm *Permutation) Next() (uint64, bool) {
-	for {
-		if pm.done {
-			return 0, false
-		}
+	for pm.remaining > 0 {
 		// Group elements are 1..p-1; map to 0..p-2 and filter to < n.
 		val := pm.cur - 1
 		pm.cur = mulmod(pm.cur, pm.gen, pm.prime)
-		if pm.cur == pm.first {
-			pm.done = true
-		}
+		pm.remaining--
 		if val < pm.n {
 			return val, true
 		}
 	}
+	return 0, false
 }
 
 // Reset rewinds the permutation to its first element.
 func (pm *Permutation) Reset() {
 	pm.cur = pm.first
-	pm.done = false
+	pm.remaining = pm.span
 }
 
 // Len returns the number of elements the permutation emits.

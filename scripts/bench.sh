@@ -4,12 +4,13 @@
 #
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh BENCH_3.json
+#   BENCH='BenchmarkShardedCensus' BENCHTIME=1x scripts/bench.sh BENCH_6.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_current.json}"
 BENCHTIME="${BENCHTIME:-1s}"
-BENCH='BenchmarkProbeFanout|BenchmarkProbeClosedPort|BenchmarkComputeTables|BenchmarkSimnetThroughput$|BenchmarkPipeline_FullCensus|BenchmarkCensusMemory'
+BENCH="${BENCH:-BenchmarkProbeFanout|BenchmarkProbeClosedPort|BenchmarkComputeTables|BenchmarkSimnetThroughput\$|BenchmarkPipeline_FullCensus|BenchmarkCensusMemory}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
