@@ -17,7 +17,7 @@ RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen ./internal/obs
 CHAOS_PKGS = ./internal/simnet ./internal/ftp ./internal/listparse \
 	./internal/enumerator ./internal/worldgen ./internal/core
 
-.PHONY: build test vet vet-obs race race-full race-sharded tier1 chaos bench smoke
+.PHONY: build test vet vet-obs race race-full race-sharded race-server tier1 chaos bench bench-server smoke
 
 build:
 	$(GO) build ./...
@@ -48,7 +48,13 @@ race-sharded:
 	$(GO) test -race -run 'TestSharded|TestSnapshot|TestAggregatorMerge|TestSynced|TestKeepOpen|TestChildCounter' \
 		./internal/core ./internal/analysis ./internal/dataset ./internal/obs
 
-tier1: build vet vet-obs test race race-sharded smoke
+# Server core under the race detector: pooled sessions, the connection
+# governor's shared reaper, token buckets, and the in-memory driver are all
+# mutated by concurrent session goroutines.
+race-server:
+	$(GO) test -race ./internal/ftpserver ./internal/honeypot
+
+tier1: build vet vet-obs test race race-sharded race-server smoke
 
 # Observability smoke test: a real ftpcensus run with live progress must
 # produce a parseable, non-empty metrics snapshot.
@@ -62,3 +68,10 @@ chaos:
 
 bench:
 	scripts/bench.sh
+
+# Server-core benchmark: concurrent-session throughput (100/1k/10k tiers
+# over simnet and loopback TCP) plus per-command steady-state allocations.
+bench-server:
+	PKG=./internal/ftpserver \
+	BENCH='BenchmarkServerConcurrentSessions|BenchmarkSessionCommands' \
+	BENCHTIME=20000x scripts/bench.sh BENCH_7.json

@@ -72,6 +72,13 @@ func run() error {
 	)
 	flag.Parse()
 
+	// Shard counts outside [1,63] are config errors: zero or negative
+	// pipelines cannot carry a census, and beyond 63 the per-shard probe
+	// floor (1/s) makes the aggregate rate wildly overshoot -rate.
+	if *shards < 1 || *shards > 63 {
+		return fmt.Errorf("-shards %d out of range: must be between 1 and 63", *shards)
+	}
+
 	mix, err := worldgen.ParseFaultMix(*faultMix)
 	if err != nil {
 		return err

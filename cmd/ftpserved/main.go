@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ftpserved -addr 127.0.0.1:2121 -personality proftpd-1.3.5 -anon -writable
+//	ftpserved -addr 127.0.0.1:2121 -max-conns 10000 -progress 5s
 //	ftpserved -list
 package main
 
@@ -13,10 +14,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"ftpcloud/internal/ftpserver"
 	"ftpcloud/internal/obs"
@@ -45,6 +48,34 @@ func demoFS() *vfs.FS {
 	return vfs.New(root)
 }
 
+// servedProgress renders the periodic -progress line: active connections,
+// session admission rate, and shed count.
+func servedProgress(w io.Writer, delta, cur obs.Snapshot, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	fmt.Fprintf(w, "progress: conns=%d sessions=%d (%.1f/s) shed=%d cmds=%d logins=%d\n",
+		cur.Gauges["ftpserver.active"],
+		cur.Counters["ftpserver.sessions"],
+		float64(delta.Counters["ftpserver.sessions"])/secs,
+		cur.Counters["ftpserver.shed"],
+		cur.Counters["ftpserver.commands"],
+		cur.Counters["ftpserver.logins"])
+}
+
+func writeSnapshot(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func run() error {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:2121", "listen address")
@@ -53,8 +84,25 @@ func run() error {
 		writable = flag.Bool("writable", false, "allow anonymous writes")
 		list     = flag.Bool("list", false, "list available personalities and exit")
 
+		driver = flag.String("driver", "vfs",
+			"storage backend: vfs (synthetic tree) or mem (in-memory driver)")
+		maxConns = flag.Int("max-conns", 0,
+			"cap concurrent sessions; excess connections are shed with a 421 (0 = uncapped)")
+		maxConnsPerIP = flag.Int("max-conns-per-ip", 0,
+			"cap concurrent sessions per remote IP (0 = uncapped)")
+		idleTimeout = flag.Duration("idle-timeout", 0,
+			"disconnect sessions idle this long (0 = engine default 60s)")
+		bwSession = flag.Int64("bw-session", 0,
+			"bandwidth cap per session in bytes/s (0 = unshaped)")
+		bwGlobal = flag.Int64("bw-global", 0,
+			"global bandwidth cap across all sessions in bytes/s (0 = unshaped)")
+
+		progress = flag.Duration("progress", 0,
+			"emit a progress line (conns, sessions/s, sheds) to stderr at this interval (0 = off)")
 		debugAddr = flag.String("debug-addr", "",
 			"serve /debug/pprof, /debug/vars and /metrics on this address")
+		metricsOut = flag.String("metrics-out", "",
+			"write the final metrics snapshot (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -73,19 +121,34 @@ func run() error {
 	if pers == nil {
 		return fmt.Errorf("unknown personality %q (use -list)", *persKey)
 	}
-	srv, err := ftpserver.New(ftpserver.Config{
-		Pers:           pers,
-		FS:             demoFS(),
-		HostName:       "ftpserved.local",
-		AllowAnonymous: *anon,
-		AnonWritable:   *writable,
-	})
+
+	reg := obs.NewRegistry()
+	cfg := ftpserver.Config{
+		Pers:                pers,
+		HostName:            "ftpserved.local",
+		AllowAnonymous:      *anon,
+		AnonWritable:        *writable,
+		MaxConns:            *maxConns,
+		MaxConnsPerIP:       *maxConnsPerIP,
+		IdleTimeout:         *idleTimeout,
+		BandwidthPerSession: *bwSession,
+		BandwidthGlobal:     *bwGlobal,
+		Metrics:             reg,
+	}
+	switch *driver {
+	case "vfs":
+		cfg.FS = demoFS()
+	case "mem":
+		cfg.Driver = ftpserver.MemDriverFromFS(demoFS())
+	default:
+		return fmt.Errorf("unknown driver %q (vfs or mem)", *driver)
+	}
+	srv, err := ftpserver.New(cfg)
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 
-	reg := obs.NewRegistry()
-	conns := reg.Counter("ftpserved.conns")
 	if *debugAddr != "" {
 		dbg, err := obs.ServeDebug(*debugAddr, "ftpserved", reg)
 		if err != nil {
@@ -100,8 +163,8 @@ func run() error {
 		return err
 	}
 	defer l.Close()
-	fmt.Fprintf(os.Stderr, "ftpserved: %s serving %s (anon=%v writable=%v)\n",
-		l.Addr(), *persKey, *anon, *writable)
+	fmt.Fprintf(os.Stderr, "ftpserved: %s serving %s (anon=%v writable=%v driver=%s max-conns=%d)\n",
+		l.Addr(), *persKey, *anon, *writable, *driver, *maxConns)
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting; in-flight
 	// sessions run to completion on their own goroutines.
@@ -112,16 +175,26 @@ func run() error {
 		l.Close()
 	}()
 
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			if ctx.Err() != nil {
-				fmt.Fprintln(os.Stderr, "ftpserved: shutting down")
-				return nil
-			}
-			return err
-		}
-		conns.Inc()
-		go srv.ServeTCP(conn)
+	if *progress > 0 {
+		rep := &obs.Reporter{Registry: reg, Interval: *progress, Format: servedProgress}
+		defer rep.Start(ctx)()
 	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := writeSnapshot(reg, *metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "ftpserved: metrics snapshot: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "ftpserved: wrote metrics snapshot to %s\n", *metricsOut)
+			}
+		}()
+	}
+
+	if err := srv.Serve(l); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "ftpserved: shutting down")
+			return nil
+		}
+		return err
+	}
+	return nil
 }

@@ -73,6 +73,16 @@ func (c *Conn) Upgrade(nc net.Conn) {
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.nc.Close() }
 
+// Reset rebinds the wrapper to a new connection, reusing both buffers and
+// clearing the timeout — the hook that lets a busy server pool Conn
+// wrappers across sessions instead of allocating 8 KiB of bufio per accept.
+func (c *Conn) Reset(nc net.Conn) {
+	c.nc = nc
+	c.r.Reset(nc)
+	c.w.Reset(nc)
+	c.Timeout = 0
+}
+
 func (c *Conn) armRead() {
 	if c.Timeout > 0 {
 		c.nc.SetReadDeadline(time.Now().Add(c.Timeout))
@@ -168,6 +178,36 @@ func (c *Conn) SendReply(r Reply) error {
 		return err
 	}
 	return c.w.Flush()
+}
+
+// SendRaw writes preformatted wire bytes (a Reply.Wire result) and flushes.
+// It is the zero-allocation send path for replies rendered ahead of time.
+func (c *Conn) SendRaw(b []byte) error {
+	c.armWrite()
+	if _, err := c.w.Write(b); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// SendReplyLine formats and sends a single-line reply directly into the
+// connection's write buffer, avoiding the intermediate Reply allocation of
+// SendReply. scratch, when non-nil, is used as the format buffer and the
+// (possibly grown) buffer is returned for reuse.
+func (c *Conn) SendReplyLine(scratch []byte, code int, format string, args ...any) ([]byte, error) {
+	b := scratch[:0]
+	b = append(b, byte('0'+code/100%10), byte('0'+code/10%10), byte('0'+code%10), ' ')
+	if len(args) == 0 {
+		b = append(b, format...)
+	} else {
+		b = fmt.Appendf(b, format, args...)
+	}
+	b = append(b, '\r', '\n')
+	c.armWrite()
+	if _, err := c.w.Write(b); err != nil {
+		return b, err
+	}
+	return b, c.w.Flush()
 }
 
 // ReadReply reads a complete (possibly multi-line) server reply.

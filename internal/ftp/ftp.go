@@ -75,6 +75,12 @@ func Replyf(code int, format string, args ...any) Reply {
 // Text returns the reply's text joined with newlines.
 func (r Reply) Text() string { return strings.Join(r.Lines, "\n") }
 
+// Wire renders the reply once into its wire-format bytes. Servers preformat
+// their hot constant replies ("200 NOOP command successful", "226 Transfer
+// complete", banners) at construction time and send the bytes directly,
+// instead of re-rendering the same string on every command.
+func (r Reply) Wire() []byte { return []byte(r.String()) }
+
 // String renders the reply in wire format, including CRLF terminators.
 func (r Reply) String() string {
 	var b strings.Builder

@@ -1,25 +1,33 @@
 // Package ftpserver implements the FTP server engine that impersonates
 // real-world implementations in the simulated Internet. One engine drives
 // every personality: the profile supplies banners, reply texts, feature
-// lists, and quirks, while per-host configuration supplies the filesystem,
-// anonymous-access policy, NAT posture, and FTPS certificate.
+// lists, and quirks, while per-host configuration supplies the storage
+// driver, anonymous-access policy, NAT posture, and FTPS certificate.
 //
 // The engine serves both simulated connections (via SimHandler) and real TCP
-// sockets (via ServeTCP, used by cmd/ftpserved for interop testing), so the
-// enumerator can be validated against the same code over a real network.
+// sockets (via ServeTCP and the Serve accept loop, used by cmd/ftpserved),
+// so the enumerator can be validated against the same code over a real
+// network. Storage is pluggable behind the Driver interface; connection
+// governance (caps, idle reaping, bandwidth shaping) lives in Governor and
+// TokenBucket; and the session loop is allocation-lean — preformatted
+// replies, pooled sessions and transfer buffers — so one process sustains
+// ~10k concurrent sessions (BenchmarkServerConcurrentSessions).
 package ftpserver
 
 import (
+	"bytes"
 	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"ftpcloud/internal/certs"
 	"ftpcloud/internal/ftp"
+	"ftpcloud/internal/obs"
 	"ftpcloud/internal/personality"
 	"ftpcloud/internal/simnet"
 	"ftpcloud/internal/vfs"
@@ -33,8 +41,11 @@ const AnonymousUser = "anonymous"
 type Config struct {
 	// Pers selects the implementation profile. Required.
 	Pers *personality.Personality
-	// FS is the filesystem served to clients. Required.
+	// FS is the filesystem served to clients. Either FS or Driver is
+	// required; a non-nil FS is wrapped in a VFSDriver when Driver is nil.
 	FS *vfs.FS
+	// Driver is the storage backend. Takes precedence over FS.
+	Driver Driver
 	// HostName substitutes %HOST% in banners.
 	HostName string
 	// PublicIP is the host's routable address: the source of outbound
@@ -59,9 +70,26 @@ type Config struct {
 	// after that many commands — servers in the wild cap crawlers this
 	// way, and the enumerator must treat it as refusal of service.
 	RequestLimit int
-	// IdleTimeout bounds each control-channel read; zero means the
-	// engine default of 60s.
+	// IdleTimeout bounds inactivity; zero means the engine default of
+	// 60s. Ungoverned sessions enforce it with per-read deadlines;
+	// governed sessions (MaxConns or MaxConnsPerIP set) use the
+	// governor's shared reaper ticker instead.
 	IdleTimeout time.Duration
+	// MaxConns caps concurrent sessions; excess connections are shed
+	// with a polite 421. Zero means ungoverned (no cap, no reaper).
+	MaxConns int
+	// MaxConnsPerIP caps concurrent sessions per remote address.
+	MaxConnsPerIP int
+	// BandwidthPerSession, when positive, shapes each session's data
+	// channels to this many bytes/second (token bucket).
+	BandwidthPerSession int64
+	// BandwidthGlobal, when positive, shapes the sum of all sessions'
+	// data channels to this many bytes/second.
+	BandwidthGlobal int64
+	// Metrics, when non-nil, receives the server's counters and gauges
+	// (accepts, sessions, sheds, logins, transfers, bytes). A nil
+	// registry still yields functional unregistered metrics.
+	Metrics *obs.Registry
 	// Observer, when non-nil, receives session events (honeypots record
 	// through this hook).
 	Observer Observer
@@ -102,9 +130,54 @@ type Event struct {
 	Time     time.Time
 }
 
+// serverMetrics is the registry view of one server, resolved once at
+// construction so the hot paths pay one atomic op per event, never a map
+// lookup.
+type serverMetrics struct {
+	accepts    *obs.Counter
+	sessions   *obs.Counter
+	sheds      *obs.Counter
+	commands   *obs.Counter
+	logins     *obs.Counter
+	loginFails *obs.Counter
+	uploads    *obs.Counter
+	downloads  *obs.Counter
+	bytesIn    *obs.Counter
+	bytesOut   *obs.Counter
+	active     *obs.Gauge
+}
+
+func resolveMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		accepts:    reg.Counter("ftpserver.accepted"),
+		sessions:   reg.Counter("ftpserver.sessions"),
+		sheds:      reg.Counter("ftpserver.shed"),
+		commands:   reg.Counter("ftpserver.commands"),
+		logins:     reg.Counter("ftpserver.logins"),
+		loginFails: reg.Counter("ftpserver.login_fails"),
+		uploads:    reg.Counter("ftpserver.uploads"),
+		downloads:  reg.Counter("ftpserver.downloads"),
+		bytesIn:    reg.Counter("ftpserver.bytes_in"),
+		bytesOut:   reg.Counter("ftpserver.bytes_out"),
+		active:     reg.Gauge("ftpserver.active"),
+	}
+}
+
 // Server is an immutable host definition; each connection gets a session.
 type Server struct {
 	cfg Config
+	drv Driver
+	gov *Governor
+	m   serverMetrics
+
+	// globalBW shapes the sum of all data channels; nil when uncapped.
+	globalBW *TokenBucket
+
+	// Replies that are constant for the server's lifetime, rendered once.
+	wireBanner []byte
+	wireSyst   []byte
+	wireFeat   []byte
+	wireHelp   []byte
 }
 
 // New validates the configuration and builds a server.
@@ -112,8 +185,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Pers == nil {
 		return nil, errors.New("ftpserver: config needs a personality")
 	}
-	if cfg.FS == nil {
-		return nil, errors.New("ftpserver: config needs a filesystem")
+	if cfg.FS == nil && cfg.Driver == nil {
+		return nil, errors.New("ftpserver: config needs a filesystem or driver")
 	}
 	if cfg.RequireTLS && cfg.Cert == nil {
 		return nil, errors.New("ftpserver: RequireTLS without a certificate")
@@ -121,10 +194,51 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = 60 * time.Second
 	}
-	if cfg.Pers.Quirks.CaseInsensitive {
+	if cfg.FS != nil && cfg.Pers.Quirks.CaseInsensitive {
 		cfg.FS.CaseInsensitive = true
 	}
-	return &Server{cfg: cfg}, nil
+	drv := cfg.Driver
+	if drv == nil {
+		drv = NewVFSDriver(cfg.FS)
+	}
+	s := &Server{cfg: cfg, drv: drv, m: resolveMetrics(cfg.Metrics)}
+	if cfg.MaxConns > 0 || cfg.MaxConnsPerIP > 0 {
+		s.gov = NewGovernor(cfg.MaxConns, cfg.MaxConnsPerIP, cfg.IdleTimeout)
+	}
+	if cfg.BandwidthGlobal > 0 {
+		s.globalBW = NewTokenBucket(float64(cfg.BandwidthGlobal), float64(cfg.BandwidthGlobal))
+	}
+
+	banner := cfg.Pers.ExpandBanner(remoteIP0(&cfg), cfg.HostName)
+	s.wireBanner = ftp.NewReply(ftp.CodeReady, strings.Split(banner, "\n")...).Wire()
+	s.wireSyst = ftp.Replyf(ftp.CodeSystem, "%s", cfg.Pers.Syst).Wire()
+	if len(cfg.Pers.Features) > 0 {
+		lines := make([]string, 0, len(cfg.Pers.Features)+2)
+		lines = append(lines, "Features:")
+		lines = append(lines, cfg.Pers.Features...)
+		lines = append(lines, "End")
+		s.wireFeat = ftp.NewReply(ftp.FeatureListCode, lines...).Wire()
+	} else {
+		s.wireFeat = ftp.Replyf(ftp.CodeNotImplemented, "FEAT not supported").Wire()
+	}
+	helpLines := cfg.Pers.HelpLines
+	if len(helpLines) == 0 {
+		helpLines = []string{"Help OK"}
+	}
+	s.wireHelp = ftp.NewReply(ftp.CodeHelp, helpLines...).Wire()
+	return s, nil
+}
+
+// Governor returns the server's connection governor, or nil when the server
+// is ungoverned (no connection caps configured).
+func (s *Server) Governor() *Governor { return s.gov }
+
+// Close releases background resources (the governor's reaper). In-flight
+// sessions are left to finish on their own goroutines.
+func (s *Server) Close() {
+	if s.gov != nil {
+		s.gov.Close()
+	}
 }
 
 // transport abstracts how data channels are established, so the same engine
@@ -199,12 +313,63 @@ func (s *Server) ServeTCP(conn net.Conn) {
 	s.serve(conn, tcpTransport{localIP: localIP})
 }
 
-// session is per-connection state.
+// Serve accepts connections from l until it fails (listener closed), giving
+// each to its own session goroutine. Governance — caps, shedding, idle
+// reaping — happens inside serve, so Serve is the same accept loop whether
+// or not the server is governed. It returns the accept error.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.m.accepts.Inc()
+		go s.ServeTCP(conn)
+	}
+}
+
+// Preformatted replies shared by every server: the control-channel hot path
+// sends these without rendering or allocation.
+var (
+	wireGoodbye         = ftp.Replyf(ftp.CodeClosing, "Goodbye.").Wire()
+	wireNoop            = ftp.Replyf(ftp.CodeOK, "NOOP command successful").Wire()
+	wireTooManyRequests = ftp.Replyf(ftp.CodeServiceNotAvail, "Too many requests; closing control connection.").Wire()
+	wireShed            = ftp.Replyf(ftp.CodeServiceNotAvail, "Too many connections; try again later.").Wire()
+	wirePleaseLogin     = ftp.Replyf(ftp.CodeNotLoggedIn, "Please login with USER and PASS.").Wire()
+	wireAnonGranted     = ftp.Replyf(ftp.CodeLoggedIn, "Anonymous access granted, restrictions apply").Wire()
+	wireLoginIncorrect  = ftp.Replyf(ftp.CodeNotLoggedIn, "Login incorrect.").Wire()
+	wireUserFirst       = ftp.Replyf(ftp.CodeBadSequence, "Login with USER first.").Wire()
+	wireModeS           = ftp.Replyf(ftp.CodeOK, "Mode set to S").Wire()
+	wireStruF           = ftp.Replyf(ftp.CodeOK, "Structure set to F").Wire()
+	wireCwdOK           = ftp.Replyf(ftp.CodeFileOK, "CWD command successful").Wire()
+	wireAborOK          = ftp.Replyf(ftp.CodeTransferOK, "ABOR command successful").Wire()
+	wireDeleOK          = ftp.Replyf(ftp.CodeFileOK, "DELE command successful").Wire()
+	wireRmdOK           = ftp.Replyf(ftp.CodeFileOK, "RMD command successful").Wire()
+	wireRenameOK        = ftp.Replyf(ftp.CodeFileOK, "Rename successful").Wire()
+	wireRenameFailed    = ftp.Replyf(ftp.CodeFileUnavailable, "Rename failed").Wire()
+	wireRnfrOK          = ftp.Replyf(ftp.CodePendingInfo, "File exists, ready for destination name").Wire()
+	wireRnfrFirst       = ftp.Replyf(ftp.CodeBadSequence, "RNFR required first").Wire()
+	wireTransferOK      = ftp.Replyf(ftp.CodeTransferOK, "Transfer complete").Wire()
+	wireTransferAborted = ftp.Replyf(ftp.CodeTransferAborted, "Transfer aborted").Wire()
+	wireCantOpenData    = ftp.Replyf(ftp.CodeCantOpenData, "Can't open data connection").Wire()
+	wireNoPassive       = ftp.Replyf(ftp.CodeCantOpenData, "Cannot open passive connection").Wire()
+	wireOpeningList     = ftp.Replyf(ftp.CodeDataOpen, "Opening ASCII mode data connection for file list").Wire()
+	wireOkToSend        = ftp.Replyf(ftp.CodeDataOpen, "Ok to send data").Wire()
+	wireTypeI           = ftp.Replyf(ftp.CodeOK, "Type set to I").Wire()
+	wireTypeA           = ftp.Replyf(ftp.CodeOK, "Type set to A").Wire()
+	wirePortOK          = ftp.Replyf(ftp.CodeOK, "PORT command successful").Wire()
+	wireQuotaExceeded   = ftp.Replyf(ftp.CodeExceededStorage, "Quota exceeded: storage allocation").Wire()
+	wireRateLimited     = ftp.Replyf(ftp.CodeFileBusy, "Requested action not taken: operation rate limit").Wire()
+)
+
+// session is per-connection state, pooled across connections.
 type session struct {
 	srv   *Server
 	cfg   *Config
+	drv   Driver
 	conn  *ftp.Conn
 	trans transport
+	cs    *connState // non-nil when governed
 
 	remoteIP   string
 	user       string // pending USER argument
@@ -220,31 +385,94 @@ type session struct {
 	portTarget   *ftp.HostPort
 
 	requests int
+
+	// scratch backs single-line reply formatting; it grows to the longest
+	// reply the session sends and is reused for every subsequent one.
+	scratch []byte
+	// bw shapes this session's data channels; lazily built.
+	bw *TokenBucket
 }
+
+// sessionPool recycles session state (including reply scratch buffers and
+// the ftp.Conn's 8 KiB of bufio) across connections.
+var sessionPool = sync.Pool{New: func() any {
+	return &session{conn: &ftp.Conn{}}
+}}
+
+// xferBufPool holds data-transfer copy buffers.
+var xferBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// listBufPool holds listing render buffers.
+var listBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4<<10)
+	return &b
+}}
+
+// uploadBufPool holds STOR receive buffers.
+var uploadBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 func (s *Server) serve(nc net.Conn, trans transport) {
 	defer nc.Close()
-	c := ftp.NewConn(nc)
-	c.Timeout = s.cfg.IdleTimeout
 
 	remoteIP := ""
 	if host, _, err := net.SplitHostPort(nc.RemoteAddr().String()); err == nil {
 		remoteIP = host
 	}
-	sess := &session{
-		srv:      s,
-		cfg:      &s.cfg,
-		conn:     c,
-		trans:    trans,
-		remoteIP: remoteIP,
-		cwd:      "/",
+
+	// Admission: governed servers shed over-cap connections with a 421
+	// before the banner — polite refusal instead of a silent close or an
+	// accepted-but-starved session.
+	var cs *connState
+	if s.gov != nil {
+		var ok bool
+		if cs, ok = s.gov.Acquire(remoteIP, nc); !ok {
+			s.m.sheds.Inc()
+			c := ftp.NewConn(nc)
+			c.Timeout = 5 * time.Second
+			c.SendRaw(wireShed)
+			return
+		}
+		defer s.gov.Release(cs)
 	}
+
+	s.m.sessions.Inc()
+	s.m.active.Inc()
+	defer s.m.active.Dec()
+
+	sess := sessionPool.Get().(*session)
+	defer func() {
+		sess.reset()
+		sessionPool.Put(sess)
+	}()
+	sess.srv = s
+	sess.cfg = &s.cfg
+	sess.drv = s.drv
+	sess.trans = trans
+	sess.cs = cs
+	sess.remoteIP = remoteIP
+	sess.cwd = "/"
+	if sess.conn == nil {
+		sess.conn = &ftp.Conn{}
+	}
+	if sess.conn.NetConn() == nil {
+		*sess.conn = *ftp.NewConn(nc)
+	} else {
+		sess.conn.Reset(nc)
+	}
+	c := sess.conn
+	if cs == nil {
+		// Ungoverned: per-read deadlines enforce the idle timeout.
+		c.Timeout = s.cfg.IdleTimeout
+	}
+
 	defer sess.closeData()
 	sess.observe(Event{Kind: EventConnect})
 	defer sess.observe(Event{Kind: EventDisconnect})
 
-	banner := s.cfg.Pers.ExpandBanner(remoteIP0(&s.cfg), s.cfg.HostName)
-	if err := c.SendReply(ftp.NewReply(ftp.CodeReady, strings.Split(banner, "\n")...)); err != nil {
+	if err := c.SendRaw(s.wireBanner); err != nil {
 		return
 	}
 
@@ -253,16 +481,27 @@ func (s *Server) serve(nc net.Conn, trans transport) {
 		if err != nil {
 			return
 		}
+		if cs != nil {
+			cs.touch()
+		}
 		sess.requests++
+		s.m.commands.Inc()
 		sess.observe(Event{Kind: EventCommand, Command: cmd.Name, Arg: cmd.Arg})
 		if s.cfg.RequestLimit > 0 && sess.requests > s.cfg.RequestLimit {
-			c.SendReply(ftp.Replyf(ftp.CodeServiceNotAvail, "Too many requests; closing control connection."))
+			c.SendRaw(wireTooManyRequests)
 			return
 		}
 		if done := sess.dispatch(cmd); done {
 			return
 		}
 	}
+}
+
+// reset clears per-connection state, retaining the conn wrapper and scratch
+// buffer for the next session.
+func (s *session) reset() {
+	conn, scratch := s.conn, s.scratch
+	*s = session{conn: conn, scratch: scratch}
 }
 
 // remoteIP0 yields the address embedded in %IP% banners: NAT-ed devices show
@@ -293,11 +532,49 @@ func (s *session) reply(r ftp.Reply) bool {
 	return s.conn.SendReply(r) != nil
 }
 
+// replyRaw sends a preformatted reply; the hot path for constant replies.
+func (s *session) replyRaw(b []byte) bool {
+	return s.conn.SendRaw(b) != nil
+}
+
+// replyf formats a single-line reply into the session's scratch buffer.
+func (s *session) replyf(code int, format string, args ...any) bool {
+	b, err := s.conn.SendReplyLine(s.scratch, code, format, args...)
+	s.scratch = b
+	return err != nil
+}
+
+// bwBucket returns the session's bandwidth bucket, building it on first
+// transfer. Nil when the server imposes no per-session cap.
+func (s *session) bwBucket() *TokenBucket {
+	if s.cfg.BandwidthPerSession <= 0 {
+		return nil
+	}
+	if s.bw == nil {
+		bps := float64(s.cfg.BandwidthPerSession)
+		s.bw = NewTokenBucket(bps, bps)
+	}
+	return s.bw
+}
+
+// driverReply maps driver sentinel errors onto their reply codes, falling
+// back to the supplied not-found reply.
+func (s *session) driverReply(err error, fallbackCode int, fallbackFormat string, args ...any) bool {
+	switch {
+	case errors.Is(err, ErrQuotaExceeded):
+		return s.replyRaw(wireQuotaExceeded)
+	case errors.Is(err, ErrRateLimited):
+		return s.replyRaw(wireRateLimited)
+	default:
+		return s.replyf(fallbackCode, fallbackFormat, args...)
+	}
+}
+
 // dispatch executes one command; the return value reports session end.
 func (s *session) dispatch(cmd ftp.Command) bool {
 	switch cmd.Name {
 	case "QUIT":
-		s.reply(ftp.Replyf(ftp.CodeClosing, "Goodbye."))
+		s.replyRaw(wireGoodbye)
 		return true
 	case "USER":
 		return s.cmdUser(cmd.Arg)
@@ -306,56 +583,60 @@ func (s *session) dispatch(cmd ftp.Command) bool {
 	case "AUTH":
 		return s.cmdAuth(cmd.Arg)
 	case "FEAT":
-		return s.cmdFeat()
+		return s.replyRaw(s.srv.wireFeat)
 	case "SYST":
-		return s.reply(ftp.Replyf(ftp.CodeSystem, "%s", s.cfg.Pers.Syst))
+		return s.replyRaw(s.srv.wireSyst)
 	case "NOOP":
-		return s.reply(ftp.Replyf(ftp.CodeOK, "NOOP command successful"))
+		return s.replyRaw(wireNoop)
 	case "HELP":
-		return s.cmdHelp()
+		return s.replyRaw(s.srv.wireHelp)
 	case "PBSZ":
 		if !s.tlsActive {
-			return s.reply(ftp.Replyf(ftp.CodeBadSequence, "PBSZ requires a security exchange."))
+			return s.replyf(ftp.CodeBadSequence, "PBSZ requires a security exchange.")
 		}
-		return s.reply(ftp.Replyf(ftp.CodeOK, "PBSZ 0 successful"))
+		return s.replyf(ftp.CodeOK, "PBSZ 0 successful")
 	case "PROT":
 		if !s.tlsActive {
-			return s.reply(ftp.Replyf(ftp.CodeBadSequence, "PROT requires a security exchange."))
+			return s.replyf(ftp.CodeBadSequence, "PROT requires a security exchange.")
 		}
 		if strings.EqualFold(cmd.Arg, "P") || strings.EqualFold(cmd.Arg, "C") {
-			return s.reply(ftp.Replyf(ftp.CodeOK, "Protection level set to %s", strings.ToUpper(cmd.Arg)))
+			return s.replyf(ftp.CodeOK, "Protection level set to %s", strings.ToUpper(cmd.Arg))
 		}
-		return s.reply(ftp.Replyf(ftp.CodeBadProtSetting, "Unsupported protection level"))
+		return s.replyf(ftp.CodeBadProtSetting, "Unsupported protection level")
 	}
 
 	if s.authedUser == "" {
-		return s.reply(ftp.Replyf(ftp.CodeNotLoggedIn, "Please login with USER and PASS."))
+		return s.replyRaw(wirePleaseLogin)
 	}
 
 	switch cmd.Name {
 	case "PWD", "XPWD":
-		return s.reply(ftp.Replyf(ftp.CodePathCreated, "%q is the current directory", s.cwd))
+		return s.replyf(ftp.CodePathCreated, "%q is the current directory", s.cwd)
 	case "CWD":
 		return s.cmdCwd(cmd.Arg)
 	case "CDUP", "XCUP":
 		return s.cmdCwd("..")
 	case "TYPE":
 		switch strings.ToUpper(cmd.Arg) {
-		case "A", "I", "A N", "L 8":
-			return s.reply(ftp.Replyf(ftp.CodeOK, "Type set to %s", strings.ToUpper(cmd.Arg)))
+		case "I":
+			return s.replyRaw(wireTypeI)
+		case "A":
+			return s.replyRaw(wireTypeA)
+		case "A N", "L 8":
+			return s.replyf(ftp.CodeOK, "Type set to %s", strings.ToUpper(cmd.Arg))
 		default:
-			return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Unrecognized TYPE argument"))
+			return s.replyf(ftp.CodeSyntaxError, "Unrecognized TYPE argument")
 		}
 	case "MODE":
 		if strings.EqualFold(cmd.Arg, "S") {
-			return s.reply(ftp.Replyf(ftp.CodeOK, "Mode set to S"))
+			return s.replyRaw(wireModeS)
 		}
-		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "Unsupported MODE"))
+		return s.replyf(ftp.CodeNotImplemented, "Unsupported MODE")
 	case "STRU":
 		if strings.EqualFold(cmd.Arg, "F") {
-			return s.reply(ftp.Replyf(ftp.CodeOK, "Structure set to F"))
+			return s.replyRaw(wireStruF)
 		}
-		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "Unsupported STRU"))
+		return s.replyf(ftp.CodeNotImplemented, "Unsupported STRU")
 	case "PASV":
 		return s.cmdPasv()
 	case "EPSV":
@@ -370,7 +651,7 @@ func (s *session) dispatch(cmd ftp.Command) bool {
 		return s.cmdList(cmd.Arg, listStyleNames)
 	case "MLSD":
 		if !s.supportsMLSx() {
-			return s.reply(ftp.Replyf(ftp.CodeCmdUnrecognized, "MLSD not understood"))
+			return s.replyf(ftp.CodeCmdUnrecognized, "MLSD not understood")
 		}
 		return s.cmdList(cmd.Arg, listStyleMLSD)
 	case "MLST":
@@ -399,68 +680,70 @@ func (s *session) dispatch(cmd ftp.Command) bool {
 		return s.cmdRest(cmd.Arg)
 	case "ABOR":
 		s.closeData()
-		return s.reply(ftp.Replyf(ftp.CodeTransferOK, "ABOR command successful"))
+		return s.replyRaw(wireAborOK)
 	case "STAT":
 		return s.cmdStat()
 	case "SITE":
 		return s.cmdSite(cmd.Arg)
 	default:
-		return s.reply(ftp.Replyf(ftp.CodeCmdUnrecognized, "%s not understood", cmd.Name))
+		return s.replyf(ftp.CodeCmdUnrecognized, "%s not understood", cmd.Name)
 	}
 }
 
 func (s *session) cmdUser(arg string) bool {
 	if arg == "" {
-		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "USER: command requires a parameter"))
+		return s.replyf(ftp.CodeSyntaxError, "USER: command requires a parameter")
 	}
 	if s.cfg.RequireTLS && !s.tlsActive {
-		return s.reply(ftp.Replyf(ftp.CodeNotLoggedIn,
-			"This server does not allow plain FTP. You have to use FTP over TLS."))
+		return s.replyf(ftp.CodeNotLoggedIn,
+			"This server does not allow plain FTP. You have to use FTP over TLS.")
 	}
 	lower := strings.ToLower(arg)
 	if (lower == AnonymousUser || lower == "ftp") && !s.cfg.AllowAnonymous {
 		s.observe(Event{Kind: EventLoginFail, Detail: "anonymous denied", Pass: ""})
-		return s.reply(ftp.Replyf(ftp.CodeNotLoggedIn, "Anonymous access denied."))
+		return s.replyf(ftp.CodeNotLoggedIn, "Anonymous access denied.")
 	}
 	s.user = arg
-	return s.reply(ftp.Replyf(ftp.CodeNeedPassword, "%s", s.cfg.Pers.Expand331(arg)))
+	return s.replyf(ftp.CodeNeedPassword, "%s", s.cfg.Pers.Expand331(arg))
 }
 
 func (s *session) cmdPass(arg string) bool {
 	if s.user == "" {
-		return s.reply(ftp.Replyf(ftp.CodeBadSequence, "Login with USER first."))
+		return s.replyRaw(wireUserFirst)
 	}
 	lower := strings.ToLower(s.user)
 	if lower == AnonymousUser || lower == "ftp" {
 		// RFC 1635: any password is accepted for the anonymous user.
 		s.authedUser = AnonymousUser
 		s.anonymous = true
+		s.srv.m.logins.Inc()
 		s.observe(Event{Kind: EventLoginOK, Pass: arg, Detail: "anonymous"})
-		return s.reply(ftp.Replyf(ftp.CodeLoggedIn,
-			"Anonymous access granted, restrictions apply"))
+		return s.replyRaw(wireAnonGranted)
 	}
 	if want, ok := s.cfg.Users[s.user]; ok && want == arg {
 		s.authedUser = s.user
+		s.srv.m.logins.Inc()
 		s.observe(Event{Kind: EventLoginOK, Pass: arg})
-		return s.reply(ftp.Replyf(ftp.CodeLoggedIn, "User %s logged in", s.user))
+		return s.replyf(ftp.CodeLoggedIn, "User %s logged in", s.user)
 	}
+	s.srv.m.loginFails.Inc()
 	s.observe(Event{Kind: EventLoginFail, User: s.user, Pass: arg})
 	s.user = ""
-	return s.reply(ftp.Replyf(ftp.CodeNotLoggedIn, "Login incorrect."))
+	return s.replyRaw(wireLoginIncorrect)
 }
 
 func (s *session) cmdAuth(arg string) bool {
 	mech := strings.ToUpper(strings.TrimSpace(arg))
 	if mech != "TLS" && mech != "SSL" {
-		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Unknown AUTH mechanism %s", arg))
+		return s.replyf(ftp.CodeSyntaxError, "Unknown AUTH mechanism %s", arg)
 	}
 	if s.cfg.Cert == nil || !s.cfg.Pers.Quirks.SupportsFTPS {
-		return s.reply(ftp.Replyf(ftp.CodeTLSNotAvailable, "AUTH %s not available", mech))
+		return s.replyf(ftp.CodeTLSNotAvailable, "AUTH %s not available", mech)
 	}
 	if s.tlsActive {
-		return s.reply(ftp.Replyf(ftp.CodeBadSequence, "Already in TLS mode"))
+		return s.replyf(ftp.CodeBadSequence, "Already in TLS mode")
 	}
-	if s.reply(ftp.Replyf(ftp.CodeAuthOK, "AUTH %s successful", mech)) {
+	if s.replyf(ftp.CodeAuthOK, "AUTH %s successful", mech) {
 		return true
 	}
 	tc := tls.Server(s.conn.NetConn(), &tls.Config{
@@ -476,76 +759,57 @@ func (s *session) cmdAuth(arg string) bool {
 	return false
 }
 
-func (s *session) cmdFeat() bool {
-	if len(s.cfg.Pers.Features) == 0 {
-		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "FEAT not supported"))
-	}
-	lines := make([]string, 0, len(s.cfg.Pers.Features)+2)
-	lines = append(lines, "Features:")
-	lines = append(lines, s.cfg.Pers.Features...)
-	lines = append(lines, "End")
-	return s.reply(ftp.NewReply(ftp.FeatureListCode, lines...))
-}
-
-func (s *session) cmdHelp() bool {
-	lines := s.cfg.Pers.HelpLines
-	if len(lines) == 0 {
-		lines = []string{"Help OK"}
-	}
-	return s.reply(ftp.NewReply(ftp.CodeHelp, lines...))
-}
-
 func (s *session) cmdSite(arg string) bool {
 	if len(s.cfg.Pers.SiteHelp) == 0 {
-		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "SITE not understood"))
+		return s.replyf(ftp.CodeNotImplemented, "SITE not understood")
 	}
 	sub := strings.ToUpper(strings.TrimSpace(arg))
 	if sub == "HELP" || sub == "" {
 		lines := append([]string{"The following SITE commands are recognized:"}, s.cfg.Pers.SiteHelp...)
 		return s.reply(ftp.NewReply(ftp.CodeHelp, append(lines, "End")...))
 	}
-	return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "SITE %s not understood", sub))
+	return s.replyf(ftp.CodeNotImplemented, "SITE %s not understood", sub)
 }
 
 func (s *session) cmdCwd(arg string) bool {
 	target := vfs.Join(s.cwd, arg)
-	node := s.cfg.FS.Lookup(target)
+	node := s.drv.Lookup(target)
 	if node == nil || !node.IsDir {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg)
 	}
 	s.cwd = target
-	return s.reply(ftp.Replyf(ftp.CodeFileOK, "CWD command successful"))
+	return s.replyRaw(wireCwdOK)
 }
 
 func (s *session) cmdPasv() bool {
 	if s.cfg.Pers.Quirks.EPSVOnly {
-		return s.reply(ftp.Replyf(ftp.CodeNotImplemented, "PASV not supported; use EPSV"))
+		return s.replyf(ftp.CodeNotImplemented, "PASV not supported; use EPSV")
 	}
 	s.closeData()
 	l, hp, err := s.trans.ListenPASV()
 	if err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeCantOpenData, "Cannot open passive connection"))
+		return s.replyRaw(wireNoPassive)
 	}
 	s.pasvListener = l
 	s.pasvAddr = hp
-	return s.reply(ftp.Replyf(ftp.CodePassive, "%s", ftp.FormatPASVReply(hp)))
+	return s.replyf(ftp.CodePassive, "%s", ftp.FormatPASVReply(hp))
 }
 
 func (s *session) cmdEpsv() bool {
 	s.closeData()
 	l, hp, err := s.trans.ListenPASV()
 	if err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeCantOpenData, "Cannot open passive connection"))
+		return s.replyRaw(wireNoPassive)
 	}
 	s.pasvListener = l
 	s.pasvAddr = hp
-	return s.reply(ftp.Replyf(ftp.CodeExtendedPassive, "%s", ftp.FormatEPSVReply(hp.Port)))
+	return s.replyf(ftp.CodeExtendedPassive, "%s", ftp.FormatEPSVReply(hp.Port))
 }
 
 func (s *session) cmdPort(arg string) bool {
 	hp, err := ftp.ParseHostPort(arg)
 	if err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Illegal PORT command"))
+		return s.replyf(ftp.CodeSyntaxError, "Illegal PORT command")
 	}
 	return s.setPortTarget(hp)
 }
@@ -553,15 +817,15 @@ func (s *session) cmdPort(arg string) bool {
 func (s *session) cmdEprt(arg string) bool {
 	// |1|ip|port|
 	if len(arg) == 0 {
-		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Illegal EPRT command"))
+		return s.replyf(ftp.CodeSyntaxError, "Illegal EPRT command")
 	}
 	fields := strings.Split(arg, string(arg[0]))
 	if len(fields) != 5 || fields[1] != "1" {
-		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Illegal EPRT command"))
+		return s.replyf(ftp.CodeSyntaxError, "Illegal EPRT command")
 	}
 	hp, err := ftp.HostPortFromAddr(net.JoinHostPort(fields[2], fields[3]))
 	if err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "Illegal EPRT command"))
+		return s.replyf(ftp.CodeSyntaxError, "Illegal EPRT command")
 	}
 	return s.setPortTarget(hp)
 }
@@ -570,13 +834,13 @@ func (s *session) setPortTarget(hp ftp.HostPort) bool {
 	if hp.IPString() != s.remoteIP {
 		s.observe(Event{Kind: EventPortBounceAttempt, Detail: hp.Addr()})
 		if s.cfg.Pers.Quirks.ValidatePORT {
-			return s.reply(ftp.Replyf(ftp.CodeCmdUnrecognized,
-				"Illegal PORT command: address mismatch"))
+			return s.replyf(ftp.CodeCmdUnrecognized,
+				"Illegal PORT command: address mismatch")
 		}
 	}
 	s.closeData()
 	s.portTarget = &hp
-	return s.reply(ftp.Replyf(ftp.CodeOK, "PORT command successful"))
+	return s.replyRaw(wirePortOK)
 }
 
 // openData establishes the data connection negotiated by PASV or PORT.
@@ -615,25 +879,42 @@ func (s *session) closeData() {
 }
 
 // withDataConn runs fn over an established data connection, bracketing it
-// with the 150/226 replies.
-func (s *session) withDataConn(openingMsg string, fn func(dc net.Conn) error) bool {
+// with the 150/226 replies. The connection is bandwidth-shaped when the
+// server or session carries a cap, and governed sessions stamp activity per
+// chunk so the idle reaper spares long slow transfers.
+func (s *session) withDataConn(openingMsg []byte, fn func(dc net.Conn) error) bool {
 	dc, err := s.openData()
 	if err != nil {
 		s.closeData()
-		return s.reply(ftp.Replyf(ftp.CodeCantOpenData, "Can't open data connection"))
+		return s.replyRaw(wireCantOpenData)
 	}
 	defer func() {
 		dc.Close()
 		s.closeData()
 	}()
-	if s.reply(ftp.Replyf(ftp.CodeDataOpen, "%s", openingMsg)) {
+	if s.replyRaw(openingMsg) {
 		return true
 	}
-	dc.SetDeadline(time.Now().Add(30 * time.Second))
-	if err := fn(dc); err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeTransferAborted, "Transfer aborted"))
+	var touch func()
+	if s.cs != nil {
+		touch = s.cs.touch
+	} else {
+		// Ungoverned sessions keep the classic fixed transfer deadline.
+		dc.SetDeadline(time.Now().Add(30 * time.Second))
 	}
-	return s.reply(ftp.Replyf(ftp.CodeTransferOK, "Transfer complete"))
+	shaped := shapeData(dc, s.bwBucket(), s.srv.globalBW, touch)
+	if err := fn(shaped); err != nil {
+		// Driver rejections surface their classified code (552/450)
+		// instead of the generic transfer abort.
+		switch {
+		case errors.Is(err, ErrQuotaExceeded):
+			return s.replyRaw(wireQuotaExceeded)
+		case errors.Is(err, ErrRateLimited):
+			return s.replyRaw(wireRateLimited)
+		}
+		return s.replyRaw(wireTransferAborted)
+	}
+	return s.replyRaw(wireTransferOK)
 }
 
 // listStyle selects the LIST-family response body.
@@ -670,38 +951,46 @@ func (s *session) cmdList(arg string, style listStyle) bool {
 	if path != "" {
 		target = vfs.Join(s.cwd, path)
 	}
-	entries, err := s.cfg.FS.List(target)
+	entries, err := s.drv.List(target)
 	if err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", path))
+		return s.driverReply(err, ftp.CodeFileUnavailable, "%s: No such file or directory", path)
 	}
-	var body string
+	// Render into a pooled scratch buffer: listings are the hottest data
+	// transfer on a crawled server, and the body never needs to live past
+	// the write.
+	bp := listBufPool.Get().(*[]byte)
+	body := (*bp)[:0]
 	switch style {
 	case listStyleNames:
-		body = vfs.FormatNameList(entries)
+		body = vfs.AppendNameList(body, entries)
 	case listStyleMLSD:
-		body = vfs.FormatMLSDListing(entries, time.Now())
+		body = vfs.AppendMLSDListing(body, entries, time.Now())
 	default:
-		body = vfs.FormatListing(entries, s.cfg.Pers.Quirks.ListStyle, time.Now())
+		body = vfs.AppendListing(body, entries, s.cfg.Pers.Quirks.ListStyle, time.Now())
 	}
-	return s.withDataConn("Opening ASCII mode data connection for file list", func(dc net.Conn) error {
-		_, err := io.WriteString(dc, body)
+	*bp = body
+	done := s.withDataConn(wireOpeningList, func(dc net.Conn) error {
+		n, err := dc.Write(body)
+		s.srv.m.bytesOut.Add(uint64(n))
 		return err
 	})
+	listBufPool.Put(bp)
+	return done
 }
 
 // cmdMlst returns machine-readable facts for one path on the control
 // channel (RFC 3659 §7.3).
 func (s *session) cmdMlst(arg string) bool {
 	if !s.supportsMLSx() {
-		return s.reply(ftp.Replyf(ftp.CodeCmdUnrecognized, "MLST not understood"))
+		return s.replyf(ftp.CodeCmdUnrecognized, "MLST not understood")
 	}
 	target := s.cwd
 	if strings.TrimSpace(arg) != "" {
 		target = vfs.Join(s.cwd, arg)
 	}
-	node := s.cfg.FS.Lookup(target)
+	node := s.drv.Lookup(target)
 	if node == nil {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg)
 	}
 	return s.reply(ftp.NewReply(ftp.CodeFileOK,
 		"Listing "+target,
@@ -711,17 +1000,17 @@ func (s *session) cmdMlst(arg string) bool {
 
 func (s *session) cmdRetr(arg string) bool {
 	target := vfs.Join(s.cwd, arg)
-	node := s.cfg.FS.Lookup(target)
+	node := s.drv.Lookup(target)
 	if node == nil || node.IsDir {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg)
 	}
 	if node.AnonUpload && s.cfg.Pers.Quirks.AnonUploadNeedsApproval {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable,
+		return s.replyf(ftp.CodeFileUnavailable,
 			"This file has been uploaded by an anonymous user. It has not "+
-				"yet been approved for downloading by the site administrators."))
+				"yet been approved for downloading by the site administrators.")
 	}
 	if s.anonymous && !node.OtherReadable() {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg)
 	}
 	content := node.Content
 	if content == nil {
@@ -731,10 +1020,13 @@ func (s *session) cmdRetr(arg string) bool {
 		content = content[s.restOffset:]
 	}
 	s.restOffset = 0
+	s.srv.m.downloads.Inc()
 	s.observe(Event{Kind: EventDownload, Path: target})
-	return s.withDataConn(fmt.Sprintf("Opening BINARY mode data connection for %s (%d bytes)", arg, len(content)),
+	opening := fmt.Appendf(nil, "150 Opening BINARY mode data connection for %s (%d bytes)\r\n", arg, len(content))
+	return s.withDataConn(opening,
 		func(dc net.Conn) error {
-			_, err := dc.Write(content)
+			n, err := dc.Write(content)
+			s.srv.m.bytesOut.Add(uint64(n))
 			return err
 		})
 }
@@ -744,24 +1036,38 @@ const maxUploadSize = 8 << 20
 
 func (s *session) cmdStor(arg string) bool {
 	if s.anonymous && !s.cfg.AnonWritable {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg)
 	}
 	target := vfs.Join(s.cwd, arg)
 	// The file is committed inside the transfer closure so the 226
-	// completion reply is only sent once the upload is visible.
-	return s.withDataConn("Ok to send data", func(dc net.Conn) error {
-		content, err := io.ReadAll(io.LimitReader(dc, maxUploadSize))
+	// completion reply is only sent once the upload is visible; driver
+	// rejections propagate as the closure error and withDataConn maps
+	// them onto 552/450.
+	return s.withDataConn(wireOkToSend, func(dc net.Conn) error {
+		buf := uploadBufPool.Get().(*bytes.Buffer)
+		defer func() {
+			buf.Reset()
+			uploadBufPool.Put(buf)
+		}()
+		bp := xferBufPool.Get().(*[]byte)
+		_, err := io.CopyBuffer(buf, io.LimitReader(dc, maxUploadSize), *bp)
+		xferBufPool.Put(bp)
 		if err != nil {
 			return err
 		}
+		// The stored copy must outlive the pooled buffer: one exact-size
+		// allocation replaces io.ReadAll's growth sequence.
+		content := append([]byte(nil), buf.Bytes()...)
+		s.srv.m.bytesIn.Add(uint64(len(content)))
 		owner := ""
 		if s.anonymous {
 			owner = "ftp"
 		}
-		if _, err := s.cfg.FS.PutUpload(target, content, vfs.Perm644,
+		if _, err := s.drv.Store(target, content, vfs.Perm644,
 			!s.cfg.Pers.Quirks.UploadRenameSuffix, owner, s.anonymous); err != nil {
 			return err
 		}
+		s.srv.m.uploads.Inc()
 		s.observe(Event{Kind: EventUpload, Path: target, Detail: fmt.Sprintf("%d bytes", len(content))})
 		return nil
 	})
@@ -769,103 +1075,106 @@ func (s *session) cmdStor(arg string) bool {
 
 func (s *session) cmdDele(arg string) bool {
 	if s.anonymous && !s.cfg.AnonWritable {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg)
 	}
 	target := vfs.Join(s.cwd, arg)
-	if err := s.cfg.FS.Delete(target); err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+	if err := s.drv.Delete(target); err != nil {
+		return s.driverReply(err, ftp.CodeFileUnavailable, "%s: No such file or directory", arg)
 	}
-	return s.reply(ftp.Replyf(ftp.CodeFileOK, "DELE command successful"))
+	return s.replyRaw(wireDeleOK)
 }
 
 func (s *session) cmdMkd(arg string) bool {
 	if s.anonymous && !s.cfg.AnonWritable {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg)
 	}
 	target := vfs.Join(s.cwd, arg)
-	if _, err := s.cfg.FS.Mkdir(target, vfs.Perm755); err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Cannot create directory", arg))
+	if _, err := s.drv.Mkdir(target, vfs.Perm755); err != nil {
+		return s.driverReply(err, ftp.CodeFileUnavailable, "%s: Cannot create directory", arg)
 	}
-	return s.reply(ftp.Replyf(ftp.CodePathCreated, "%q - Directory successfully created", target))
+	return s.replyf(ftp.CodePathCreated, "%q - Directory successfully created", target)
 }
 
 func (s *session) cmdRmd(arg string) bool {
 	if s.anonymous && !s.cfg.AnonWritable {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg)
 	}
 	target := vfs.Join(s.cwd, arg)
-	node := s.cfg.FS.Lookup(target)
+	node := s.drv.Lookup(target)
 	if node == nil || !node.IsDir {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Not a directory", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: Not a directory", arg)
 	}
-	if err := s.cfg.FS.Delete(target); err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Directory not empty", arg))
+	if err := s.drv.Delete(target); err != nil {
+		return s.driverReply(err, ftp.CodeFileUnavailable, "%s: Directory not empty", arg)
 	}
-	return s.reply(ftp.Replyf(ftp.CodeFileOK, "RMD command successful"))
+	return s.replyRaw(wireRmdOK)
 }
 
 func (s *session) cmdRnfr(arg string) bool {
 	target := vfs.Join(s.cwd, arg)
-	if s.cfg.FS.Lookup(target) == nil {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+	if s.drv.Lookup(target) == nil {
+		return s.replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg)
 	}
 	s.renameFrom = target
-	return s.reply(ftp.Replyf(ftp.CodePendingInfo, "File exists, ready for destination name"))
+	return s.replyRaw(wireRnfrOK)
 }
 
 func (s *session) cmdRnto(arg string) bool {
 	if s.renameFrom == "" {
-		return s.reply(ftp.Replyf(ftp.CodeBadSequence, "RNFR required first"))
+		return s.replyRaw(wireRnfrFirst)
 	}
 	if s.anonymous && !s.cfg.AnonWritable {
 		s.renameFrom = ""
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: Permission denied", arg)
 	}
 	srcPath := s.renameFrom
 	s.renameFrom = ""
-	src := s.cfg.FS.Lookup(srcPath)
+	src := s.drv.Lookup(srcPath)
 	if src == nil || src.IsDir {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "Rename failed"))
+		return s.replyRaw(wireRenameFailed)
 	}
 	target := vfs.Join(s.cwd, arg)
 	content := src.Content
 	if content == nil {
 		content = vfs.SynthContent(src.Seed, src.Size)
 	}
-	if _, err := s.cfg.FS.Put(target, content, src.Perm, true); err != nil {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "Rename failed"))
+	if _, err := s.drv.Store(target, content, src.Perm, true, "", false); err != nil {
+		if errors.Is(err, ErrQuotaExceeded) || errors.Is(err, ErrRateLimited) {
+			return s.driverReply(err, ftp.CodeFileUnavailable, "Rename failed")
+		}
+		return s.replyRaw(wireRenameFailed)
 	}
-	_ = s.cfg.FS.Delete(srcPath)
-	return s.reply(ftp.Replyf(ftp.CodeFileOK, "Rename successful"))
+	_ = s.drv.Delete(srcPath)
+	return s.replyRaw(wireRenameOK)
 }
 
 func (s *session) cmdSize(arg string) bool {
-	node := s.cfg.FS.Lookup(vfs.Join(s.cwd, arg))
+	node := s.drv.Lookup(vfs.Join(s.cwd, arg))
 	if node == nil || node.IsDir {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: not a regular file", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: not a regular file", arg)
 	}
-	return s.reply(ftp.Replyf(213, "%d", node.Size))
+	return s.replyf(213, "%d", node.Size)
 }
 
 func (s *session) cmdMdtm(arg string) bool {
-	node := s.cfg.FS.Lookup(vfs.Join(s.cwd, arg))
+	node := s.drv.Lookup(vfs.Join(s.cwd, arg))
 	if node == nil {
-		return s.reply(ftp.Replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg))
+		return s.replyf(ftp.CodeFileUnavailable, "%s: No such file or directory", arg)
 	}
 	t := node.MTime
 	if t.IsZero() {
 		t = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
 	}
-	return s.reply(ftp.Replyf(213, "%s", t.UTC().Format("20060102150405")))
+	return s.replyf(213, "%s", t.UTC().Format("20060102150405"))
 }
 
 func (s *session) cmdRest(arg string) bool {
 	var off int64
 	if _, err := fmt.Sscanf(strings.TrimSpace(arg), "%d", &off); err != nil || off < 0 {
-		return s.reply(ftp.Replyf(ftp.CodeSyntaxError, "REST requires a byte offset"))
+		return s.replyf(ftp.CodeSyntaxError, "REST requires a byte offset")
 	}
 	s.restOffset = off
-	return s.reply(ftp.Replyf(ftp.CodePendingInfo, "Restarting at %d. Send STORE or RETRIEVE.", off))
+	return s.replyf(ftp.CodePendingInfo, "Restarting at %d. Send STORE or RETRIEVE.", off)
 }
 
 func (s *session) cmdStat() bool {

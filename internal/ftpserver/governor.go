@@ -1,0 +1,167 @@
+package ftpserver
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// connState is the governor's per-connection record: the raw conn (so the
+// reaper can tear it down) and an activity stamp the session updates with
+// one atomic store per command or transfer chunk. Sessions under a governor
+// never arm per-read deadlines — at 10k concurrent sessions, resetting a
+// runtime timer per command is measurable; one shared ticker scanning
+// coarse-grained stamps is not.
+type connState struct {
+	nc         net.Conn
+	ip         string
+	lastActive atomic.Int64 // unix nanos
+}
+
+// touch stamps the connection as active now.
+func (cs *connState) touch() { cs.lastActive.Store(time.Now().UnixNano()) }
+
+// Governor enforces connection caps and idle timeouts for a server: a
+// global concurrent-connection ceiling, a per-IP ceiling, and one shared
+// reaper ticker that closes connections idle past the deadline. Connections
+// over a cap are shed politely (the server sends a 421 and closes) instead
+// of being accepted and starved.
+type Governor struct {
+	// MaxConns caps concurrent governed connections; zero means unlimited.
+	MaxConns int
+	// MaxConnsPerIP caps concurrent connections from one remote address;
+	// zero means unlimited.
+	MaxConnsPerIP int
+	// IdleTimeout closes connections with no activity for this long;
+	// zero disables the reaper.
+	IdleTimeout time.Duration
+
+	mu     sync.Mutex
+	total  int
+	perIP  map[string]int
+	conns  map[*connState]struct{}
+	done   chan struct{}
+	reaper bool
+}
+
+// NewGovernor builds a governor with the given limits.
+func NewGovernor(maxConns, maxPerIP int, idle time.Duration) *Governor {
+	return &Governor{
+		MaxConns:      maxConns,
+		MaxConnsPerIP: maxPerIP,
+		IdleTimeout:   idle,
+		perIP:         make(map[string]int),
+		conns:         make(map[*connState]struct{}),
+	}
+}
+
+// Active returns the number of governed connections currently open.
+func (g *Governor) Active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.total
+}
+
+// Acquire admits a connection, registering it for idle reaping, or reports
+// that it must be shed. The returned state must be passed to Release when
+// the session ends.
+func (g *Governor) Acquire(ip string, nc net.Conn) (*connState, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.done != nil {
+		select {
+		case <-g.done:
+			return nil, false // closed governor admits nobody
+		default:
+		}
+	}
+	if g.MaxConns > 0 && g.total >= g.MaxConns {
+		return nil, false
+	}
+	if g.MaxConnsPerIP > 0 && g.perIP[ip] >= g.MaxConnsPerIP {
+		return nil, false
+	}
+	cs := &connState{nc: nc, ip: ip}
+	cs.touch()
+	g.total++
+	g.perIP[ip]++
+	g.conns[cs] = struct{}{}
+	if g.IdleTimeout > 0 && !g.reaper {
+		g.reaper = true
+		if g.done == nil {
+			g.done = make(chan struct{})
+		}
+		go g.reap()
+	}
+	return cs, true
+}
+
+// Release returns a connection's slot.
+func (g *Governor) Release(cs *connState) {
+	if cs == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.conns, cs)
+	g.total--
+	if n := g.perIP[cs.ip]; n <= 1 {
+		delete(g.perIP, cs.ip)
+	} else {
+		g.perIP[cs.ip] = n - 1
+	}
+}
+
+// Close stops the reaper. Open connections are left to their sessions.
+func (g *Governor) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.done == nil {
+		g.done = make(chan struct{})
+		close(g.done)
+		return
+	}
+	select {
+	case <-g.done:
+	default:
+		close(g.done)
+	}
+}
+
+// reap scans all governed connections on a shared ticker and closes the
+// expired ones; their blocked reads fail and the sessions unwind through
+// their normal teardown. Tick granularity is a quarter of the timeout,
+// capped at one second — idle enforcement needs no better resolution.
+func (g *Governor) reap() {
+	tick := g.IdleTimeout / 4
+	if tick > time.Second {
+		tick = time.Second
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.done:
+			return
+		case now := <-t.C:
+			deadline := now.Add(-g.IdleTimeout).UnixNano()
+			g.mu.Lock()
+			var expired []net.Conn
+			for cs := range g.conns {
+				if cs.lastActive.Load() < deadline {
+					expired = append(expired, cs.nc)
+				}
+			}
+			g.mu.Unlock()
+			// Close outside the lock: Close may synchronize with a
+			// session blocked mid-read on the same connection.
+			for _, nc := range expired {
+				nc.Close()
+			}
+		}
+	}
+}

@@ -2,7 +2,7 @@ package vfs
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 	"time"
 )
 
@@ -32,41 +32,65 @@ func (s ListStyle) String() string {
 	}
 }
 
+// appendPerm appends "drwxr-xr-x"-style mode text.
+func appendPerm(dst []byte, n *Node) []byte {
+	kind := byte('-')
+	if n.IsDir {
+		kind = 'd'
+	}
+	if n.LinkTarget != "" {
+		kind = 'l'
+	}
+	dst = append(dst, kind)
+	const bits = "rwxrwxrwx"
+	for i := 0; i < 9; i++ {
+		if n.Perm&(1<<(8-i)) != 0 {
+			dst = append(dst, bits[i])
+		} else {
+			dst = append(dst, '-')
+		}
+	}
+	return dst
+}
+
 // permString renders "drwxr-xr-x"-style mode text.
 func permString(n *Node) string {
 	var b [10]byte
-	b[0] = '-'
-	if n.IsDir {
-		b[0] = 'd'
-	}
-	if n.LinkTarget != "" {
-		b[0] = 'l'
-	}
-	bits := "rwxrwxrwx"
-	for i := 0; i < 9; i++ {
-		if n.Perm&(1<<(8-i)) != 0 {
-			b[i+1] = bits[i]
-		} else {
-			b[i+1] = '-'
-		}
-	}
-	return string(b[:])
+	return string(appendPerm(b[:0], n))
 }
 
-// unixDate renders the ls -l date column: time-of-day for recent files,
-// year for older ones.
-func unixDate(t, now time.Time) string {
+// appendPadInt appends v right-aligned in a space-padded field of width w.
+func appendPadInt(dst []byte, v int64, w int) []byte {
+	var tmp [20]byte
+	num := strconv.AppendInt(tmp[:0], v, 10)
+	for pad := w - len(num); pad > 0; pad-- {
+		dst = append(dst, ' ')
+	}
+	return append(dst, num...)
+}
+
+// appendPadRight appends s left-aligned in a space-padded field of width w.
+func appendPadRight(dst []byte, s string, w int) []byte {
+	dst = append(dst, s...)
+	for pad := w - len(s); pad > 0; pad-- {
+		dst = append(dst, ' ')
+	}
+	return dst
+}
+
+// listDate resolves the timestamp rendered for a node: zero times become
+// "about a year ago" so synthetic trees still list plausibly.
+func listDate(t, now time.Time) time.Time {
 	if t.IsZero() {
-		t = now.Add(-365 * 24 * time.Hour)
+		return now.Add(-365 * 24 * time.Hour)
 	}
-	if now.Sub(t) < 180*24*time.Hour && now.Sub(t) > -180*24*time.Hour {
-		return t.Format("Jan _2 15:04")
-	}
-	return t.Format("Jan _2  2006")
+	return t
 }
 
-// FormatUnixLine renders one node as an ls -l line.
-func FormatUnixLine(n *Node, now time.Time) string {
+// AppendUnixLine appends one node as an ls -l line (no terminator).
+// The Append* family writes into a caller-owned scratch buffer so a busy
+// server renders listings without per-entry string allocation.
+func AppendUnixLine(dst []byte, n *Node, now time.Time) []byte {
 	links := 1
 	if n.IsDir {
 		links = 2 + n.CountChildren()
@@ -75,76 +99,132 @@ func FormatUnixLine(n *Node, now time.Time) string {
 	if n.IsDir {
 		size = 4096
 	}
-	name := n.Name
-	if n.LinkTarget != "" {
-		name = n.Name + " -> " + n.LinkTarget
+	dst = appendPerm(dst, n)
+	dst = append(dst, ' ')
+	dst = appendPadInt(dst, int64(links), 3)
+	dst = append(dst, ' ')
+	dst = appendPadRight(dst, n.Owner, 8)
+	dst = append(dst, ' ')
+	dst = appendPadRight(dst, n.Group, 8)
+	dst = append(dst, ' ')
+	dst = appendPadInt(dst, size, 12)
+	dst = append(dst, ' ')
+	t := listDate(n.MTime, now)
+	if d := now.Sub(t); d < 180*24*time.Hour && d > -180*24*time.Hour {
+		dst = t.AppendFormat(dst, "Jan _2 15:04")
+	} else {
+		dst = t.AppendFormat(dst, "Jan _2  2006")
 	}
-	return fmt.Sprintf("%s %3d %-8s %-8s %12d %s %s",
-		permString(n), links, n.Owner, n.Group, size, unixDate(n.MTime, now), name)
+	dst = append(dst, ' ')
+	dst = append(dst, n.Name...)
+	if n.LinkTarget != "" {
+		dst = append(dst, " -> "...)
+		dst = append(dst, n.LinkTarget...)
+	}
+	return dst
+}
+
+// FormatUnixLine renders one node as an ls -l line.
+func FormatUnixLine(n *Node, now time.Time) string {
+	return string(AppendUnixLine(nil, n, now))
+}
+
+// AppendDOSLine appends one node as an IIS-style line (no terminator).
+func AppendDOSLine(dst []byte, n *Node, now time.Time) []byte {
+	dst = listDate(n.MTime, now).AppendFormat(dst, "01-02-06  03:04PM")
+	if n.IsDir {
+		dst = append(dst, "       <DIR>          "...)
+	} else {
+		dst = append(dst, ' ')
+		dst = appendPadInt(dst, n.Size, 20)
+		dst = append(dst, ' ')
+	}
+	return append(dst, n.Name...)
 }
 
 // FormatDOSLine renders one node as an IIS-style line.
 func FormatDOSLine(n *Node, now time.Time) string {
-	t := n.MTime
-	if t.IsZero() {
-		t = now.Add(-365 * 24 * time.Hour)
-	}
-	stamp := t.Format("01-02-06  03:04PM")
-	if n.IsDir {
-		return fmt.Sprintf("%s       <DIR>          %s", stamp, n.Name)
-	}
-	return fmt.Sprintf("%s %20d %s", stamp, n.Size, n.Name)
+	return string(AppendDOSLine(nil, n, now))
 }
 
-// FormatListing renders a full LIST response body for the given entries.
+// AppendListing appends a full LIST response body for the given entries.
 // Lines are CRLF-terminated as they are on the data channel.
-func FormatListing(entries []*Node, style ListStyle, now time.Time) string {
-	var b strings.Builder
+func AppendListing(dst []byte, entries []*Node, style ListStyle, now time.Time) []byte {
 	for _, n := range entries {
 		switch style {
 		case StyleDOS:
-			b.WriteString(FormatDOSLine(n, now))
+			dst = AppendDOSLine(dst, n, now)
 		default:
-			b.WriteString(FormatUnixLine(n, now))
+			dst = AppendUnixLine(dst, n, now)
 		}
-		b.WriteString("\r\n")
+		dst = append(dst, '\r', '\n')
 	}
-	return b.String()
+	return dst
 }
 
-// FormatMLSDLine renders one node as an RFC 3659 machine-readable listing
-// line: "fact=value;fact=value; name".
-func FormatMLSDLine(n *Node, now time.Time) string {
-	t := n.MTime
-	if t.IsZero() {
-		t = now.Add(-365 * 24 * time.Hour)
-	}
+// FormatListing renders a full LIST response body for the given entries.
+func FormatListing(entries []*Node, style ListStyle, now time.Time) string {
+	return string(AppendListing(nil, entries, style, now))
+}
+
+// AppendMLSDLine appends one node as an RFC 3659 machine-readable listing
+// line: "fact=value;fact=value; name" (no terminator).
+func AppendMLSDLine(dst []byte, n *Node, now time.Time) []byte {
 	typ := "file"
 	size := n.Size
 	if n.IsDir {
 		typ = "dir"
 		size = 4096
 	}
-	return fmt.Sprintf("type=%s;size=%d;modify=%s;UNIX.mode=%04o;UNIX.owner=%s; %s",
-		typ, size, t.UTC().Format("20060102150405"), uint16(n.Perm), n.Owner, n.Name)
+	dst = append(dst, "type="...)
+	dst = append(dst, typ...)
+	dst = append(dst, ";size="...)
+	dst = strconv.AppendInt(dst, size, 10)
+	dst = append(dst, ";modify="...)
+	dst = listDate(n.MTime, now).UTC().AppendFormat(dst, "20060102150405")
+	dst = append(dst, ";UNIX.mode="...)
+	var oct [8]byte
+	o := strconv.AppendUint(oct[:0], uint64(uint16(n.Perm)), 8)
+	for pad := 4 - len(o); pad > 0; pad-- {
+		dst = append(dst, '0')
+	}
+	dst = append(dst, o...)
+	dst = append(dst, ";UNIX.owner="...)
+	dst = append(dst, n.Owner...)
+	dst = append(dst, "; "...)
+	return append(dst, n.Name...)
+}
+
+// FormatMLSDLine renders one node as an RFC 3659 machine-readable listing
+// line: "fact=value;fact=value; name".
+func FormatMLSDLine(n *Node, now time.Time) string {
+	return string(AppendMLSDLine(nil, n, now))
+}
+
+// AppendMLSDListing appends a full MLSD response body.
+func AppendMLSDListing(dst []byte, entries []*Node, now time.Time) []byte {
+	for _, n := range entries {
+		dst = AppendMLSDLine(dst, n, now)
+		dst = append(dst, '\r', '\n')
+	}
+	return dst
 }
 
 // FormatMLSDListing renders a full MLSD response body.
 func FormatMLSDListing(entries []*Node, now time.Time) string {
-	var b strings.Builder
+	return string(AppendMLSDListing(nil, entries, now))
+}
+
+// AppendNameList appends an NLST response body (bare names).
+func AppendNameList(dst []byte, entries []*Node) []byte {
 	for _, n := range entries {
-		b.WriteString(FormatMLSDLine(n, now))
-		b.WriteString("\r\n")
+		dst = append(dst, n.Name...)
+		dst = append(dst, '\r', '\n')
 	}
-	return b.String()
+	return dst
 }
 
 // FormatNameList renders an NLST response body (bare names).
 func FormatNameList(entries []*Node) string {
-	var b strings.Builder
-	for _, n := range entries {
-		b.WriteString(n.Name)
-		b.WriteString("\r\n")
-	}
-	return b.String()
+	return string(AppendNameList(nil, entries))
 }

@@ -259,3 +259,55 @@ func TestRunBatchesCancellation(t *testing.T) {
 		t.Error("scan completed despite cancellation")
 	}
 }
+
+// TestEffectiveRateFloorMixedShards covers the regime where the shard count
+// exceeds RatePerSec but a remainder still exists: remainder shards take
+// their +1 while the rest clamp to the 1 probe/s floor. The invariants that
+// must hold everywhere: no shard below 1, remainder spread over the
+// lowest-numbered shards only, and the aggregate within [rate, rate+N-1].
+func TestEffectiveRateFloorMixedShards(t *testing.T) {
+	base := simnet.MustParseIP("10.0.0.0")
+	nw := simnet.NewNetwork(&sparseHosts{base: base, every: 4, size: 64})
+	for _, tc := range []struct{ rate, shards int }{
+		{5, 8},  // shards 0-4 get the remainder 1s, shards 5-7 clamp to the floor
+		{1, 63}, // extreme: one remainder shard, 62 floored
+		{7, 12},
+		{62, 63},
+	} {
+		shares := make([]int, tc.shards)
+		sum := 0
+		for shard := 0; shard < tc.shards; shard++ {
+			s, err := NewScanner(Config{
+				Network: nw, Base: base, Size: 64, Port: 21,
+				RatePerSec: tc.rate, Shard: shard, TotalShards: tc.shards,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			shares[shard] = s.EffectiveRate()
+			if shares[shard] < 1 {
+				t.Fatalf("rate=%d shards=%d: shard %d share %d < 1 floor",
+					tc.rate, tc.shards, shard, shares[shard])
+			}
+			sum += shares[shard]
+		}
+		// rate < shards ⇒ base share is 0: remainder shards get exactly 1
+		// from the +1, floor-clamped shards also sit at 1, so every share
+		// is exactly the floor and the aggregate is exactly the shard
+		// count — the documented worst-case overshoot.
+		for shard, share := range shares {
+			if share != 1 {
+				t.Errorf("rate=%d shards=%d: shard %d share = %d, want 1",
+					tc.rate, tc.shards, shard, share)
+			}
+		}
+		if sum < tc.rate || sum > tc.rate+tc.shards-1 {
+			t.Errorf("rate=%d shards=%d: aggregate %d outside [rate, rate+N-1]",
+				tc.rate, tc.shards, sum)
+		}
+		if sum != tc.shards {
+			t.Errorf("rate=%d shards=%d: aggregate = %d, want %d (1 per shard)",
+				tc.rate, tc.shards, sum, tc.shards)
+		}
+	}
+}

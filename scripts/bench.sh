@@ -5,17 +5,20 @@
 # Usage: scripts/bench.sh [output.json]
 #   BENCHTIME=2s scripts/bench.sh BENCH_3.json
 #   BENCH='BenchmarkShardedCensus' BENCHTIME=1x scripts/bench.sh BENCH_6.json
+#   PKG=./internal/ftpserver BENCH='BenchmarkServerConcurrentSessions|BenchmarkSessionCommands' \
+#       BENCHTIME=20000x scripts/bench.sh BENCH_7.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_current.json}"
 BENCHTIME="${BENCHTIME:-1s}"
+PKG="${PKG:-.}"
 BENCH="${BENCH:-BenchmarkProbeFanout|BenchmarkProbeClosedPort|BenchmarkComputeTables|BenchmarkSimnetThroughput\$|BenchmarkPipeline_FullCensus|BenchmarkCensusMemory}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW"
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -timeout 20m "$PKG" | tee "$RAW"
 
 awk -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
