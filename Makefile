@@ -13,11 +13,14 @@ GO ?= go
 RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen ./internal/obs
 
 # Packages holding the chaos suite: fault injection, hostile worlds, the
-# enumerator's retry/degradation layer, and the end-to-end hostile census.
+# enumerator's retry/degradation layer, the identification stage's hostile
+# banners (drip, stall, mid-banner EOF, garbage), and the end-to-end
+# hostile census.
 CHAOS_PKGS = ./internal/simnet ./internal/ftp ./internal/listparse \
-	./internal/enumerator ./internal/worldgen ./internal/core
+	./internal/enumerator ./internal/worldgen ./internal/identify \
+	./internal/core
 
-.PHONY: build test vet vet-obs race race-full race-sharded race-server tier1 chaos bench bench-server smoke
+.PHONY: build test vet vet-obs race race-full race-sharded race-server tier1 chaos bench bench-server bench-identify smoke
 
 build:
 	$(GO) build ./...
@@ -75,3 +78,10 @@ bench-server:
 	PKG=./internal/ftpserver \
 	BENCH='BenchmarkServerConcurrentSessions|BenchmarkSessionCommands' \
 	BENCHTIME=20000x scripts/bench.sh BENCH_7.json
+
+# Staged-funnel benchmark: per-class identification round-trips, the
+# shed-vs-enumerate trade on one service host, and the full mixed-world
+# census with the legacy two-stage pipeline versus the staged funnel.
+bench-identify:
+	BENCH='BenchmarkIdentifyRoundTrip|BenchmarkShedVsEnumerate|BenchmarkMixedCensus' \
+	BENCHTIME=3x scripts/bench.sh BENCH_8.json

@@ -24,8 +24,10 @@ import (
 	"ftpcloud/internal/core"
 	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/enumerator"
+	"ftpcloud/internal/fingerprint"
 	"ftpcloud/internal/ftpserver"
 	"ftpcloud/internal/honeypot"
+	"ftpcloud/internal/identify"
 	"ftpcloud/internal/personality"
 	"ftpcloud/internal/report"
 	"ftpcloud/internal/simnet"
@@ -740,6 +742,142 @@ func BenchmarkCensusMemory(b *testing.B) {
 	}
 	b.Run("retained", func(b *testing.B) { run(b, core.RetainAll) })
 	b.Run("streaming", func(b *testing.B) { run(b, core.RetainNone) })
+}
+
+// --- Staged discovery funnel ----------------------------------------------
+
+// mixedBenchWorld builds the identification fixture: a world with the
+// default LZR-shaped service mix on port 21, its network, and one
+// representative endpoint per ground-truth class ("ftp" plus the service
+// classes actually drawn at this scale).
+func mixedBenchWorld(b *testing.B) (*simnet.Network, map[string]simnet.IP) {
+	b.Helper()
+	params := worldgen.DefaultParams(11, benchScale())
+	params.ServiceMix = worldgen.DefaultServiceMix()
+	w, err := worldgen.New(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reps := make(map[string]simnet.IP)
+	base := uint64(w.ScanBase)
+	for off := uint64(0); off < w.ScanSize; off++ {
+		ip := simnet.IP(base + off)
+		truth, ok := w.Truth(ip)
+		if !ok {
+			continue
+		}
+		var key string
+		switch {
+		case truth.FTP:
+			key = "ftp"
+		case truth.NonFTPOpen:
+			key = truth.Service.String()
+		default:
+			continue
+		}
+		if _, seen := reps[key]; !seen {
+			reps[key] = ip
+		}
+	}
+	return simnet.NewNetwork(w), reps
+}
+
+// BenchmarkIdentifyRoundTrip measures one identification round-trip per
+// service class — the entire cost the funnel pays to dispose of an endpoint.
+// Server-first protocols (ftp, ssh, telnet, garbage) resolve on their banner
+// alone; client-first ones (http, tls) and silent hosts pay the banner wait
+// before the trigger buys the deciding bytes.
+func BenchmarkIdentifyRoundTrip(b *testing.B) {
+	nw, reps := mixedBenchWorld(b)
+	cfg := identify.Config{
+		Dialer:     simnet.Dialer{Net: nw, Src: core.IdentifyBase},
+		BannerWait: 50 * time.Millisecond,
+	}
+	for _, class := range []string{"ftp", "ssh", "http", "tls", "silent"} {
+		ip, ok := reps[class]
+		if !ok {
+			continue // class not drawn at this scale
+		}
+		b.Run(class, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := identify.Identify(context.Background(), cfg, ip.String())
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				if class == "ftp" && res.Protocol != fingerprint.ProtoFTP {
+					b.Fatalf("FTP endpoint sniffed as %q", res.Protocol)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShedVsEnumerate prices the funnel's trade on one non-FTP
+// endpoint: shedding it with an identification round-trip versus burning the
+// full enumeration attempt the legacy two-stage pipeline paid. Both paths
+// get the same per-operation timeout, so the difference is round-trips and
+// protocol machinery, not budget.
+func BenchmarkShedVsEnumerate(b *testing.B) {
+	nw, reps := mixedBenchWorld(b)
+	// HTTP is the funnel's worst case: client-first, so identification
+	// waits out the full banner window before the trigger resolves it.
+	ip, ok := reps["http"]
+	if !ok {
+		b.Skip("no http service host drawn at this scale")
+	}
+	const budget = 200 * time.Millisecond
+	src := core.IdentifyBase
+	b.Run("identify-shed", func(b *testing.B) {
+		cfg := identify.Config{Dialer: simnet.Dialer{Net: nw, Src: src}, BannerWait: budget}
+		for i := 0; i < b.N; i++ {
+			res := identify.Identify(context.Background(), cfg, ip.String())
+			if res.Protocol != fingerprint.ProtoHTTP {
+				b.Fatalf("http endpoint sniffed as %q", res.Protocol)
+			}
+		}
+	})
+	b.Run("enumerate-burn", func(b *testing.B) {
+		cfg := enumerator.Config{Dialer: simnet.Dialer{Net: nw, Src: src}, Timeout: budget}
+		for i := 0; i < b.N; i++ {
+			rec := enumerator.Enumerate(context.Background(), cfg, ip.String())
+			if rec.FTP {
+				b.Fatal("service host misread as FTP")
+			}
+		}
+	})
+}
+
+// BenchmarkMixedCensus runs the full census over a mixed world with the
+// legacy two-stage pipeline and with the staged funnel. The funnel's gain is
+// every enumeration slot it never burns on a service host; its cost is one
+// extra round-trip on every true FTP endpoint.
+func BenchmarkMixedCensus(b *testing.B) {
+	run := func(b *testing.B, on bool) {
+		census, err := core.NewCensus(core.CensusConfig{
+			Seed:         11,
+			Scale:        benchScale() * 8,
+			ServiceMix:   worldgen.DefaultServiceMix(),
+			Identify:     on,
+			IdentifyWait: 100 * time.Millisecond,
+			EnumTimeout:  500 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := census.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Observed), "hosts")
+			if on {
+				b.ReportMetric(float64(res.ComputeTables().Unexpected.Total), "shed")
+			}
+		}
+	}
+	b.Run("two-stage-legacy", func(b *testing.B) { run(b, false) })
+	b.Run("staged-funnel", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkSimnetThroughput measures raw connection throughput.

@@ -50,6 +50,15 @@ func run() error {
 		snapshotOut = flag.String("snapshot-out", "",
 			"write the merged aggregate snapshot (binary checkpoint) to this file")
 
+		serviceMix = flag.String("service-mix", "",
+			"put non-FTP services on port 21: \"default\" or weights like http=4,tls=2,ssh=2,telnet=1,garbage=2,silent=1 (empty = off)")
+		identifyOn = flag.Bool("identify", false,
+			"insert the LZR-style identification stage: fingerprint each discovered endpoint and shed non-FTP services before enumeration")
+		identifyWait = flag.Duration("identify-wait", 0,
+			"identification banner wait before sending the trigger (0 = default 2s)")
+		identifyWorkers = flag.Int("identify-workers", 0,
+			"identification worker count per shard (0 = default 32)")
+
 		hostile = flag.Float64("hostile", 0,
 			"fraction of FTP hosts given a hostile fault personality")
 		faultMix = flag.String("fault-mix", "",
@@ -82,6 +91,17 @@ func run() error {
 	mix, err := worldgen.ParseFaultMix(*faultMix)
 	if err != nil {
 		return err
+	}
+
+	// The empty flag keeps the benign world bit-identical to pre-service
+	// seeds; "default" opts into the LZR-shaped mix without spelling it out.
+	var svcMix worldgen.ServiceMix
+	if *serviceMix != "" {
+		if *serviceMix == "default" {
+			svcMix = worldgen.DefaultServiceMix()
+		} else if svcMix, err = worldgen.ParseServiceMix(*serviceMix); err != nil {
+			return err
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -142,20 +162,24 @@ func run() error {
 	}
 
 	sharded, err := core.NewShardedCensus(core.CensusConfig{
-		Seed:          *seed,
-		Scale:         *scale,
-		EnumWorkers:   *workers,
-		Retries:       *retries,
-		LossRate:      *loss,
-		RetainRecords: retain,
-		StreamTo:      streamTo,
-		HostileRate:   *hostile,
-		FaultMix:      mix,
-		EnumTimeout:   *enumTimeout,
-		EnumRetry:     enumerator.RetryPolicy{Attempts: *enumRetries},
-		HostBudget:    *hostBudget,
-		ByteBudget:    *byteBudget,
-		Metrics:       reg,
+		Seed:            *seed,
+		Scale:           *scale,
+		EnumWorkers:     *workers,
+		Retries:         *retries,
+		LossRate:        *loss,
+		RetainRecords:   retain,
+		StreamTo:        streamTo,
+		ServiceMix:      svcMix,
+		Identify:        *identifyOn,
+		IdentifyWait:    *identifyWait,
+		IdentifyWorkers: *identifyWorkers,
+		HostileRate:     *hostile,
+		FaultMix:        mix,
+		EnumTimeout:     *enumTimeout,
+		EnumRetry:       enumerator.RetryPolicy{Attempts: *enumRetries},
+		HostBudget:      *hostBudget,
+		ByteBudget:      *byteBudget,
+		Metrics:         reg,
 	}, *shards)
 	if err != nil {
 		return err
@@ -187,6 +211,13 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "ftpcensus: discovery %v (%d probed, %d responsive); enumeration %v (%d records)\n",
 		result.ScanDuration.Round(time.Millisecond), result.Probed, result.Responded,
 		result.EnumDuration.Round(time.Millisecond), result.Observed)
+
+	if *identifyOn {
+		snap := reg.Snapshot()
+		fmt.Fprintf(os.Stderr, "ftpcensus: identification: %d dials, %d passed to enumeration, %d shed, %d errors\n",
+			snap.Counters["identify.dials"], snap.Counters["identify.passed"],
+			snap.Counters["identify.shed"], snap.Counters["identify.errors"])
+	}
 
 	if r := result.Robustness; r.Partial > 0 || len(r.Failures) > 0 || *hostile > 0 {
 		fmt.Fprintf(os.Stderr,
@@ -250,7 +281,9 @@ func run() error {
 			fmt.Printf("*** TRUNCATED at %s — partial ledger (%d records) ***\n\n",
 				result.TruncatedBy, result.Observed)
 		}
-		fmt.Println(tables.Render())
+		// RenderFull is Render plus the unexpected-services ledger; on runs
+		// without an identification stage the bytes are identical.
+		fmt.Println(tables.RenderFull())
 	}
 	return nil
 }
@@ -271,6 +304,15 @@ func censusProgress(w io.Writer, delta, cur obs.Snapshot, elapsed time.Duration)
 		cur.Counters["zmap.responded"],
 		cur.Counters["census.observed"], float64(delta.Counters["census.observed"])/secs,
 		cur.Gauges["enum.inflight"])
+
+	// With the identification stage active, show the funnel's midsection:
+	// how fast endpoints are being fingerprinted and how many were shed
+	// before burning an enumeration slot.
+	if cur.Counters["identify.dials"] > 0 {
+		fmt.Fprintf(w, " identified=%d (%.1f/s) shed=%d",
+			cur.Counters["identify.dials"], float64(delta.Counters["identify.dials"])/secs,
+			cur.Counters["identify.shed"])
+	}
 
 	var shardCounts []string
 	for name := range cur.Counters {

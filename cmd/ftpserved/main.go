@@ -97,6 +97,11 @@ func run() error {
 		bwGlobal = flag.Int64("bw-global", 0,
 			"global bandwidth cap across all sessions in bytes/s (0 = unshaped)")
 
+		xferlog = flag.String("xferlog", "",
+			"append transfers to this file in wu-ftpd xferlog(5) format")
+		auditJSONL = flag.String("audit-jsonl", "",
+			"append every session event (connects, commands, credentials, transfers) to this file as JSON lines")
+
 		progress = flag.Duration("progress", 0,
 			"emit a progress line (conns, sessions/s, sheds) to stderr at this interval (0 = off)")
 		debugAddr = flag.String("debug-addr", "",
@@ -143,6 +148,34 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown driver %q (vfs or mem)", *driver)
 	}
+
+	// Audit sinks ride the Observer hook; both flags may combine, and a
+	// future honeypot recorder would join the same fan-out.
+	var observers []ftpserver.Observer
+	for _, sink := range []struct {
+		path string
+		open func(io.Writer) ftpserver.Observer
+	}{
+		{*xferlog, func(w io.Writer) ftpserver.Observer { return ftpserver.NewXferlogSink(w) }},
+		{*auditJSONL, func(w io.Writer) ftpserver.Observer { return ftpserver.NewJSONLSink(w) }},
+	} {
+		if sink.path == "" {
+			continue
+		}
+		f, err := os.OpenFile(sink.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("audit log: %w", err)
+		}
+		o := sink.open(f)
+		defer func(f *os.File, o ftpserver.Observer) {
+			if c, ok := o.(io.Closer); ok {
+				c.Close()
+			}
+			f.Close()
+		}(f, o)
+		observers = append(observers, o)
+	}
+	cfg.Observer = ftpserver.MultiObserver(observers...)
 	srv, err := ftpserver.New(cfg)
 	if err != nil {
 		return err

@@ -31,6 +31,10 @@ type Snapshot struct {
 	Malicious       MaliciousSnap
 	PortBounce      PortBounceSnap
 	FTPS            FTPSSnap
+	// Unexpected rides the same version-1 frame: gob tolerates fields
+	// absent from older streams, so pre-funnel snapshots decode with an
+	// empty ledger.
+	Unexpected UnexpectedSnap
 }
 
 // snapshotMagic and snapshotVersion frame the serialized form so corrupt or
@@ -59,6 +63,7 @@ func (a *Aggregator) Snapshot() *Snapshot {
 		Malicious:       a.malicious.Snapshot(),
 		PortBounce:      a.portBounce.Snapshot(),
 		FTPS:            a.ftps.Snapshot(),
+		Unexpected:      a.unexpected.Snapshot(),
 	}
 }
 
@@ -77,6 +82,7 @@ func (a *Aggregator) MergeSnapshot(s *Snapshot) {
 	a.malicious.Merge(s.Malicious)
 	a.portBounce.Merge(s.PortBounce)
 	a.ftps.Merge(s.FTPS)
+	a.unexpected.Merge(s.Unexpected)
 }
 
 // Merge folds another aggregator's state into this one via its snapshot.

@@ -32,6 +32,7 @@ type Aggregator struct {
 	malicious  MaliciousAcc
 	portBounce PortBounceAcc
 	ftps       FTPSAcc
+	unexpected UnexpectedAcc
 }
 
 // NewAggregator builds an aggregator resolving ASes against db and the
@@ -77,6 +78,7 @@ func (a *Aggregator) fold(r *Record) {
 	a.malicious.Observe(r)
 	a.portBounce.Observe(r)
 	a.ftps.Observe(r)
+	a.unexpected.Observe(r)
 }
 
 // Observed returns how many records have been folded.
@@ -114,6 +116,11 @@ func (a *Aggregator) PortBounce() PortBounce { return a.portBounce.Finalize() }
 
 // FTPS finalizes §IX and Tables XII/XIII.
 func (a *Aggregator) FTPS(topN int) FTPS { return a.ftps.Finalize(topN) }
+
+// Unexpected finalizes the identification ledger — the endpoints the staged
+// funnel shed before enumeration, by sniffed protocol. Empty on two-stage
+// runs.
+func (a *Aggregator) Unexpected() UnexpectedServices { return a.unexpected.Finalize() }
 
 // AggregateInput folds a retained record slice through a fresh Aggregator.
 // This is the batch-mode bridge: classification and AS resolution — the

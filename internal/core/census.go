@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"ftpcloud/internal/analysis"
@@ -19,6 +20,7 @@ import (
 	"ftpcloud/internal/enumerator"
 	"ftpcloud/internal/ftp"
 	"ftpcloud/internal/honeypot"
+	"ftpcloud/internal/identify"
 	"ftpcloud/internal/obs"
 	"ftpcloud/internal/simnet"
 	"ftpcloud/internal/worldgen"
@@ -34,6 +36,11 @@ var (
 	CollectorIP = simnet.MustParseIP("250.0.255.1")
 	// HoneypotBase is where the honeypot study deploys.
 	HoneypotBase = simnet.MustParseIP("250.1.0.1")
+	// IdentifyBase is the first source address of the identification
+	// stage; shard i binds its identify workers starting at IdentifyBase +
+	// i*shardSourceStride. The block sits above the honeypot range so it
+	// can never collide with enumerator sources or deployed listeners.
+	IdentifyBase = simnet.MustParseIP("250.2.0.1")
 )
 
 // CensusConfig sizes a census run.
@@ -73,6 +80,28 @@ type CensusConfig struct {
 	// FaultMix weights the hostile classes; the zero value means the
 	// uniform default mix. Only meaningful with HostileRate > 0.
 	FaultMix worldgen.FaultMix
+
+	// Identify inserts the LZR-style identification stage between
+	// discovery and enumeration: every discovered endpoint gets one
+	// connection that reads only its first response bytes (waiting for a
+	// server-first banner, else sending a minimal trigger), and only
+	// endpoints that speak FTP reach the enumerator fleet. Everything
+	// else is recorded as a shed HostRecord (Service set to the sniffed
+	// protocol) and dropped after that single round-trip. Off by default:
+	// the two-stage probe→enumerate pipeline is the paper's original
+	// toolchain and stays byte-identical.
+	Identify bool
+	// IdentifyWorkers sets the identification concurrency (default 32).
+	IdentifyWorkers int
+	// IdentifyWait bounds the banner and post-trigger read windows; zero
+	// means identify.DefaultBannerWait.
+	IdentifyWait time.Duration
+	// ServiceMix populates the world's non-FTP open ports with real
+	// dialable services (HTTP, SSH, TLS, telnet, garbage, silent) for the
+	// identification stage to meet. The zero value keeps the legacy
+	// abstract non-FTP hosts — and the world bit-identical to earlier
+	// versions. Ignored when Params is set (set Params.ServiceMix there).
+	ServiceMix worldgen.ServiceMix
 
 	// EnumTimeout bounds individual enumerator control-channel
 	// operations. Zero means 15s.
@@ -214,6 +243,7 @@ func NewCensus(cfg CensusConfig) (*Census, error) {
 	} else {
 		params.HostileRate = cfg.HostileRate
 		params.FaultMix = cfg.FaultMix
+		params.ServiceMix = cfg.ServiceMix
 	}
 	world, err := worldgen.New(params)
 	if err != nil {
@@ -300,9 +330,10 @@ func (c *Census) Run(ctx context.Context) (*Result, error) {
 	}
 	defer closeCollector()
 	o := c.runShard(ctx, cancel, start, shardSpec{
-		sourceBase: ScannerBase,
-		collector:  collector,
-		stream:     c.Config.StreamTo,
+		sourceBase:     ScannerBase,
+		identifySource: IdentifyBase,
+		collector:      collector,
+		stream:         c.Config.StreamTo,
 	})
 	var streamErr error
 	if c.Config.StreamTo != nil {
@@ -331,7 +362,10 @@ func (c *Census) newCollector() (enumerator.Collector, func(), error) {
 type shardSpec struct {
 	index, total int
 	sourceBase   simnet.IP
-	collector    enumerator.Collector
+	// identifySource is the first source address of this shard's
+	// identification workers (unused when identification is off).
+	identifySource simnet.IP
+	collector      enumerator.Collector
 	// stream receives every record ahead of the aggregator; the pipeline
 	// wraps it KeepOpen so the run's owner closes it exactly once.
 	stream dataset.Sink
@@ -440,11 +474,23 @@ func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start 
 	}
 	sink := dataset.Tee(sinks...)
 
-	// Pipeline: scanner results flow straight into the fleet's intake, in
-	// batches so discovery fan-out costs one channel handoff per slice.
+	// Pipeline: scanner results flow straight into the next stage's
+	// intake, in batches so discovery fan-out costs one channel handoff
+	// per slice. With identification enabled the next stage is the
+	// identify pool (which forwards only FTP speakers into the fleet's
+	// intake); otherwise it is the fleet directly.
 	found := make(chan []zmap.Result, 64)
 	in := make(chan simnet.IP, 1024)
 	out := make(chan *dataset.HostRecord, 1024)
+
+	intake := in
+	var idin chan simnet.IP
+	var shed chan identify.Result
+	if c.Config.Identify {
+		idin = make(chan simnet.IP, 1024)
+		shed = make(chan identify.Result, 1024)
+		intake = idin
+	}
 
 	scanErr := make(chan error, 1)
 	go func() {
@@ -453,11 +499,11 @@ func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start 
 		scanErr <- err
 	}()
 	go func() {
-		defer close(in)
+		defer close(intake)
 		for batch := range found {
 			for _, r := range batch {
 				select {
-				case in <- r.IP:
+				case intake <- r.IP:
 				case <-ctx.Done():
 					// Drain so the scanner can finish closing.
 					for range found {
@@ -493,7 +539,46 @@ func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start 
 		}
 		drained <- sinkErr
 	}()
-	fleet.Run(ctx, in, out)
+	if !c.Config.Identify {
+		fleet.Run(ctx, in, out)
+	} else {
+		// Three-stage funnel: the identify pool owns the fleet intake
+		// (closing it when identification finishes), shed results and
+		// fleet records merge into the one drain stream, and the drain
+		// keeps consuming unconditionally — so neither forwarder ever
+		// blocks against a stopped consumer, even on cancellation.
+		stage := &identify.Stage{
+			Cfg: identify.Config{
+				BannerWait: c.Config.IdentifyWait,
+			},
+			Network:       c.Network,
+			SourceBase:    spec.identifySource,
+			Workers:       c.Config.IdentifyWorkers,
+			Metrics:       c.Config.Metrics,
+			MetricsPrefix: spec.prefix,
+		}
+		fleetOut := make(chan *dataset.HostRecord, 1024)
+		var fwd sync.WaitGroup
+		fwd.Add(2)
+		go func() {
+			defer fwd.Done()
+			stage.Run(ctx, idin, in, shed)
+		}()
+		go func() {
+			defer fwd.Done()
+			for res := range shed {
+				out <- shedRecord(res)
+			}
+		}()
+		go func() {
+			for rec := range fleetOut {
+				out <- rec
+			}
+			fwd.Wait()
+			close(out)
+		}()
+		fleet.Run(ctx, in, fleetOut)
+	}
 	o.sinkErr = <-drained
 	o.closeErr = sink.Close()
 	o.scanErr = <-scanErr
@@ -507,6 +592,21 @@ func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start 
 		o.join = join
 	}
 	return o
+}
+
+// shedRecord converts an identification result into the ledger record of a
+// shed endpoint: discovered, connected, not FTP. The shape deliberately
+// matches what the two-stage pipeline records for the same host — PortOpen
+// set, FTP false — so the discovery funnel counts identically whether the
+// endpoint burned a full enumeration or one identification round-trip; only
+// the Service field (and the saved enumeration) distinguishes the paths.
+func shedRecord(res identify.Result) *dataset.HostRecord {
+	return &dataset.HostRecord{
+		IP:       res.IP,
+		PortOpen: true,
+		Banner:   res.Banner,
+		Service:  string(res.Protocol),
+	}
 }
 
 // assemble merges shard outcomes into one Result, ordering errors by the
@@ -702,6 +802,12 @@ type Tables struct {
 	Malicious        analysis.Malicious
 	PortBounce       analysis.PortBounce
 	FTPS             analysis.FTPS
+
+	// Unexpected is the identification ledger: endpoints the staged
+	// funnel shed before enumeration, by sniffed protocol. Always empty
+	// on two-stage runs. It lives outside Render's paper tables so those
+	// bytes never change; RenderFull appends it when populated.
+	Unexpected analysis.UnexpectedServices
 }
 
 // Snapshot returns the serializable aggregate state this run folded — the
@@ -739,6 +845,7 @@ func (r *Result) ComputeTables() Tables {
 		Malicious:        agg.Malicious(),
 		PortBounce:       agg.PortBounce(),
 		FTPS:             agg.FTPS(10),
+		Unexpected:       agg.Unexpected(),
 	}
 }
 

@@ -33,3 +33,15 @@ func (t Tables) Render() string {
 	}
 	return b.String()
 }
+
+// RenderFull renders the paper tables plus the operational sections that
+// live outside the paper — today the identification ledger, when the staged
+// funnel shed anything. Render's bytes are a strict prefix, so everything
+// comparing paper-table output stays stable.
+func (t Tables) RenderFull() string {
+	s := t.Render()
+	if t.Unexpected.Total > 0 {
+		s += "\n" + report.UnexpectedServices(t.Unexpected)
+	}
+	return s
+}

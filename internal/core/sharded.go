@@ -54,6 +54,9 @@ func NewShardedCensus(cfg CensusConfig, shards int) (*ShardedCensus, error) {
 	if shards > 1 && cfg.EnumWorkers > shardSourceStride {
 		return nil, fmt.Errorf("core: %d enum workers per shard exceeds the source block (max %d)", cfg.EnumWorkers, shardSourceStride)
 	}
+	if shards > 1 && cfg.IdentifyWorkers > shardSourceStride {
+		return nil, fmt.Errorf("core: %d identify workers per shard exceeds the source block (max %d)", cfg.IdentifyWorkers, shardSourceStride)
+	}
 	c, err := NewCensus(cfg)
 	if err != nil {
 		return nil, err
@@ -94,12 +97,13 @@ func (s *ShardedCensus) Run(ctx context.Context) (*Result, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		spec := shardSpec{
-			index:      i,
-			total:      n,
-			sourceBase: simnet.IP(uint64(ScannerBase) + uint64(i)*shardSourceStride),
-			collector:  collector,
-			stream:     stream,
-			prefix:     fmt.Sprintf("shard%d.", i),
+			index:          i,
+			total:          n,
+			sourceBase:     simnet.IP(uint64(ScannerBase) + uint64(i)*shardSourceStride),
+			identifySource: simnet.IP(uint64(IdentifyBase) + uint64(i)*shardSourceStride),
+			collector:      collector,
+			stream:         stream,
+			prefix:         fmt.Sprintf("shard%d.", i),
 		}
 		wg.Add(1)
 		go func(i int, spec shardSpec) {

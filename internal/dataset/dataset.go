@@ -70,6 +70,12 @@ type HostRecord struct {
 	FTP      bool   `json:"ftp"`
 	Banner   string `json:"banner,omitempty"`
 
+	// Service names the wire protocol the identification stage sniffed on
+	// an endpoint it shed before enumeration ("http", "ssh", "tls",
+	// "telnet", "garbage", "none"). Empty on FTP records and on two-stage
+	// runs without identification.
+	Service string `json:"service,omitempty"`
+
 	// BannerIP is an IP address embedded in the banner, if any (devices
 	// frequently display their own, often RFC 1918, address).
 	BannerIP        string `json:"banner_ip,omitempty"`

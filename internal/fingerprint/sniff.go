@@ -1,0 +1,79 @@
+package fingerprint
+
+// Wire-protocol sniffing from first response bytes — the LZR-style
+// identification primitive. Where Classify maps an FTP host's banner to the
+// paper's categories, SniffProtocol answers a prior question: is this even
+// FTP? The identification stage (internal/identify) reads at most a few
+// hundred bytes off a fresh connection and routes on this answer, shedding
+// everything non-FTP after one round-trip.
+
+// Protocol is a wire protocol recognizable from its first response bytes.
+type Protocol string
+
+// Sniffable protocols. ProtoNone marks endpoints that never sent a byte
+// (silent accepts, tarpits); ProtoGarbage marks bytes matching no known
+// protocol opening.
+const (
+	ProtoFTP     Protocol = "ftp"
+	ProtoHTTP    Protocol = "http"
+	ProtoSSH     Protocol = "ssh"
+	ProtoTLS     Protocol = "tls"
+	ProtoTelnet  Protocol = "telnet"
+	ProtoGarbage Protocol = "garbage"
+	ProtoNone    Protocol = "none"
+)
+
+// SniffProtocol classifies first response bytes. It keys on protocol
+// openings, not payload heuristics: an FTP reply starts with a three-digit
+// code, SSH and HTTP identify themselves in ASCII, TLS answers with a
+// record-layer byte, telnet with IAC negotiation. Anything else is garbage;
+// no bytes at all is ProtoNone.
+func SniffProtocol(b []byte) Protocol {
+	if len(b) == 0 {
+		return ProtoNone
+	}
+	switch {
+	case isFTPReplyStart(b):
+		return ProtoFTP
+	case hasPrefix(b, "SSH-"):
+		return ProtoSSH
+	case hasPrefix(b, "HTTP/"):
+		return ProtoHTTP
+	case b[0] == 0xFF:
+		return ProtoTelnet
+	case (b[0] == 0x15 || b[0] == 0x16) && len(b) >= 2 && b[1] == 0x03:
+		return ProtoTLS
+	default:
+		return ProtoGarbage
+	}
+}
+
+// isFTPReplyStart reports whether the bytes open like an RFC 959 reply: a
+// three-digit code followed by a space or the multi-line hyphen. The first
+// digit must be a valid reply class (1-6) so timestamps and version strings
+// do not masquerade as FTP.
+func isFTPReplyStart(b []byte) bool {
+	if len(b) < 4 {
+		return false
+	}
+	if b[0] < '1' || b[0] > '6' {
+		return false
+	}
+	if b[1] < '0' || b[1] > '9' || b[2] < '0' || b[2] > '9' {
+		return false
+	}
+	return b[3] == ' ' || b[3] == '-'
+}
+
+// hasPrefix is bytes.HasPrefix without converting the needle.
+func hasPrefix(b []byte, prefix string) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		if b[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -117,6 +117,32 @@ const (
 	EventDisconnect
 )
 
+// String names the kind for audit sinks and logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventConnect:
+		return "connect"
+	case EventCommand:
+		return "command"
+	case EventLoginOK:
+		return "login_ok"
+	case EventLoginFail:
+		return "login_fail"
+	case EventUpload:
+		return "upload"
+	case EventDownload:
+		return "download"
+	case EventPortBounceAttempt:
+		return "port_bounce_attempt"
+	case EventTLSHandshake:
+		return "tls_handshake"
+	case EventDisconnect:
+		return "disconnect"
+	default:
+		return "unknown"
+	}
+}
+
 // Event is one observed session action.
 type Event struct {
 	Kind     EventKind
@@ -127,7 +153,9 @@ type Event struct {
 	Pass     string
 	Path     string
 	Detail   string
-	Time     time.Time
+	// Bytes is the transfer size for EventUpload/EventDownload.
+	Bytes int64
+	Time  time.Time
 }
 
 // serverMetrics is the registry view of one server, resolved once at
@@ -1021,7 +1049,7 @@ func (s *session) cmdRetr(arg string) bool {
 	}
 	s.restOffset = 0
 	s.srv.m.downloads.Inc()
-	s.observe(Event{Kind: EventDownload, Path: target})
+	s.observe(Event{Kind: EventDownload, Path: target, Bytes: int64(len(content))})
 	opening := fmt.Appendf(nil, "150 Opening BINARY mode data connection for %s (%d bytes)\r\n", arg, len(content))
 	return s.withDataConn(opening,
 		func(dc net.Conn) error {
@@ -1068,7 +1096,7 @@ func (s *session) cmdStor(arg string) bool {
 			return err
 		}
 		s.srv.m.uploads.Inc()
-		s.observe(Event{Kind: EventUpload, Path: target, Detail: fmt.Sprintf("%d bytes", len(content))})
+		s.observe(Event{Kind: EventUpload, Path: target, Detail: fmt.Sprintf("%d bytes", len(content)), Bytes: int64(len(content))})
 		return nil
 	})
 }

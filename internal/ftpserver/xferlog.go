@@ -1,0 +1,171 @@
+package ftpserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Audit sinks behind the Observer hook. Real-world FTP forensics — the
+// paper's malicious-use evidence included — leans on wu-ftpd's xferlog,
+// the de facto transfer-log interchange format every major Unix FTP daemon
+// adopted. XferlogSink writes that format; JSONLSink writes the full event
+// stream as JSON lines for machine consumption; MultiObserver fans one
+// session's events to both (and to any other Observer, e.g. a honeypot
+// recorder) without the server knowing how many sinks listen.
+
+// XferlogSink records uploads and downloads in wu-ftpd xferlog(5) format,
+// one line per completed transfer:
+//
+//	DDD MMM dd hh:mm:ss YYYY transfer-time remote-host file-size filename
+//	transfer-type special-action-flag direction access-mode username
+//	service-name authentication-method authenticated-user-id completion-status
+//
+// The simulation does not time individual transfers, so transfer-time is
+// always 0; every transfer is binary ("b"), unprocessed ("_"), and complete
+// ("c"), matching what the enumerator and attacker fleets actually do.
+// Safe for concurrent sessions.
+type XferlogSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// NewXferlogSink writes xferlog lines to w.
+func NewXferlogSink(w io.Writer) *XferlogSink {
+	return &XferlogSink{w: bufio.NewWriter(w)}
+}
+
+// Event implements Observer: transfers are logged, everything else ignored.
+func (s *XferlogSink) Event(e Event) {
+	var direction string
+	switch e.Kind {
+	case EventDownload:
+		direction = "o" // outgoing from the server
+	case EventUpload:
+		direction = "i"
+	default:
+		return
+	}
+	access, user := "r", e.User
+	if user == "" || user == "anonymous" || user == "ftp" {
+		access = "a"
+		if user == "" {
+			user = "ftp"
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, "%s 0 %s %d %s b _ %s %s %s ftp 0 * c\n",
+		e.Time.Format("Mon Jan _2 15:04:05 2006"),
+		e.RemoteIP, e.Bytes, xferlogPath(e.Path), direction, access, user)
+}
+
+// Close flushes buffered lines.
+func (s *XferlogSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// xferlogPath sanitizes a filename the way wu-ftpd does: whitespace and
+// control bytes become underscores so the space-separated line stays
+// parseable no matter what an anonymous uploader named their file.
+func xferlogPath(p string) string {
+	if p == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		if r <= ' ' || r == 0x7f {
+			return '_'
+		}
+		return r
+	}, p)
+}
+
+// auditEvent is JSONLSink's wire form of one Event.
+type auditEvent struct {
+	Time     time.Time `json:"time"`
+	Kind     string    `json:"kind"`
+	RemoteIP string    `json:"remote_ip,omitempty"`
+	User     string    `json:"user,omitempty"`
+	Pass     string    `json:"pass,omitempty"`
+	Command  string    `json:"command,omitempty"`
+	Arg      string    `json:"arg,omitempty"`
+	Path     string    `json:"path,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+	Bytes    int64     `json:"bytes,omitempty"`
+}
+
+// JSONLSink records every session event as one JSON line — the
+// machine-readable audit trail (honeypot analysis reads credentials and
+// command sequences from exactly this stream). Safe for concurrent
+// sessions.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink writes JSON event lines to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Event implements Observer.
+func (s *JSONLSink) Event(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enc.Encode(auditEvent{
+		Time:     e.Time,
+		Kind:     e.Kind.String(),
+		RemoteIP: e.RemoteIP,
+		User:     e.User,
+		Pass:     e.Pass,
+		Command:  e.Command,
+		Arg:      e.Arg,
+		Path:     e.Path,
+		Detail:   e.Detail,
+		Bytes:    e.Bytes,
+	})
+}
+
+// Close flushes buffered lines.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// multiObserver fans events to several observers in order.
+type multiObserver []Observer
+
+func (m multiObserver) Event(e Event) {
+	for _, o := range m {
+		o.Event(e)
+	}
+}
+
+// MultiObserver combines observers into one; nils are dropped. Zero or one
+// usable observer short-circuits to exactly that value, so the hot-path
+// nil check in session.observe keeps working when nothing listens.
+func MultiObserver(obs ...Observer) Observer {
+	var m multiObserver
+	for _, o := range obs {
+		if o != nil {
+			m = append(m, o)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	default:
+		return m
+	}
+}

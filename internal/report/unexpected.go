@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+	"unicode/utf8"
+
+	"ftpcloud/internal/analysis"
+)
+
+// UnexpectedServices renders the identification ledger — the endpoints the
+// staged discovery funnel shed before enumeration, by sniffed protocol. The
+// section only appears on runs with the identification stage enabled, so it
+// rides outside the paper-table Render and never perturbs those bytes.
+func UnexpectedServices(u analysis.UnexpectedServices) string {
+	t := NewTable(fmt.Sprintf("Unexpected services — %s endpoints shed before enumeration", commas(u.Total)),
+		"Protocol", "Count", "% Shed", "Sample First Response")
+	for _, s := range u.Services {
+		t.Row(s.Protocol, commas(s.Count), fmt.Sprintf("%.2f%%", s.PctShed), sampleBanner(s.SampleBanner))
+	}
+	return t.String()
+}
+
+// sampleBanner renders a first-response sample printably: quoted, with
+// non-text bytes escaped, clipped so garbage cannot blow out the table.
+// The clip applies to the rendered form — 32 high bytes escape to ~128
+// columns, so clipping raw bytes alone would not keep the table narrow.
+func sampleBanner(b string) string {
+	const clip = 48
+	q := fmt.Sprintf("%q", b)
+	if len(q) > clip {
+		// Cut at a rune boundary so a multi-byte escape's UTF-8 rendering
+		// is never split mid-character.
+		cut := clip
+		for cut > 0 && !utf8.RuneStart(q[cut]) {
+			cut--
+		}
+		q = q[:cut] + `"...`
+	}
+	return q
+}

@@ -1,0 +1,76 @@
+package worldgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"ftpcloud/internal/simnet"
+)
+
+// benignWorldDigest folds every present host truth of a world into one
+// FNV-64a digest. Fields are hashed explicitly (not via struct formatting)
+// so the digest is stable when HostTruth later grows fields that must stay
+// zero on benign default-parameter worlds.
+func benignWorldDigest(t *testing.T, w *World) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	base := uint64(w.ScanBase)
+	present := 0
+	for off := uint64(0); off < w.ScanSize; off++ {
+		ip := simnet.IP(base + off)
+		truth, ok := w.Truth(ip)
+		if !ok {
+			continue
+		}
+		present++
+		if truth.Service != ServiceNone {
+			t.Fatalf("%s: benign world derived service %v; zero-value ServiceMix must stay legacy", ip, truth.Service)
+		}
+		asn := uint32(0)
+		if truth.AS != nil {
+			asn = truth.AS.Number
+		}
+		fmt.Fprintf(h, "%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v|%v\n",
+			truth.IP, truth.FTP, truth.NonFTPOpen, asn, truth.PersonalityKey,
+			truth.Anonymous, truth.Writable, truth.FTPS, truth.RequireTLS,
+			truth.CertName, truth.NAT, truth.InternalIP, truth.Exposed,
+			truth.Tree, truth.Sensitive, truth.Robots, truth.HTTP,
+			truth.Scripting, truth.Campaigns, truth.RequestLimit,
+			truth.Fault, truth.HostName, truth.Fault.String())
+	}
+	if present == 0 {
+		t.Fatal("benign world digest covered no hosts; test vacuous")
+	}
+	return h.Sum64()
+}
+
+// Golden digests of default-parameter worlds, captured before the ServiceMix
+// layer existed. Every later change to worldgen must keep these exact values:
+// a benign world (no hostile rate, no service mix) is bit-identical across
+// versions because new derivations only draw from end-appended salts.
+var benignGoldenDigests = []struct {
+	seed   uint64
+	scale  int
+	digest uint64
+}{
+	{seed: 42, scale: 262144, digest: 0xff4730e51c0f9234},
+	{seed: 7, scale: 524288, digest: 0xda4ff489eb5ee2d},
+}
+
+// TestBenignWorldBitIdentity: default-params worldgen output is byte-for-byte
+// identical to the worlds generated before the ServiceMix (and any future)
+// layer — the regression guard for the end-appended-salt discipline.
+func TestBenignWorldBitIdentity(t *testing.T) {
+	for _, g := range benignGoldenDigests {
+		w, err := New(DefaultParams(g.seed, g.scale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := benignWorldDigest(t, w)
+		if got != g.digest {
+			t.Errorf("seed=%d scale=%d: benign world digest %#x, want golden %#x — default worlds must stay bit-identical",
+				g.seed, g.scale, got, g.digest)
+		}
+	}
+}

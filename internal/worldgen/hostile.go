@@ -174,12 +174,18 @@ func (w *World) FaultFor(_, dst simnet.IP, port uint16) *simnet.FaultProfile {
 	if w.Params.HostileRate <= 0 {
 		return nil
 	}
-	// Fault personalities only attach to FTP hosts (the derivation
-	// mirrors Truth's presence decision).
+	// Fault personalities attach to FTP hosts (the derivation mirrors
+	// Truth's presence decision) — and, when the service layer is on, to
+	// the non-FTP services squatting on 21, so the identification stage
+	// meets dripped banners and mid-read resets exactly as the
+	// enumerator does.
 	u := uint32(dst)
 	prof := w.profileFor(dst)
 	if prof == nil || !chance(derive(w.Params.Seed, u, saltFTP), prof.Density) {
-		return nil
+		if !w.Params.ServiceMix.Enabled() ||
+			!chance(derive(w.Params.Seed, u, saltNonFTP), w.nonFTPRate) {
+			return nil
+		}
 	}
 	h := derive(w.Params.Seed, u, saltFaultParam)
 	switch w.faultClassFor(u) {

@@ -79,6 +79,9 @@ func (w *World) MaterializedHosts() int {
 // materialize builds the live host for a ground truth record.
 func (w *World) materialize(t HostTruth) *hostEntry {
 	if t.NonFTPOpen {
+		if t.Service != ServiceNone {
+			return &hostEntry{truth: t, handler: serviceHandler(t.Service, uint32(t.IP), w.Params.Seed)}
+		}
 		return &hostEntry{truth: t, handler: nonFTPHandler(uint32(t.IP), w.Params.Seed)}
 	}
 

@@ -64,6 +64,14 @@ type Params struct {
 	// FaultMix weights the hostile classes; the zero value means
 	// DefaultFaultMix.
 	FaultMix FaultMix
+
+	// ServiceMix puts real non-FTP services (HTTP, SSH, TLS, telnet,
+	// garbage, silence) on port 21 of the non-FTP-open population — the
+	// unexpected-service layer LZR identifies and sheds. The zero value —
+	// the default — keeps the legacy junk handler and generates the
+	// calibrated world bit-for-bit; mixed-world runs opt in. See
+	// services.go.
+	ServiceMix ServiceMix
 }
 
 // DefaultParams returns parameters calibrated to the paper's published

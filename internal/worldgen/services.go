@@ -1,0 +1,309 @@
+package worldgen
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"ftpcloud/internal/simnet"
+)
+
+// The service layer puts non-FTP protocols on port 21, the population LZR
+// ("LZR: Identifying Unexpected Internet Services") found behind a large
+// share of hits on any scanned port: web servers on wrong ports, SSH and
+// telnet daemons, TLS endpoints, and boxes that answer with garbage or
+// nothing at all. With a ServiceMix configured, the hosts that accept TCP/21
+// without speaking FTP (the paper's 8M-host remainder) are materialized as
+// real dialable services instead of the legacy three-way junk handler, so
+// the scan path's identification stage has honest protocols to fingerprint.
+//
+// Like every worldgen layer, service assignment is a pure function of
+// (seed, ip) drawn from end-appended salts: worlds with the zero-value
+// ServiceMix are bit-identical to worlds generated before this layer
+// existed (TestBenignWorldBitIdentity).
+
+// ServiceClass is the protocol a non-FTP host speaks on port 21.
+type ServiceClass int
+
+// Service classes. ServiceNone marks hosts outside the mix (legacy junk
+// handler); the rest are realized as dialable protocol responders.
+const (
+	ServiceNone ServiceClass = iota
+	// ServiceHTTP waits for a request and answers with an HTTP error —
+	// client-first, so a banner-waiting scanner sees silence.
+	ServiceHTTP
+	// ServiceSSH sends its version banner immediately (server-first).
+	ServiceSSH
+	// ServiceTLS waits for a ClientHello and answers any bytes with a
+	// fatal TLS alert record (client-first).
+	ServiceTLS
+	// ServiceTelnet sends IAC option negotiation immediately (server-first).
+	ServiceTelnet
+	// ServiceGarbage sends protocol-less junk bytes immediately.
+	ServiceGarbage
+	// ServiceSilent accepts the connection and never sends a byte.
+	ServiceSilent
+)
+
+// String names the class for counters, tables, and logs.
+func (c ServiceClass) String() string {
+	switch c {
+	case ServiceNone:
+		return "none"
+	case ServiceHTTP:
+		return "http"
+	case ServiceSSH:
+		return "ssh"
+	case ServiceTLS:
+		return "tls"
+	case ServiceTelnet:
+		return "telnet"
+	case ServiceGarbage:
+		return "garbage"
+	case ServiceSilent:
+		return "silent"
+	default:
+		return fmt.Sprintf("service(%d)", int(c))
+	}
+}
+
+// ServiceMix weights the service classes among non-FTP-open hosts. Weights
+// are relative; the zero value disables the layer entirely (legacy junk
+// handler, bit-identical worlds).
+type ServiceMix struct {
+	HTTP    float64
+	SSH     float64
+	TLS     float64
+	Telnet  float64
+	Garbage float64
+	Silent  float64
+}
+
+// DefaultServiceMix approximates LZR's port-diversity finding: HTTP
+// dominates unexpected services, followed by TLS, SSH, and the
+// garbage/silent tail.
+func DefaultServiceMix() ServiceMix {
+	return ServiceMix{HTTP: 4, TLS: 2, SSH: 2, Telnet: 1, Garbage: 2, Silent: 1}
+}
+
+// Enabled reports whether the mix puts services on port 21 at all.
+func (m ServiceMix) Enabled() bool { return m.total() > 0 }
+
+func (m ServiceMix) total() float64 {
+	return m.HTTP + m.SSH + m.TLS + m.Telnet + m.Garbage + m.Silent
+}
+
+// pick selects a class from the mix with a uniform hash draw.
+func (m ServiceMix) pick(h uint64) ServiceClass {
+	if m.total() <= 0 {
+		return ServiceNone
+	}
+	x := float64(h%1_000_000) / 1_000_000 * m.total()
+	for _, c := range []struct {
+		w     float64
+		class ServiceClass
+	}{
+		{m.HTTP, ServiceHTTP},
+		{m.SSH, ServiceSSH},
+		{m.TLS, ServiceTLS},
+		{m.Telnet, ServiceTelnet},
+		{m.Garbage, ServiceGarbage},
+		{m.Silent, ServiceSilent},
+	} {
+		if x < c.w {
+			return c.class
+		}
+		x -= c.w
+	}
+	return ServiceSilent
+}
+
+// ParseServiceMix parses "http=4,ssh=2,tls=2,telnet=1,garbage=2,silent=1".
+// Omitted classes get weight zero; an empty string means DefaultServiceMix.
+func ParseServiceMix(s string) (ServiceMix, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultServiceMix(), nil
+	}
+	var m ServiceMix
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("worldgen: service mix term %q: want class=weight", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("worldgen: service mix weight %q", kv[1])
+		}
+		switch strings.ToLower(kv[0]) {
+		case "http":
+			m.HTTP = w
+		case "ssh":
+			m.SSH = w
+		case "tls":
+			m.TLS = w
+		case "telnet":
+			m.Telnet = w
+		case "garbage":
+			m.Garbage = w
+		case "silent":
+			m.Silent = w
+		default:
+			return m, fmt.Errorf("worldgen: unknown service class %q", kv[0])
+		}
+	}
+	if m.total() <= 0 {
+		return m, fmt.Errorf("worldgen: service mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+// serviceReadWindow bounds how long a materialized service waits on client
+// bytes before hanging up — simulated scanners that never speak must not pin
+// handler goroutines.
+const serviceReadWindow = 5 * time.Second
+
+// serviceHandler materializes one service class as a dialable handler.
+// Per-host variability (server header, SSH version) draws from
+// saltServiceParam so it never perturbs other derivations.
+func serviceHandler(class ServiceClass, u uint32, seed uint64) simnet.Handler {
+	h := derive(seed, u, saltServiceParam)
+	switch class {
+	case ServiceHTTP:
+		return httpServiceHandler(h)
+	case ServiceSSH:
+		return sshServiceHandler(h)
+	case ServiceTLS:
+		return tlsServiceHandler()
+	case ServiceTelnet:
+		return telnetServiceHandler()
+	case ServiceGarbage:
+		return garbageServiceHandler(h)
+	case ServiceSilent:
+		return silentServiceHandler()
+	default:
+		return nonFTPHandler(u, seed)
+	}
+}
+
+// httpServers is the Server-header population for misplaced web servers.
+var httpServers = []string{
+	"Apache/2.2.15 (CentOS)",
+	"nginx/1.10.3",
+	"Microsoft-IIS/7.5",
+	"lighttpd/1.4.35",
+}
+
+// httpServiceHandler waits for a request (HTTP is client-first on the wire)
+// and answers anything with a 400 and a Connection: close.
+func httpServiceHandler(h uint64) simnet.Handler {
+	server := httpServers[pickN(h, len(httpServers))]
+	return simnet.HandlerFunc(func(_ *simnet.Network, conn net.Conn) {
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(serviceReadWindow))
+		buf := make([]byte, 1024)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		fmt.Fprintf(conn, "HTTP/1.1 400 Bad Request\r\nServer: %s\r\nContent-Length: 0\r\nConnection: close\r\n\r\n", server)
+	})
+}
+
+// sshVersions is the banner population for SSH daemons squatting on 21.
+var sshVersions = []string{
+	"SSH-2.0-OpenSSH_5.3",
+	"SSH-2.0-OpenSSH_7.4",
+	"SSH-2.0-dropbear_2014.63",
+	"SSH-1.99-Cisco-1.25",
+}
+
+// sshServiceHandler greets immediately (SSH is server-first), then waits for
+// the client's identification string before hanging up.
+func sshServiceHandler(h uint64) simnet.Handler {
+	banner := sshVersions[pickN(h, len(sshVersions))] + "\r\n"
+	return simnet.HandlerFunc(func(_ *simnet.Network, conn net.Conn) {
+		defer conn.Close()
+		if _, err := conn.Write([]byte(banner)); err != nil {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(serviceReadWindow))
+		buf := make([]byte, 256)
+		conn.Read(buf)
+	})
+}
+
+// tlsAlertHandshakeFailure is a TLS record-layer fatal alert (type 21,
+// version 3.3, handshake_failure) — the shape a TLS endpoint answers when
+// the client's first bytes are not a ClientHello it accepts.
+var tlsAlertHandshakeFailure = []byte{0x15, 0x03, 0x03, 0x00, 0x02, 0x02, 0x28}
+
+// tlsServiceHandler waits for client bytes (TLS is client-first) and answers
+// anything with a fatal alert record.
+func tlsServiceHandler() simnet.Handler {
+	return simnet.HandlerFunc(func(_ *simnet.Network, conn net.Conn) {
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(serviceReadWindow))
+		buf := make([]byte, 1024)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		conn.Write(tlsAlertHandshakeFailure)
+	})
+}
+
+// telnetNegotiation is a typical telnetd opener: IAC DO TERMINAL-TYPE,
+// IAC DO WINDOW-SIZE, IAC WILL ECHO, IAC WILL SUPPRESS-GO-AHEAD.
+var telnetNegotiation = []byte{
+	0xFF, 0xFD, 0x18,
+	0xFF, 0xFD, 0x1F,
+	0xFF, 0xFB, 0x01,
+	0xFF, 0xFB, 0x03,
+}
+
+// telnetServiceHandler negotiates immediately (telnet is server-first), then
+// waits briefly for the client's side before hanging up.
+func telnetServiceHandler() simnet.Handler {
+	return simnet.HandlerFunc(func(_ *simnet.Network, conn net.Conn) {
+		defer conn.Close()
+		if _, err := conn.Write(telnetNegotiation); err != nil {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(serviceReadWindow))
+		buf := make([]byte, 256)
+		conn.Read(buf)
+	})
+}
+
+// garbageServiceHandler speaks no protocol at all: a deterministic burst of
+// high bytes chosen to collide with no real protocol's opening (never a
+// digit, never 0xFF, never a TLS record type).
+func garbageServiceHandler(h uint64) simnet.Handler {
+	n := 32 + int(h%96)
+	junk := make([]byte, n)
+	x := h
+	for i := range junk {
+		x = splitmix64(x)
+		junk[i] = 0x80 | byte(x%0x60) // 0x80..0xDF
+	}
+	return simnet.HandlerFunc(func(_ *simnet.Network, conn net.Conn) {
+		defer conn.Close()
+		conn.Write(junk)
+	})
+}
+
+// silentServiceHandler accepts and never writes — the tarpit shape LZR
+// sheds with its wait-then-trigger round-trip. The connection closes once
+// the client stops sending or the read window lapses.
+func silentServiceHandler() simnet.Handler {
+	return simnet.HandlerFunc(func(_ *simnet.Network, conn net.Conn) {
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(serviceReadWindow))
+		buf := make([]byte, 256)
+		for {
+			if _, err := conn.Read(buf); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -120,6 +120,11 @@ const (
 	saltFault
 	saltFaultClass
 	saltFaultParam
+	// Service-layer salts; appended for the same reason (worlds with the
+	// zero-value ServiceMix are bit-identical to worlds generated before
+	// the unexpected-service layer existed).
+	saltService
+	saltServiceParam
 )
 
 // nonFTPOpenRate derives the global density of hosts that accept TCP/21
@@ -150,9 +155,13 @@ const (
 // decidable without building the filesystem. The analysis pipeline never
 // sees this; tests compare pipeline output against it.
 type HostTruth struct {
-	IP             simnet.IP
-	FTP            bool
-	NonFTPOpen     bool
+	IP         simnet.IP
+	FTP        bool
+	NonFTPOpen bool
+	// Service is the non-FTP protocol the host speaks on port 21 when a
+	// ServiceMix is configured (ServiceNone for FTP hosts and for worlds
+	// without the service layer; see services.go).
+	Service        ServiceClass
 	AS             *asdb.AS
 	PersonalityKey string
 	Anonymous      bool
@@ -201,6 +210,16 @@ func (w *World) Truth(ip simnet.IP) (HostTruth, bool) {
 			t.NonFTPOpen = true
 			if prof != nil {
 				t.AS = prof.AS
+			}
+			// With a service mix, the non-FTP host speaks a real
+			// protocol — and can carry a transport fault personality,
+			// so the identification stage meets the same adversarial
+			// tail the enumerator does. Both draws use end-appended
+			// salts: zero-mix worlds are bit-identical to pre-service
+			// worlds.
+			if w.Params.ServiceMix.Enabled() {
+				t.Service = w.Params.ServiceMix.pick(derive(seed, u, saltService))
+				t.Fault = w.faultClassFor(u)
 			}
 			return t, true
 		}
