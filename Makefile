@@ -20,7 +20,7 @@ CHAOS_PKGS = ./internal/simnet ./internal/ftp ./internal/listparse \
 	./internal/enumerator ./internal/worldgen ./internal/identify \
 	./internal/core
 
-.PHONY: build test vet vet-obs race race-full race-sharded race-server tier1 chaos bench bench-server bench-identify smoke
+.PHONY: build test vet vet-obs race race-full race-sharded race-server tier1 chaos bench bench-server bench-identify bench-longitudinal smoke
 
 build:
 	$(GO) build ./...
@@ -39,16 +39,19 @@ vet-obs:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Extended race coverage: the pipeline and the parallel analysis layer.
+# Extended race coverage: the pipeline, the parallel analysis layer, and
+# the delta engine.
 race-full: race
-	$(GO) test -race ./internal/core ./internal/analysis
+	$(GO) test -race ./internal/core ./internal/analysis ./internal/delta
 
 # Sharded census under the race detector: N concurrent shard pipelines
 # share one world, collector, stream sink, and metrics registry, and the
 # aggregator snapshots merge across them — exactly the surfaces a data
-# race would corrupt silently.
+# race would corrupt silently. The checkpoint/resume suite rides along:
+# mid-scan halts, periodic quiescent checkpoints, and resume validation
+# all cut across those same shared structures.
 race-sharded:
-	$(GO) test -race -run 'TestSharded|TestSnapshot|TestAggregatorMerge|TestSynced|TestKeepOpen|TestChildCounter' \
+	$(GO) test -race -run 'TestSharded|TestSnapshot|TestAggregatorMerge|TestSynced|TestKeepOpen|TestChildCounter|TestKillAndResume|TestPeriodicCheckpoint|TestResumeValidation|TestCheckpoint' \
 		./internal/core ./internal/analysis ./internal/dataset ./internal/obs
 
 # Server core under the race detector: pooled sessions, the connection
@@ -66,8 +69,10 @@ smoke:
 
 # Chaos suite: every fault class must yield a classified partial record —
 # no hangs, no silent host drops — with the race detector watching.
+# KillAndResume belongs here too: it kills a census mid-scan over benign
+# *and* hostile worlds and demands byte-identical recovery.
 chaos:
-	$(GO) test -race -run 'Chaos|Fault|Hostile|Benign|Malformed|Truncated|Oversized|MidReply|UnexpectedEOF' $(CHAOS_PKGS)
+	$(GO) test -race -run 'Chaos|Fault|Hostile|Benign|Malformed|Truncated|Oversized|MidReply|UnexpectedEOF|KillAndResume' $(CHAOS_PKGS)
 
 bench:
 	scripts/bench.sh
@@ -85,3 +90,10 @@ bench-server:
 bench-identify:
 	BENCH='BenchmarkIdentifyRoundTrip|BenchmarkShedVsEnumerate|BenchmarkMixedCensus' \
 	BENCHTIME=3x scripts/bench.sh BENCH_8.json
+
+# Longitudinal benchmark: checkpoint frame encode/decode, the resume-time
+# aggregate merge, and a 100k-host ledger diff.
+bench-longitudinal:
+	PKG=./internal/delta \
+	BENCH='BenchmarkCheckpointEncode|BenchmarkCheckpointDecode|BenchmarkResumeMerge|BenchmarkDiffLedgers' \
+	BENCHTIME=100x scripts/bench.sh BENCH_9.json

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"ftpcloud/internal/analysis"
 	"ftpcloud/internal/core"
 	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/enumerator"
@@ -37,8 +39,10 @@ func run() error {
 	var (
 		seed     = flag.Uint64("seed", 42, "world and scan-order seed")
 		scale    = flag.Int("scale", 2048, "divisor of the paper's full-Internet population")
+		epoch    = flag.Uint64("epoch", 0, "world epoch: later epochs churn hosts, upgrade versions, and reallocate tail ASes deterministically")
 		workers  = flag.Int("workers", 64, "enumeration worker count")
 		retries  = flag.Int("retries", 2, "discovery probe retries")
+		rate     = flag.Int("rate", 0, "cap discovery probes per second across all shards (0 = unthrottled)")
 		loss     = flag.Float64("loss", 0.02, "simulated probe loss rate")
 		out      = flag.String("out", "", "write the per-host dataset (JSONL) to this file")
 		notifyTo = flag.String("notify", "", "write per-AS disclosure notices to this file")
@@ -49,6 +53,12 @@ func run() error {
 			"fan the census out over this many cooperating shard pipelines")
 		snapshotOut = flag.String("snapshot-out", "",
 			"write the merged aggregate snapshot (binary checkpoint) to this file")
+		checkpointTo = flag.String("checkpoint", "",
+			"write a resumable checkpoint to this file on truncation (and periodically); removed after a clean finish")
+		checkpointEvery = flag.Duration("checkpoint-every", 30*time.Second,
+			"periodic checkpoint interval when -checkpoint is set (0 = truncation-only)")
+		resumeFrom = flag.String("resume", "",
+			"resume a truncated census from this checkpoint file; -out is trimmed to the checkpointed ledger and appended to")
 
 		serviceMix = flag.String("service-mix", "",
 			"put non-FTP services on port 21: \"default\" or weights like http=4,tls=2,ssh=2,telnet=1,garbage=2,silent=1 (empty = off)")
@@ -109,14 +119,46 @@ func run() error {
 
 	reg := obs.NewRegistry()
 
+	// A resumed run picks up the checkpoint's aggregate and cursors, and
+	// continues the interrupted ledger in place. It keeps checkpointing to
+	// the same file unless told otherwise, so a second kill resumes from
+	// the later position and a clean finish removes the consumed file.
+	var resumeSnap *analysis.Snapshot
+	if *resumeFrom != "" {
+		var err error
+		if resumeSnap, err = readCheckpoint(*resumeFrom); err != nil {
+			return err
+		}
+		if *checkpointTo == "" {
+			*checkpointTo = *resumeFrom
+		}
+		fmt.Fprintf(os.Stderr, "ftpcensus: resuming from %s (%d records already streamed)\n",
+			*resumeFrom, resumeSnap.Checkpoint.Streamed)
+	}
+
 	// The dataset is persisted by streaming each record into the JSONL
 	// file as its enumeration finishes — and unless another consumer
 	// needs the retained slice (the notify builder does), the census
 	// runs in streaming-only mode so listings never pile up in memory.
+	// A resume appends to the interrupted ledger after trimming it to
+	// exactly the records the checkpoint accounts for, so the finished
+	// file carries no duplicates and no post-checkpoint stragglers.
 	var streamSink *dataset.WriterSink
 	var streamTo dataset.Sink
 	ran := false
-	if *out != "" {
+	if *out != "" && resumeSnap != nil {
+		f, err := openLedgerForResume(*out, resumeSnap.Checkpoint.Streamed)
+		if err != nil {
+			return err
+		}
+		streamSink = dataset.NewWriterSink(f)
+		streamTo = streamSink
+		defer func() {
+			if !ran {
+				streamSink.Close()
+			}
+		}()
+	} else if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			return err
@@ -161,12 +203,44 @@ func run() error {
 		}()
 	}
 
+	var result *core.Result
+	if *snapshotOut != "" {
+		// Mirror the -metrics-out defer: a truncated run's aggregate is a
+		// valid mergeable dataset (and a longitudinal diff input), so it
+		// is persisted on every exit path that produced one — not only
+		// the happy path.
+		defer func() {
+			if result == nil {
+				return
+			}
+			if err := writeAggregateSnapshot(result, *snapshotOut); err != nil {
+				fmt.Fprintf(os.Stderr, "ftpcensus: aggregate snapshot: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "ftpcensus: wrote aggregate snapshot to %s\n", *snapshotOut)
+			}
+		}()
+	}
+
+	var policy *core.CheckpointPolicy
+	if *checkpointTo != "" {
+		policy = &core.CheckpointPolicy{
+			Every: *checkpointEvery,
+			Write: func(snap *analysis.Snapshot) error {
+				return writeCheckpointAtomic(snap, *checkpointTo)
+			},
+		}
+	}
+
 	sharded, err := core.NewShardedCensus(core.CensusConfig{
 		Seed:            *seed,
 		Scale:           *scale,
+		Epoch:           *epoch,
 		EnumWorkers:     *workers,
 		Retries:         *retries,
+		ScanRate:        *rate,
 		LossRate:        *loss,
+		Checkpoint:      policy,
+		Resume:          resumeSnap,
 		RetainRecords:   retain,
 		StreamTo:        streamTo,
 		ServiceMix:      svcMix,
@@ -199,7 +273,7 @@ func run() error {
 	}
 
 	ran = true // Run owns the sink chain from here: it flushes and closes it.
-	result, err := sharded.Run(ctx)
+	result, err = sharded.Run(ctx)
 	if err != nil {
 		return err
 	}
@@ -207,6 +281,17 @@ func run() error {
 		fmt.Fprintf(os.Stderr,
 			"ftpcensus: *** TRUNCATED at %s — partial results below (%d records enumerated) ***\n",
 			result.TruncatedBy, result.Observed)
+	}
+	if *checkpointTo != "" {
+		if result.Truncated {
+			fmt.Fprintf(os.Stderr, "ftpcensus: checkpoint written to %s — continue with -resume %s\n",
+				*checkpointTo, *checkpointTo)
+		} else if os.Remove(*checkpointTo) == nil {
+			// A clean finish needs no resume point; leaving a stale
+			// periodic checkpoint behind would invite resuming a
+			// completed census.
+			fmt.Fprintf(os.Stderr, "ftpcensus: clean finish — removed checkpoint %s\n", *checkpointTo)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "ftpcensus: discovery %v (%d probed, %d responsive); enumeration %v (%d records)\n",
 		result.ScanDuration.Round(time.Millisecond), result.Probed, result.Responded,
@@ -240,13 +325,6 @@ func run() error {
 	if streamSink != nil {
 		// Run already flushed and closed the sink chain.
 		fmt.Fprintf(os.Stderr, "ftpcensus: streamed %d records to %s\n", streamSink.Count(), *out)
-	}
-
-	if *snapshotOut != "" {
-		if err := writeAggregateSnapshot(result, *snapshotOut); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "ftpcensus: wrote aggregate snapshot to %s\n", *snapshotOut)
 	}
 
 	if *notifyTo != "" {
@@ -342,6 +420,71 @@ func censusProgress(w io.Writer, delta, cur obs.Snapshot, elapsed time.Duration)
 		fmt.Fprintf(w, " failures: %s", strings.Join(parts, " "))
 	}
 	fmt.Fprintln(w)
+}
+
+// readCheckpoint loads and sanity-checks a resume file. Deep validation
+// (seed, epoch, shards, config digest) happens in core when the census
+// starts; this only rejects files that are not checkpoints at all.
+func readCheckpoint(path string) (*analysis.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	snap, err := analysis.DecodeSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading checkpoint %s: %w", path, err)
+	}
+	if snap.Checkpoint == nil {
+		return nil, fmt.Errorf("%s is an aggregate snapshot, not a resumable checkpoint", path)
+	}
+	return snap, nil
+}
+
+// writeCheckpointAtomic persists a checkpoint via tmp+rename so a crash
+// mid-write can never leave a torn file where the previous good checkpoint
+// was — the file either holds the old checkpoint or the new one.
+func writeCheckpointAtomic(snap *analysis.Snapshot, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := snap.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// openLedgerForResume trims the interrupted JSONL ledger to exactly the
+// first streamed lines the checkpoint accounts for, then reopens it for
+// appending. Trimming matters in the crash case: records streamed after
+// the last checkpoint was written would otherwise duplicate when the
+// resumed run re-observes their hosts.
+func openLedgerForResume(path string, streamed int) (*os.File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("resume ledger: %w", err)
+	}
+	offset := 0
+	for i := 0; i < streamed; i++ {
+		n := bytes.IndexByte(raw[offset:], '\n')
+		if n < 0 {
+			return nil, fmt.Errorf("resume ledger %s holds %d records but the checkpoint accounts for %d — wrong file?",
+				path, i, streamed)
+		}
+		offset += n + 1
+	}
+	if err := os.Truncate(path, int64(offset)); err != nil {
+		return nil, fmt.Errorf("resume ledger: %w", err)
+	}
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 // writeAggregateSnapshot persists the run's mergeable accumulator state —

@@ -1,0 +1,99 @@
+// Command ftpdelta diffs two census runs — the longitudinal view the
+// paper's single sweep could not take. Point it at the aggregate snapshots
+// two censuses wrote (-snapshot-out, or checkpoint files) and it trends
+// the headline counters; add the streamed JSONL ledgers and it resolves
+// host-level churn and version-migration flows.
+//
+// Usage:
+//
+//	ftpdelta -from epoch0.snap -to epoch1.snap \
+//	         [-from-ledger epoch0.jsonl -to-ledger epoch1.jsonl]
+//
+// Snapshots from any census run are accepted: plain aggregates (version-1
+// frames) and resumable checkpoints (version-2) diff the same way.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftpcloud/internal/analysis"
+	"ftpcloud/internal/dataset"
+	"ftpcloud/internal/delta"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftpdelta: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func loadSnapshot(path string) (*analysis.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := analysis.DecodeSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func loadLedger(path string) ([]*dataset.HostRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, err := dataset.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func run() error {
+	fromPath := flag.String("from", "", "earlier census snapshot (required)")
+	toPath := flag.String("to", "", "later census snapshot (required)")
+	fromLedger := flag.String("from-ledger", "",
+		"earlier run's JSONL ledger (enables host-level churn and migration flows)")
+	toLedger := flag.String("to-ledger", "",
+		"later run's JSONL ledger (required with -from-ledger)")
+	flag.Parse()
+
+	if *fromPath == "" || *toPath == "" {
+		return fmt.Errorf("usage: ftpdelta -from <snapshot> -to <snapshot> [-from-ledger <jsonl> -to-ledger <jsonl>]")
+	}
+	if (*fromLedger == "") != (*toLedger == "") {
+		return fmt.Errorf("-from-ledger and -to-ledger must be given together")
+	}
+
+	from, err := loadSnapshot(*fromPath)
+	if err != nil {
+		return err
+	}
+	to, err := loadSnapshot(*toPath)
+	if err != nil {
+		return err
+	}
+	report := delta.Compute(from, to)
+
+	if *fromLedger != "" {
+		before, err := loadLedger(*fromLedger)
+		if err != nil {
+			return err
+		}
+		after, err := loadLedger(*toLedger)
+		if err != nil {
+			return err
+		}
+		report.Hosts = delta.DiffLedgers(before, after)
+	}
+
+	fmt.Print(report.Render())
+	return nil
+}

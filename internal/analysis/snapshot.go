@@ -35,13 +35,75 @@ type Snapshot struct {
 	// absent from older streams, so pre-funnel snapshots decode with an
 	// empty ledger.
 	Unexpected UnexpectedSnap
+
+	// Checkpoint, when non-nil, upgrades the snapshot from a mergeable
+	// aggregate into a resumable census position: the scan cursors, the
+	// ledger length, and the robustness counters a resumed run needs to
+	// continue exactly where this one stopped. Snapshots carrying it are
+	// written as frame version 2; plain aggregates stay version 1 so
+	// older readers keep decoding them.
+	Checkpoint *CheckpointState
 }
 
-// snapshotMagic and snapshotVersion frame the serialized form so corrupt or
-// foreign bytes are rejected before gob sees them.
+// CheckpointState is the census-position half of a checkpoint: everything a
+// resumed run needs beyond the aggregate itself. The zmap cyclic-group walk
+// makes the scan position one integer per shard (see zmap.Permutation.Seek),
+// so the whole scan state is Cursors.
+type CheckpointState struct {
+	// Seed, Epoch, Scale, Shards, and ScanSize identify the world and
+	// pipeline shape this checkpoint belongs to; a resume against any
+	// other configuration must be refused.
+	Seed     uint64
+	Epoch    uint64
+	Scale    int
+	Shards   int
+	ScanSize uint64
+	// ConfigDigest fingerprints the remaining census knobs (loss, retries,
+	// identification, enumeration budgets …) that change what a run
+	// observes. Resume validates it so a checkpoint cannot silently
+	// continue under different measurement semantics.
+	ConfigDigest uint64
+	// Cursors holds each shard's permutation position (group steps
+	// consumed), Shards entries in shard order.
+	Cursors []uint64
+	// Streamed counts the records in the JSONL ledger at checkpoint time;
+	// a resume appends after exactly this many lines so the concatenated
+	// ledger carries no duplicates.
+	Streamed int
+	// Probed/Responded carry the discovery counters folded so far.
+	Probed    uint64
+	Responded uint64
+	// Truncated records whether the checkpoint was written on a truncated
+	// exit (versus a periodic quiescent write).
+	Truncated bool
+	// Robustness carries the degradation ledger accumulated so far.
+	Robustness RobustnessState
+}
+
+// RobustnessState mirrors the census robustness ledger as plain data (the
+// core package owns the live type; this is its serialized form).
+type RobustnessState struct {
+	Records     int
+	Partial     int
+	Terminated  int
+	Truncated   int
+	SkippedDirs int
+	Retries     int
+	DataBytes   int64
+	Failures    map[string]int
+}
+
+// snapshotMagic and the version byte frame the serialized form so corrupt
+// or foreign bytes are rejected before gob sees them. Version 1 is a plain
+// aggregate; version 2 adds the checkpoint fields. Encode picks the lowest
+// version that represents the snapshot, so aggregates remain readable by
+// version-1 decoders.
 var snapshotMagic = [4]byte{'F', 'C', 'A', 'S'}
 
-const snapshotVersion = 1
+const (
+	snapshotVersion           = 1
+	snapshotVersionCheckpoint = 2
+)
 
 // ErrCorruptSnapshot marks bytes that do not decode as a snapshot — wrong
 // magic, unknown version, or a gob stream damaged in transit. Callers
@@ -92,13 +154,19 @@ func (a *Aggregator) Merge(other *Aggregator) {
 }
 
 // Encode writes the snapshot's compact binary form: a fixed header (magic
-// plus version) followed by a gob stream.
+// plus version) followed by a gob stream. Snapshots without checkpoint
+// state are framed as version 1, byte-compatible with earlier readers;
+// checkpoints are framed as version 2.
 func (s *Snapshot) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(snapshotVersion); err != nil {
+	version := byte(snapshotVersion)
+	if s.Checkpoint != nil {
+		version = snapshotVersionCheckpoint
+	}
+	if err := bw.WriteByte(version); err != nil {
 		return err
 	}
 	if err := gob.NewEncoder(bw).Encode(s); err != nil {
@@ -127,19 +195,35 @@ func DecodeSnapshot(r io.Reader) (s *Snapshot, err error) {
 			s, err = nil, fmt.Errorf("%w: decode panic: %v", ErrCorruptSnapshot, p)
 		}
 	}()
+	// Buffer the stream ourselves: bufio.Reader satisfies io.ByteReader,
+	// so gob reads exactly its message bytes and never overbuffers —
+	// which is what makes the trailing-byte check below reliable.
+	br := bufio.NewReader(r)
 	var header [5]byte
-	if _, err := io.ReadFull(r, header[:]); err != nil {
+	if _, err := io.ReadFull(br, header[:]); err != nil {
 		return nil, fmt.Errorf("%w: short header: %v", ErrCorruptSnapshot, err)
 	}
 	if !bytes.Equal(header[:4], snapshotMagic[:]) {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorruptSnapshot, header[:4])
 	}
-	if header[4] != snapshotVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSnapshot, header[4])
+	version := header[4]
+	if version != snapshotVersion && version != snapshotVersionCheckpoint {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorruptSnapshot, version)
 	}
 	s = new(Snapshot)
-	if err := gob.NewDecoder(r).Decode(s); err != nil {
+	if err := gob.NewDecoder(br).Decode(s); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptSnapshot, err)
+	}
+	// A version-1 frame must not smuggle checkpoint fields past readers
+	// that validate them, and no frame may carry trailing bytes: a
+	// concatenated or damaged checkpoint file is corrupt, not silently
+	// half-read.
+	if version == snapshotVersion && s.Checkpoint != nil {
+		return nil, fmt.Errorf("%w: version-1 frame carries checkpoint state", ErrCorruptSnapshot)
+	}
+	var trailing [1]byte
+	if _, err := io.ReadFull(br, trailing[:]); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing bytes after snapshot", ErrCorruptSnapshot)
 	}
 	return s, nil
 }

@@ -5,10 +5,13 @@
 // private key) in every unit. A Pool therefore holds a small set of named
 // certificates that the world generator assigns to many hosts.
 //
-// Certificates are real (crypto/x509, ECDSA P-256). Key material and
-// subjects are fully deterministic for a given seed so worlds reproduce;
-// only the outer ECDSA signature bytes vary run to run (Go's signer is
-// intentionally randomized), which nothing in the toolchain depends on.
+// Certificates are real (crypto/x509, ECDSA P-256). The full DER encoding
+// — key material, subjects, and the outer ECDSA signature — is
+// deterministic for a given seed, so fingerprints are stable across
+// processes. That last property is load-bearing: streamed census ledgers
+// record certificate fingerprints, and checkpoint/resume promises a
+// resumed run's ledger is byte-identical to an uninterrupted one even
+// though the two halves come from different processes.
 package certs
 
 import (
@@ -113,6 +116,22 @@ func (r *seededReader) Read(p []byte) (int, error) {
 
 var _ io.Reader = (*seededReader)(nil)
 
+// constReader yields one byte, forever. Go's signing path deliberately
+// consumes a nondeterministic number of bytes from its entropy reader
+// (crypto/internal/randutil.MaybeReadByte), so any position-dependent
+// stream yields run-to-run signature bytes. A period-1 stream is immune:
+// however many bytes the signer skips, the entropy it reads is identical,
+// so the hedged ECDSA nonce — and with it the DER and fingerprint — is
+// reproducible.
+type constReader byte
+
+func (c constReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(c)
+	}
+	return len(p), nil
+}
+
 // deriveKey builds an ECDSA P-256 key directly from the seeded stream.
 // ecdsa.GenerateKey cannot be used: Go's crypto intentionally perturbs its
 // reader (randutil.MaybeReadByte) to defeat exactly this kind of
@@ -209,7 +228,13 @@ func mint(rng io.Reader, name, cn string, issuer *Cert, _ []string, isCA bool) (
 		parent = issuer.Leaf
 		signKey = issuer.PrivateKey
 	}
-	der, err := x509.CreateCertificate(rng, tmpl, parent, &key.PublicKey, signKey)
+	// Signing entropy comes from a constant stream (seeded per cert) so the
+	// signature bytes are deterministic; see constReader.
+	var sigByte [1]byte
+	if _, err := io.ReadFull(rng, sigByte[:]); err != nil {
+		return nil, err
+	}
+	der, err := x509.CreateCertificate(constReader(sigByte[0]), tmpl, parent, &key.PublicKey, signKey)
 	if err != nil {
 		return nil, err
 	}

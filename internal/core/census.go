@@ -52,6 +52,11 @@ type CensusConfig struct {
 	// ScanWorkers / EnumWorkers set stage parallelism.
 	ScanWorkers int
 	EnumWorkers int
+	// ScanRate caps discovery probes per second across all shards (the
+	// paper's ZMap rate knob); 0 means unthrottled. Pacing changes when
+	// hosts are observed, never what is observed, so it is not part of
+	// the checkpoint's config digest.
+	ScanRate int
 	// Retries resends discovery probes to absorb simulated loss.
 	Retries int
 	// LossRate injects deterministic probe loss.
@@ -70,6 +75,13 @@ type CensusConfig struct {
 	// Params overrides the generated world's parameters entirely when
 	// non-nil.
 	Params *worldgen.Params
+
+	// Epoch advances the generated world through deterministic churn for
+	// longitudinal series (see worldgen.Params.Epoch): same Seed, later
+	// Epoch, and a fraction of hosts have left, appeared, upgraded, or
+	// changed AS. Zero is today's world. Ignored when Params is set
+	// (set Params.Epoch there instead).
+	Epoch uint64
 
 	// HostileRate assigns this fraction of FTP hosts a hostile fault
 	// personality (slow drip, mid-session reset, stalled data channels,
@@ -133,6 +145,28 @@ type CensusConfig struct {
 	// The caller can then serve it over expvar, diff it for progress
 	// lines, or snapshot it to disk.
 	Metrics *obs.Registry
+
+	// Now stamps each host record's ScannedAt. Nil means time.Now.
+	// Injecting a fixed clock makes streamed ledgers reproducible
+	// byte-for-byte, which the resume-equivalence tests rely on.
+	Now func() time.Time
+
+	// Checkpoint, when non-nil, makes the census resumable: caller
+	// cancellation halts the scanners at a batch boundary and drains
+	// everything in flight before the run returns, and the policy's Write
+	// receives a checkpoint snapshot on truncation (and periodically at
+	// quiescent points when Every is set). See CheckpointPolicy.
+	Checkpoint *CheckpointPolicy
+	// Resume, when non-nil, continues a census from the checkpoint a
+	// previous run wrote: the scanners seek to the saved cursors, the
+	// saved aggregate and robustness ledger merge into the result, and —
+	// when the caller appends to the same JSONL ledger — the finished
+	// series is byte-identical to an uninterrupted run. The snapshot must
+	// carry checkpoint state matching this configuration (same seed,
+	// epoch, scale, shard count, and measurement knobs) or Run fails with
+	// ErrCheckpointMismatch. In RetainAll mode only the resumed portion's
+	// records are retained; resume is built for streaming runs.
+	Resume *analysis.Snapshot
 }
 
 // Retention selects the census memory model.
@@ -244,6 +278,7 @@ func NewCensus(cfg CensusConfig) (*Census, error) {
 		params.HostileRate = cfg.HostileRate
 		params.FaultMix = cfg.FaultMix
 		params.ServiceMix = cfg.ServiceMix
+		params.Epoch = cfg.Epoch
 	}
 	world, err := worldgen.New(params)
 	if err != nil {
@@ -319,27 +354,11 @@ type Result struct {
 // flowed, even when the run is cancelled mid-flight.
 //
 // Run drives a single pipeline; ShardedCensus fans the same pipeline out
-// over strided permutation shards and merges the partial aggregates.
+// over strided permutation shards and merges the partial aggregates. Both
+// are runN, which also hosts the checkpoint/resume machinery (see
+// checkpoint.go).
 func (c *Census) Run(ctx context.Context) (*Result, error) {
-	start := time.Now()
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	collector, closeCollector, err := c.newCollector()
-	if err != nil {
-		return nil, err
-	}
-	defer closeCollector()
-	o := c.runShard(ctx, cancel, start, shardSpec{
-		sourceBase:     ScannerBase,
-		identifySource: IdentifyBase,
-		collector:      collector,
-		stream:         c.Config.StreamTo,
-	})
-	var streamErr error
-	if c.Config.StreamTo != nil {
-		streamErr = c.Config.StreamTo.Close()
-	}
-	return c.assemble(ctx, start, []*shardOutcome{o}, streamErr)
+	return c.runN(ctx, 1)
 }
 
 // newCollector builds the PORT-validation collector unless disabled. The
@@ -372,6 +391,9 @@ type shardSpec struct {
 	// prefix namespaces the pipeline's registry counters ("shard3.");
 	// prefixed counters also feed the unprefixed merged view.
 	prefix string
+	// startCursor resumes this shard's permutation walk at the saved
+	// checkpoint position (group steps); zero starts from the beginning.
+	startCursor uint64
 }
 
 // shardOutcome is one pipeline's partial census: the aggregate, the
@@ -393,8 +415,9 @@ type shardOutcome struct {
 // runShard executes one discovery+enumeration pipeline over the spec's
 // slice of the scan. A sink failure cancels the whole run (all shards share
 // the cancel); every other error is recorded in the outcome for assemble to
-// order by the established precedence.
-func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start time.Time, spec shardSpec) *shardOutcome {
+// order by the established precedence. The shard publishes its live pieces
+// through rt for the checkpoint coordinator (see checkpoint.go).
+func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start time.Time, spec shardSpec, rt *shardRuntime) *shardOutcome {
 	o := &shardOutcome{}
 	scanner, err := zmap.NewScanner(zmap.Config{
 		Network:       c.Network,
@@ -403,14 +426,17 @@ func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start 
 		Port:          21,
 		Seed:          c.Config.Seed,
 		Workers:       c.Config.ScanWorkers,
+		RatePerSec:    c.Config.ScanRate,
 		Retries:       c.Config.Retries,
 		Shard:         spec.index,
 		TotalShards:   spec.total,
+		StartCursor:   spec.startCursor,
 		Metrics:       c.Config.Metrics,
 		MetricsPrefix: spec.prefix,
 	})
 	if err != nil {
 		o.setupErr = fmt.Errorf("core: scanner: %w", err)
+		close(rt.ready)
 		return o
 	}
 
@@ -427,6 +453,7 @@ func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start 
 			Retry:      c.Config.EnumRetry,
 			HostBudget: c.Config.HostBudget,
 			ByteBudget: c.Config.ByteBudget,
+			Now:        c.Config.Now,
 		},
 		Network:    c.Network,
 		SourceBase: spec.sourceBase,
@@ -474,6 +501,15 @@ func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start 
 	}
 	sink := dataset.Tee(sinks...)
 
+	// Publish the shard's live pieces for the checkpoint coordinator, then
+	// signal readiness: from here on the halt watcher can stop the scanner
+	// and the quiescence loop can read its accounting.
+	var robust Robustness
+	rt.scanner = scanner
+	rt.agg = agg
+	rt.robust = &robust
+	close(rt.ready)
+
 	// Pipeline: scanner results flow straight into the next stage's
 	// intake, in batches so discovery fan-out costs one channel handoff
 	// per slice. With identification enabled the next stage is the
@@ -520,7 +556,6 @@ func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start 
 	// totals always agree with the aggregator's Observed count.
 	mets := newCensusMetrics(c.Config.Metrics, spec.prefix)
 	drained := make(chan error, 1)
-	var robust Robustness
 	go func() {
 		var sinkErr error
 		for rec := range out {
@@ -531,10 +566,16 @@ func (c *Census) runShard(ctx context.Context, cancel context.CancelFunc, start 
 			if err := sink.Observe(rec); err != nil {
 				sinkErr = err
 				mets.sinkErrors.Inc()
+				rt.sinkFailed.Store(true)
 				cancel()
 				continue
 			}
 			robust.observe(rec)
+			// The accepted count is the quiescence watermark: it is
+			// bumped only after the whole chain (and the robustness
+			// fold) has the record, so a coordinator that sees
+			// emitted − dead − accepted == 0 also sees every fold.
+			rt.accepted.Add(1)
 			mets.record(rec)
 		}
 		drained <- sinkErr
@@ -646,6 +687,16 @@ func (c *Census) assemble(ctx context.Context, start time.Time, outcomes []*shar
 		for ip, info := range o.join {
 			join[ip] = info
 		}
+	}
+	// A resumed run folds the previous run's checkpoint in last: the saved
+	// aggregate merges like one more shard (additive, order-independent),
+	// the robustness ledger sums, and the discovery counters extend — so
+	// the finished result is what an uninterrupted run would have produced.
+	if r := c.Config.Resume; r != nil && r.Checkpoint != nil {
+		agg.MergeSnapshot(r)
+		robust.Merge(robustFromState(r.Checkpoint.Robustness))
+		result.Probed += r.Checkpoint.Probed
+		result.Responded += r.Checkpoint.Responded
 	}
 	result.Observed = agg.Observed()
 	result.Robustness = robust

@@ -3,11 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
-	"time"
-
-	"ftpcloud/internal/dataset"
-	"ftpcloud/internal/simnet"
 )
 
 // ShardedCensus fans one census out over N cooperating shard pipelines,
@@ -65,57 +60,9 @@ func NewShardedCensus(cfg CensusConfig, shards int) (*ShardedCensus, error) {
 }
 
 // Run executes the shard pipelines concurrently and merges their partial
-// results. With one shard it is exactly Census.Run.
+// results. With one shard it is exactly Census.Run. Both paths are runN
+// (see checkpoint.go), so checkpoint/resume works identically sharded and
+// unsharded.
 func (s *ShardedCensus) Run(ctx context.Context) (*Result, error) {
-	n := s.Shards
-	if n <= 1 {
-		return s.Census.Run(ctx)
-	}
-	if n > maxShards {
-		return nil, fmt.Errorf("core: %d shards exceeds the source-address budget (max %d)", n, maxShards)
-	}
-	c := s.Census
-	start := time.Now()
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	collector, closeCollector, err := c.newCollector()
-	if err != nil {
-		return nil, err
-	}
-	defer closeCollector()
-
-	// One merged ledger: the caller's sink observes records from N drain
-	// goroutines, so serialize it; each shard gets a KeepOpen view and
-	// the real Close happens once, below, after every shard has finished.
-	var stream dataset.Sink
-	if c.Config.StreamTo != nil {
-		stream = dataset.Synced(c.Config.StreamTo)
-	}
-
-	outcomes := make([]*shardOutcome, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		spec := shardSpec{
-			index:          i,
-			total:          n,
-			sourceBase:     simnet.IP(uint64(ScannerBase) + uint64(i)*shardSourceStride),
-			identifySource: simnet.IP(uint64(IdentifyBase) + uint64(i)*shardSourceStride),
-			collector:      collector,
-			stream:         stream,
-			prefix:         fmt.Sprintf("shard%d.", i),
-		}
-		wg.Add(1)
-		go func(i int, spec shardSpec) {
-			defer wg.Done()
-			outcomes[i] = c.runShard(ctx, cancel, start, spec)
-		}(i, spec)
-	}
-	wg.Wait()
-
-	var streamErr error
-	if c.Config.StreamTo != nil {
-		streamErr = c.Config.StreamTo.Close()
-	}
-	return c.assemble(ctx, start, outcomes, streamErr)
+	return s.Census.runN(ctx, s.Shards)
 }

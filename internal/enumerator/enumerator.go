@@ -93,6 +93,11 @@ type Config struct {
 	// under enum.latency.* (dial, banner, list, retr, cmd) — the
 	// LZR-style timing data service identification leans on.
 	Metrics *obs.Registry
+	// Now stamps each record's ScannedAt. Nil means time.Now. Injecting a
+	// fixed clock makes ledgers reproducible byte-for-byte — which the
+	// checkpoint/resume equivalence harness depends on. Budget deadlines
+	// always use the real clock.
+	Now func() time.Time
 }
 
 // withDefaults fills zero values.
@@ -192,9 +197,13 @@ type session struct {
 // jittered backoff.
 func Enumerate(ctx context.Context, cfg Config, targetIP string) *dataset.HostRecord {
 	cfg = cfg.withDefaults()
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
 	rec := &dataset.HostRecord{
 		IP:        targetIP,
-		ScannedAt: time.Now().UTC(),
+		ScannedAt: now().UTC(),
 		PortOpen:  true,
 		PortCheck: dataset.PortNotTested,
 	}
@@ -374,7 +383,15 @@ func (s *session) cmd(name, arg string) (ftp.Reply, bool) {
 		// classify the fault instead of silently abandoning the host.
 		s.rec.ConnTerminated = true
 		if !s.closing {
-			s.markDegraded(classifyErr(err))
+			class := classifyErr(err)
+			// A deadline that opTimeout clipped to the budget's remainder
+			// is budget exhaustion, not server slowness — without this the
+			// class depends on whether the pre-command budget check or the
+			// clipped deadline fires first.
+			if _, ok := s.bud.timeLeft(); class == FailTimeout && !ok {
+				class = FailBudgetTime
+			}
+			s.markDegraded(class)
 		}
 		return ftp.Reply{}, false
 	}

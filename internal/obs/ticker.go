@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Every runs fn every interval until ctx is cancelled or the returned stop
+// function is called. Unlike Reporter it carries no registry or formatting —
+// it is the bare periodic-action primitive the census checkpoint coordinator
+// (and anything else needing a supervised ticker) builds on.
+//
+// fn invocations never overlap: the loop is a single goroutine. stop is
+// idempotent and blocks until any in-flight fn has returned, so after stop
+// the caller may tear down whatever fn touches.
+func Every(ctx context.Context, interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-stopCh:
+				return
+			case <-t.C:
+				fn()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopCh) })
+		<-done
+	}
+}

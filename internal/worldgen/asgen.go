@@ -174,6 +174,25 @@ func buildASLayout(p Params) (*asdb.DB, []*asProfile, error) {
 			prof.Density = 0.0042
 			prof.Mix = mixISPGeneric
 		}
+		// Tail ASes churn across epochs: a ReallocRate fraction per epoch
+		// is renumbered and renamed — the prefix sold on to a new operator.
+		// The allocation itself (prefix, density, mix) is untouched so host
+		// presence stays anchored to the address space; only the AS
+		// identity the census attributes hosts to changes. Named ASes from
+		// the paper's tables never reallocate. At Epoch 0 the loop draws
+		// nothing.
+		if p.ReallocRate > 0 {
+			gen := uint32(0)
+			for k := uint64(1); k <= p.Epoch; k++ {
+				if chance(derive(epochSeed(p.Seed, k), uint32(i), saltEpochRealloc), p.ReallocRate) {
+					gen++
+				}
+			}
+			if gen > 0 {
+				prof.AS.Number += gen * 1_000_000
+				prof.AS.Name = fmt.Sprintf("%s (realloc %d)", prof.AS.Name, gen)
+			}
+		}
 		profiles = append(profiles, prof)
 	}
 

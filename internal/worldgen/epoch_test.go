@@ -1,0 +1,180 @@
+package worldgen
+
+import (
+	"testing"
+
+	"ftpcloud/internal/simnet"
+)
+
+// epochWorld builds a default-params world at the given epoch.
+func epochWorld(t *testing.T, seed uint64, scale int, epoch uint64) *World {
+	t.Helper()
+	p := DefaultParams(seed, scale)
+	p.Epoch = epoch
+	w, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestEpochZeroBitIdentity: an explicit Epoch-0 world digests identically to
+// a world built before the longitudinal layer existed — churn draws nothing
+// at epoch zero even with the default nonzero churn rates.
+func TestEpochZeroBitIdentity(t *testing.T) {
+	for _, g := range benignGoldenDigests {
+		w := epochWorld(t, g.seed, g.scale, 0)
+		if got := benignWorldDigest(t, w); got != g.digest {
+			t.Errorf("seed=%d scale=%d epoch=0: digest %#x, want golden %#x — Epoch 0 must stay bit-identical",
+				g.seed, g.scale, got, g.digest)
+		}
+	}
+}
+
+// epochDigest hashes a world's full truth including epoch-visible fields.
+// It reuses benignWorldDigest's field walk but tolerates churned services.
+func epochDigest(t *testing.T, w *World) uint64 {
+	t.Helper()
+	return benignWorldDigest(t, w)
+}
+
+// TestEpochDeterminism: the same (Seed, Epoch) pair yields an identical
+// world on every construction — the cross-process reproducibility the
+// longitudinal census depends on. Different epochs yield different worlds.
+func TestEpochDeterminism(t *testing.T) {
+	const seed, scale = 42, 262144
+	digests := make(map[uint64]uint64)
+	for _, epoch := range []uint64{0, 1, 2, 5} {
+		a := epochDigest(t, epochWorld(t, seed, scale, epoch))
+		b := epochDigest(t, epochWorld(t, seed, scale, epoch))
+		if a != b {
+			t.Errorf("epoch %d: two constructions digest %#x vs %#x", epoch, a, b)
+		}
+		digests[epoch] = a
+	}
+	if digests[0] == digests[1] || digests[1] == digests[2] || digests[0] == digests[5] {
+		t.Errorf("epochs digest identically (%v); churn is not being applied", digests)
+	}
+}
+
+// TestEpochChurnIsIncremental: most hosts survive an epoch transition — the
+// churned fraction is near ChurnRate, not a wholesale reshuffle — and the
+// population size stays calibrated (re-rolls at the stationary density).
+func TestEpochChurnIsIncremental(t *testing.T) {
+	const seed, scale = 7, 262144
+	w0 := epochWorld(t, seed, scale, 0)
+	w1 := epochWorld(t, seed, scale, 1)
+
+	base := uint64(w0.ScanBase)
+	var ftp0, ftp1, both int
+	for off := uint64(0); off < w0.ScanSize; off++ {
+		ip := simnet.IP(base + off)
+		t0, ok0 := w0.Truth(ip)
+		t1, ok1 := w1.Truth(ip)
+		if ok0 && t0.FTP {
+			ftp0++
+		}
+		if ok1 && t1.FTP {
+			ftp1++
+		}
+		if ok0 && ok1 && t0.FTP && t1.FTP {
+			both++
+		}
+	}
+	if ftp0 == 0 || ftp1 == 0 {
+		t.Fatal("no FTP hosts; test vacuous")
+	}
+	// Population stays within 15% across the epoch (stationary re-roll).
+	if ratio := float64(ftp1) / float64(ftp0); ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("population drifted %d -> %d (ratio %.3f); churn should be stationary", ftp0, ftp1, ratio)
+	}
+	// Survivors dominate: with ChurnRate 0.08 well over 80% of epoch-0
+	// hosts persist into epoch 1.
+	if surv := float64(both) / float64(ftp0); surv < 0.80 {
+		t.Errorf("only %.1f%% of hosts survived one epoch; churn too aggressive", surv*100)
+	}
+	// And some hosts did churn — otherwise the epochs are identical.
+	if both == ftp0 && ftp0 == ftp1 {
+		t.Error("no host churned across the epoch")
+	}
+}
+
+// TestEpochUpgradeMigratesVersions: across an epoch some surviving hosts
+// change personality (a software upgrade) while most keep theirs.
+func TestEpochUpgradeMigratesVersions(t *testing.T) {
+	const seed, scale = 42, 262144
+	w0 := epochWorld(t, seed, scale, 0)
+	w1 := epochWorld(t, seed, scale, 1)
+
+	base := uint64(w0.ScanBase)
+	var survived, migrated int
+	for off := uint64(0); off < w0.ScanSize; off++ {
+		ip := simnet.IP(base + off)
+		t0, ok0 := w0.Truth(ip)
+		t1, ok1 := w1.Truth(ip)
+		if !ok0 || !ok1 || !t0.FTP || !t1.FTP {
+			continue
+		}
+		survived++
+		if t0.PersonalityKey != t1.PersonalityKey {
+			migrated++
+		}
+	}
+	if survived == 0 {
+		t.Fatal("no surviving hosts; test vacuous")
+	}
+	frac := float64(migrated) / float64(survived)
+	// UpgradeRate 0.12 redraws from the same mix, so the observed
+	// migration fraction is a bit below 0.12 (a redraw can land on the
+	// same personality). Expect a clearly nonzero minority.
+	if frac == 0 {
+		t.Error("no surviving host migrated personality across the epoch")
+	}
+	if frac > 0.30 {
+		t.Errorf("%.1f%% of survivors migrated; upgrade churn too aggressive", frac*100)
+	}
+}
+
+// TestEpochReallocRenumbersTailASes: across epochs some tail ASes are
+// renumbered while the paper's named ASes never move.
+func TestEpochReallocRenumbersTailASes(t *testing.T) {
+	const seed, scale = 7, 262144
+	w0 := epochWorld(t, seed, scale, 0)
+	w3 := epochWorld(t, seed, scale, 3)
+
+	named := make(map[uint32]bool)
+	for _, n := range namedASes() {
+		named[n.number] = true
+	}
+
+	p0, p3 := w0.Profiles(), w3.Profiles()
+	if len(p0) != len(p3) {
+		t.Fatalf("profile count changed across epochs: %d vs %d", len(p0), len(p3))
+	}
+	realloc := 0
+	for i := range p0 {
+		a, b := p0[i].AS, p3[i].AS
+		if named[a.Number] {
+			if b.Number != a.Number || b.Name != a.Name {
+				t.Errorf("named AS%d reallocated to AS%d %q; named ASes must not churn", a.Number, b.Number, b.Name)
+			}
+			continue
+		}
+		if b.Number != a.Number {
+			realloc++
+			if b.Number%1_000_000 != a.Number%1_000_000 {
+				t.Errorf("realloc changed AS identity beyond generation: %d -> %d", a.Number, b.Number)
+			}
+			// The allocation itself must be untouched.
+			if len(a.Prefixes) != len(b.Prefixes) || a.Prefixes[0] != b.Prefixes[0] {
+				t.Errorf("realloc moved AS%d prefixes", a.Number)
+			}
+		}
+	}
+	if realloc == 0 {
+		t.Error("no tail AS reallocated over 3 epochs at ReallocRate 0.05")
+	}
+	if realloc > len(p0)/2 {
+		t.Errorf("%d of %d ASes reallocated; realloc churn too aggressive", realloc, len(p0))
+	}
+}

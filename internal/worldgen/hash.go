@@ -23,6 +23,13 @@ func derive(seed uint64, ip uint32, salt uint64) uint64 {
 	return splitmix64(splitmix64(seed^salt) ^ uint64(ip)*0x9e3779b97f4a7c15)
 }
 
+// epochSeed derives the sub-seed for epoch k's churn draws. splitmix64(0)
+// is nonzero, so even epoch draws that were never made (k > Epoch) occupy
+// streams disjoint from the base world's.
+func epochSeed(seed, epoch uint64) uint64 {
+	return seed ^ splitmix64(epoch)
+}
+
 // unitFloat maps a hash to [0, 1).
 func unitFloat(h uint64) float64 {
 	return float64(h>>11) / float64(1<<53)

@@ -65,6 +65,23 @@ type Params struct {
 	// DefaultFaultMix.
 	FaultMix FaultMix
 
+	// Epoch advances the world through deterministic churn for
+	// longitudinal studies: each epoch re-rolls a ChurnRate fraction of
+	// host-presence slots at the AS density (hosts leave, new ones
+	// appear), redraws software for an UpgradeRate fraction of hosts
+	// (version migrations), and renumbers a ReallocRate fraction of tail
+	// ASes (prefix reallocation). Everything derives from (Seed, Epoch),
+	// so the same pair yields the same world in any process — and Epoch 0
+	// draws nothing, staying bit-identical to pre-longitudinal worlds.
+	Epoch uint64
+	// ChurnRate is the per-epoch fraction of presence slots re-rolled;
+	// UpgradeRate the per-epoch fraction of hosts redrawing their
+	// implementation; ReallocRate the per-epoch fraction of tail ASes
+	// reallocated. All three only matter when Epoch > 0.
+	ChurnRate   float64
+	UpgradeRate float64
+	ReallocRate float64
+
 	// ServiceMix puts real non-FTP services (HTTP, SSH, TLS, telnet,
 	// garbage, silence) on port 21 of the non-FTP-open population — the
 	// unexpected-service layer LZR identifies and sheds. The zero value —
@@ -102,6 +119,10 @@ func DefaultParams(seed uint64, scale int) Params {
 		NATRate: 0.55,
 
 		DeepTreeRate: 0.024,
+
+		ChurnRate:   0.08,
+		UpgradeRate: 0.12,
+		ReallocRate: 0.05,
 	}
 }
 

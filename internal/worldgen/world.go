@@ -125,6 +125,14 @@ const (
 	// the unexpected-service layer existed).
 	saltService
 	saltServiceParam
+	// Epoch-churn salts; appended so Epoch-0 worlds are bit-identical to
+	// worlds generated before the longitudinal layer existed. Epoch draws
+	// additionally mix the epoch number into the seed (epochSeed), so each
+	// epoch's churn is an independent stream.
+	saltEpochChurn
+	saltEpochChurnDraw
+	saltEpochUpgrade
+	saltEpochRealloc
 )
 
 // nonFTPOpenRate derives the global density of hosts that accept TCP/21
@@ -197,6 +205,48 @@ func (w *World) LatencyModel() func(src, dst simnet.IP) time.Duration {
 	}
 }
 
+// ftpPresent decides whether an address runs FTP at the world's epoch. At
+// Epoch 0 it is exactly the base density draw; each later epoch churns a
+// ChurnRate fraction of addresses by re-rolling their presence at the same
+// AS density, so hosts leave and appear at the stationary rate and the
+// population stays calibrated at every epoch. Both Truth and Open route
+// through this, so the scanner's presence answer always agrees with ground
+// truth.
+func (w *World) ftpPresent(prof *asProfile, u uint32) bool {
+	if prof == nil {
+		return false
+	}
+	seed := w.Params.Seed
+	present := chance(derive(seed, u, saltFTP), prof.Density)
+	if rate := w.Params.ChurnRate; rate > 0 {
+		for k := uint64(1); k <= w.Params.Epoch; k++ {
+			es := epochSeed(seed, k)
+			if chance(derive(es, u, saltEpochChurn), rate) {
+				present = chance(derive(es, u, saltEpochChurnDraw), prof.Density)
+			}
+		}
+	}
+	return present
+}
+
+// personalityHash returns the draw that selects a host's personality,
+// upgraded through the world's epochs: each epoch an UpgradeRate fraction
+// of hosts redraw their software from the AS mix (an upgrade or
+// replacement), everyone else keeps what they ran.
+func (w *World) personalityHash(u uint32) uint64 {
+	seed := w.Params.Seed
+	h := derive(seed, u, saltPers)
+	if rate := w.Params.UpgradeRate; rate > 0 {
+		for k := uint64(1); k <= w.Params.Epoch; k++ {
+			eh := derive(epochSeed(seed, k), u, saltEpochUpgrade)
+			if chance(eh, rate) {
+				h = splitmix64(eh)
+			}
+		}
+	}
+	return h
+}
+
 // Truth derives the ground truth for an address. It is a pure function of
 // (seed, ip): no allocation is cached.
 func (w *World) Truth(ip simnet.IP) (HostTruth, bool) {
@@ -205,7 +255,7 @@ func (w *World) Truth(ip simnet.IP) (HostTruth, bool) {
 	seed := w.Params.Seed
 	u := uint32(ip)
 
-	if prof == nil || !chance(derive(seed, u, saltFTP), prof.Density) {
+	if !w.ftpPresent(prof, u) {
 		if chance(derive(seed, u, saltNonFTP), w.nonFTPOpenRate()) {
 			t.NonFTPOpen = true
 			if prof != nil {
@@ -231,7 +281,7 @@ func (w *World) Truth(ip simnet.IP) (HostTruth, bool) {
 	t.HostName = fmt.Sprintf("h%08x.example.net", u)
 	t.Fault = w.faultClassFor(u)
 
-	entry := prof.Mix.pick(derive(seed, u, saltPers))
+	entry := prof.Mix.pick(w.personalityHash(u))
 	t.PersonalityKey = entry.key
 	pers := personality.ByKey(entry.key)
 
@@ -297,12 +347,10 @@ func (w *World) Truth(ip simnet.IP) (HostTruth, bool) {
 // the full truth record. It agrees exactly with Truth's presence result and
 // performs no allocation — this is the scanner's per-probe cost.
 func (w *World) Open(ip simnet.IP) bool {
-	seed := w.Params.Seed
-	u := uint32(ip)
-	if prof := w.profileFor(ip); prof != nil && chance(derive(seed, u, saltFTP), prof.Density) {
+	if w.ftpPresent(w.profileFor(ip), uint32(ip)) {
 		return true
 	}
-	return chance(derive(seed, u, saltNonFTP), w.nonFTPRate)
+	return chance(derive(w.Params.Seed, uint32(ip), saltNonFTP), w.nonFTPRate)
 }
 
 // PortOpen implements simnet.PortScanner: discovery probes are answered

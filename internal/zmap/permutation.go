@@ -112,6 +112,30 @@ func (pm *Permutation) Reset() {
 // Len returns the number of elements the permutation emits.
 func (pm *Permutation) Len() uint64 { return pm.n }
 
+// Span returns the number of group steps this walk consumes in total —
+// the cursor value of a finished walk.
+func (pm *Permutation) Span() uint64 { return pm.span }
+
+// Cursor returns the number of group steps consumed so far. Because the
+// walk is a cyclic-group iteration, this single index is the complete scan
+// position: Seek(Cursor()) on a fresh permutation built from the same
+// (n, seed, shard) reproduces the walk's continuation exactly. This is what
+// makes a census checkpoint carry one integer per shard instead of a probe
+// bitmap.
+func (pm *Permutation) Cursor() uint64 { return pm.span - pm.remaining }
+
+// Seek positions the walk exactly steps group steps from its start, as if
+// Next had been called until Cursor() == steps. The jump is O(log steps):
+// cur = first·gen^steps mod p.
+func (pm *Permutation) Seek(steps uint64) error {
+	if steps > pm.span {
+		return fmt.Errorf("zmap: seek %d beyond walk span %d", steps, pm.span)
+	}
+	pm.cur = mulmod(pm.first, powmod(pm.gen, steps, pm.prime), pm.prime)
+	pm.remaining = pm.span - steps
+	return nil
+}
+
 // mulmod computes (a*b) mod m without overflow via 128-bit intermediates.
 func mulmod(a, b, m uint64) uint64 {
 	hi, lo := bits.Mul64(a, b)

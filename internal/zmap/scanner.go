@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftpcloud/internal/obs"
@@ -45,6 +46,10 @@ type Config struct {
 	// full walk.
 	Shard       int
 	TotalShards int
+	// StartCursor resumes the permutation walk at this many group steps
+	// from its start — the value a previous scan's Cursor() reported when
+	// it was halted. Zero starts from the beginning.
+	StartCursor uint64
 	// Exclusions lists ranges that must never be probed (opt-out
 	// requests, critical infrastructure); nil means none.
 	Exclusions *ExclusionList
@@ -71,6 +76,34 @@ type Stats struct {
 type Scanner struct {
 	cfg   Config
 	Stats Stats
+
+	// Checkpoint accounting. cursor is the permutation position (group
+	// steps) the producer last committed — stable while the producer is
+	// parked or after it stops, which is exactly when checkpoints read it.
+	// emitted counts offsets handed to probe workers; dead counts offsets
+	// that can never yield a record (excluded, or non-responsive after
+	// retries). emitted − dead − accepted-downstream is the pipeline's
+	// in-flight count: zero means the cursor is an exact watermark.
+	cursor  atomic.Uint64
+	emitted atomic.Uint64
+	dead    atomic.Uint64
+
+	// halted asks the producer to stop at the next offset boundary;
+	// haltCh wakes a parked producer so Halt works mid-pause.
+	halted   atomic.Bool
+	haltOnce sync.Once
+	haltCh   chan struct{}
+
+	// Pause/Resume handshake: pauseFlag is the producer's cheap per-offset
+	// check; the channels carry the parked/resume edges.
+	pauseFlag atomic.Bool
+	mu        sync.Mutex
+	paused    bool
+	parkedCh  chan struct{}
+	resumeCh  chan struct{}
+	// prodDone closes when the producer goroutine exits, so Pause never
+	// blocks on a walk that already finished.
+	prodDone chan struct{}
 }
 
 // NewScanner validates configuration.
@@ -91,7 +124,93 @@ func NewScanner(cfg Config) (*Scanner, error) {
 		Probed:    cfg.Metrics.ChildCounter(cfg.MetricsPrefix, "zmap.probed"),
 		Responded: cfg.Metrics.ChildCounter(cfg.MetricsPrefix, "zmap.responded"),
 		Excluded:  cfg.Metrics.ChildCounter(cfg.MetricsPrefix, "zmap.excluded"),
-	}}, nil
+	}, haltCh: make(chan struct{}), prodDone: make(chan struct{})}, nil
+}
+
+// Cursor returns the last committed permutation position (group steps
+// consumed). It is an exact resume watermark only once the scanner is
+// halted or parked and everything it emitted has drained downstream.
+func (s *Scanner) Cursor() uint64 { return s.cursor.Load() }
+
+// Emitted returns the number of offsets handed to probe workers.
+func (s *Scanner) Emitted() uint64 { return s.emitted.Load() }
+
+// Dead returns the number of emitted offsets that terminated inside the
+// scanner: excluded addresses and addresses that never responded.
+func (s *Scanner) Dead() uint64 { return s.dead.Load() }
+
+// Halt asks the producer to stop emitting at the next offset boundary and
+// commit its cursor. Unlike context cancellation, a halt does not abort
+// in-flight work: probe workers and downstream stages keep draining
+// everything already emitted, so the scan ends with the cursor an exact
+// watermark — the foundation of checkpoint-on-truncation. Idempotent.
+func (s *Scanner) Halt() {
+	s.haltOnce.Do(func() {
+		s.halted.Store(true)
+		close(s.haltCh)
+	})
+}
+
+// Pause asks the producer to park at the next offset boundary and blocks
+// until it has (or until the walk finishes on its own). While parked the
+// cursor is committed and no new offsets enter the pipeline, so a
+// checkpoint coordinator can wait for in-flight work to drain and then
+// snapshot a consistent (cursor, aggregate) pair. Resume continues the walk.
+func (s *Scanner) Pause() {
+	s.mu.Lock()
+	if s.paused {
+		parked := s.parkedCh
+		s.mu.Unlock()
+		select {
+		case <-parked:
+		case <-s.prodDone:
+		}
+		return
+	}
+	s.paused = true
+	s.parkedCh = make(chan struct{})
+	s.resumeCh = make(chan struct{})
+	parked := s.parkedCh
+	s.pauseFlag.Store(true)
+	s.mu.Unlock()
+	select {
+	case <-parked:
+	case <-s.prodDone:
+	}
+}
+
+// Resume releases a paused producer. A no-op when not paused.
+func (s *Scanner) Resume() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.paused {
+		return
+	}
+	s.paused = false
+	s.pauseFlag.Store(false)
+	close(s.resumeCh)
+}
+
+// park blocks the producer until Resume, halt, or pipeline cancellation.
+// It reports whether the walk should continue.
+func (s *Scanner) park(ctx context.Context) bool {
+	s.mu.Lock()
+	if !s.paused {
+		// Resume raced ahead of the park; nothing to wait for.
+		s.mu.Unlock()
+		return true
+	}
+	parked, resume := s.parkedCh, s.resumeCh
+	s.mu.Unlock()
+	close(parked)
+	select {
+	case <-resume:
+		return true
+	case <-s.haltCh:
+		return false
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // EffectiveRate returns this scanner's share of the global RatePerSec cap:
@@ -129,8 +248,16 @@ func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 	defer close(out)
 	perm, err := NewShardedPermutation(s.cfg.Size, s.cfg.Seed, s.cfg.Shard, s.cfg.TotalShards)
 	if err != nil {
+		close(s.prodDone)
 		return err
 	}
+	if s.cfg.StartCursor > 0 {
+		if err := perm.Seek(s.cfg.StartCursor); err != nil {
+			close(s.prodDone)
+			return err
+		}
+	}
+	s.cursor.Store(perm.Cursor())
 
 	// The permutation is drained by one goroutine into a work channel of
 	// offset batches; probe workers fan out from there.
@@ -150,6 +277,7 @@ func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 	}
 
 	go func() {
+		defer close(s.prodDone)
 		defer close(work)
 		batch := make([]uint64, 0, BatchSize)
 		flush := func() bool {
@@ -158,6 +286,7 @@ func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 			}
 			select {
 			case work <- batch:
+				s.emitted.Add(uint64(len(batch)))
 				batch = make([]uint64, 0, BatchSize)
 				return true
 			case <-ctx.Done():
@@ -166,6 +295,24 @@ func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 		}
 		budget := perTick
 		for {
+			// Halt/pause are checked between offsets, where the walk
+			// position and the emitted set agree exactly: every offset
+			// the permutation has produced is in a flushed batch, so the
+			// committed cursor is a precise watermark once the pipeline
+			// drains. The atomic flags keep the common case to two loads.
+			if s.halted.Load() || s.pauseFlag.Load() {
+				if !flush() {
+					return
+				}
+				s.cursor.Store(perm.Cursor())
+				if s.halted.Load() {
+					return
+				}
+				if !s.park(ctx) {
+					return
+				}
+				continue
+			}
 			off, ok := perm.Next()
 			if !ok {
 				break
@@ -174,7 +321,10 @@ func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 				if budget == 0 {
 					// Flush the partial batch before blocking so
 					// workers stay busy while the producer waits
-					// out the tick.
+					// out the tick. The cancellation returns leave
+					// the cursor at its last committed value: a
+					// hard-canceled scan has no consistent position
+					// to report, and no checkpoint reads it.
 					if !flush() {
 						return
 					}
@@ -195,6 +345,7 @@ func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 			}
 		}
 		flush()
+		s.cursor.Store(perm.Cursor())
 	}()
 
 	var wg sync.WaitGroup
@@ -205,10 +356,12 @@ func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 			var found []Result
 			for batch := range work {
 				found = found[:0]
+				dead := uint64(0)
 				for _, off := range batch {
 					ip := simnet.IP(uint64(s.cfg.Base) + off)
 					if s.cfg.Exclusions.Excluded(ip) {
 						s.Stats.Excluded.Add(1)
+						dead++
 						continue
 					}
 					s.Stats.Probed.Add(1)
@@ -219,7 +372,12 @@ func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 					if open {
 						s.Stats.Responded.Add(1)
 						found = append(found, Result{IP: ip})
+					} else {
+						dead++
 					}
+				}
+				if dead > 0 {
+					s.dead.Add(dead)
 				}
 				if len(found) == 0 {
 					continue
@@ -235,6 +393,11 @@ func (s *Scanner) RunBatches(ctx context.Context, out chan<- []Result) error {
 		}()
 	}
 	wg.Wait()
+	if s.halted.Load() && ctx.Err() == nil {
+		// A halted scan is a deliberate early stop, not a failure: the
+		// caller holds the cursor and resumes later.
+		return nil
+	}
 	return ctx.Err()
 }
 
