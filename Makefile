@@ -10,7 +10,10 @@
 GO ?= go
 
 # Packages whose hot paths are exercised by many goroutines; always raced.
-RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen ./internal/obs
+# The honeypot accumulator and attacker fleet are mutated by hundreds of
+# concurrent sessions, so they belong here too.
+RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen ./internal/obs \
+	./internal/honeypot ./internal/attacker
 
 # Packages holding the chaos suite: fault injection, hostile worlds, the
 # enumerator's retry/degradation layer, the identification stage's hostile
@@ -18,9 +21,9 @@ RACE_PKGS = ./internal/simnet ./internal/zmap ./internal/worldgen ./internal/obs
 # hostile census.
 CHAOS_PKGS = ./internal/simnet ./internal/ftp ./internal/listparse \
 	./internal/enumerator ./internal/worldgen ./internal/identify \
-	./internal/core
+	./internal/core ./internal/attacker
 
-.PHONY: build test vet vet-obs race race-full race-sharded race-server tier1 chaos bench bench-server bench-identify bench-longitudinal smoke
+.PHONY: build test vet vet-obs race race-full race-sharded race-server tier1 chaos bench bench-server bench-identify bench-longitudinal bench-honeypot smoke
 
 build:
 	$(GO) build ./...
@@ -97,3 +100,11 @@ bench-longitudinal:
 	PKG=./internal/delta \
 	BENCH='BenchmarkCheckpointEncode|BenchmarkCheckpointDecode|BenchmarkResumeMerge|BenchmarkDiffLedgers' \
 	BENCHTIME=100x scripts/bench.sh BENCH_9.json
+
+# Honeypot fleet benchmark: 100 differentiated honeypots absorbing a
+# million-session attacker campaign through the streaming accumulators —
+# live-B/session must stay fractional (population-bounded memory) — plus
+# the legacy-scale §VIII study for the report tables.
+bench-honeypot:
+	BENCH='BenchmarkHoneypotFleetMemory|BenchmarkSectionVIII_Honeypot' \
+	BENCHTIME=1x scripts/bench.sh BENCH_10.json

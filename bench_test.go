@@ -21,10 +21,12 @@ import (
 	"time"
 
 	"ftpcloud/internal/analysis"
+	"ftpcloud/internal/attacker"
 	"ftpcloud/internal/core"
 	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/enumerator"
 	"ftpcloud/internal/fingerprint"
+	"ftpcloud/internal/ftp"
 	"ftpcloud/internal/ftpserver"
 	"ftpcloud/internal/honeypot"
 	"ftpcloud/internal/identify"
@@ -274,19 +276,19 @@ func BenchmarkSectionVII_PortBounce(b *testing.B) {
 // BenchmarkSectionVIII_Honeypot runs the §VIII study end to end per
 // iteration (smaller fleet than the paper's for bench throughput).
 func BenchmarkSectionVIII_Honeypot(b *testing.B) {
-	var s honeypot.Summary
+	var r honeypot.Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		s, err = core.HoneypotStudy(context.Background(), core.HoneypotStudyConfig{
+		r, err = core.HoneypotStudy(context.Background(), core.HoneypotStudyConfig{
 			Seed: uint64(i + 1), Honeypots: 8, Attackers: 120, Concentrated: 0.30,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(s.UniqueScanners), "scanners")
-	b.ReportMetric(float64(s.SpokeFTP), "spoke-ftp")
-	printTable("section8", honeypot.Render(s))
+	b.ReportMetric(float64(r.Summary.UniqueScanners), "scanners")
+	b.ReportMetric(float64(r.Summary.SpokeFTP), "spoke-ftp")
+	printTable("section8", report.Honeypot(r))
 }
 
 // BenchmarkPipeline_FullCensus times the complete scan→enumerate pipeline.
@@ -909,5 +911,84 @@ func BenchmarkSimnetThroughput(b *testing.B) {
 			total += n
 		}
 		conn.Close()
+	}
+}
+
+// --- Honeypot fleet at scale ----------------------------------------------
+
+// honeypotFleetSessions returns the campaign budget for the fleet-scale
+// benchmark (default one million sessions; FTPCLOUD_BENCH_SESSIONS scales
+// it down for quick runs).
+func honeypotFleetSessions() int64 {
+	if s := os.Getenv("FTPCLOUD_BENCH_SESSIONS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return 1_000_000
+}
+
+// BenchmarkHoneypotFleetMemory proves the streamed study's memory claim:
+// 100 differentiated honeypots absorb a million-session attacker campaign
+// while live heap stays bounded by the population, not the session count.
+// Each iteration deploys the fleet, runs the campaign, finalizes the
+// streamed report, releases the world, and reports the surviving heap bytes
+// per session — the buffered Log path would pin hundreds of bytes per
+// event; the accumulator's live-B/session must stay fractional.
+func BenchmarkHoneypotFleetMemory(b *testing.B) {
+	const honeypots = 100
+	const bots = 5000
+	sessions := honeypotFleetSessions()
+	settle := func(ms *runtime.MemStats) {
+		runtime.GC()
+		runtime.GC()
+		runtime.ReadMemStats(ms)
+	}
+	for i := 0; i < b.N; i++ {
+		var before, after runtime.MemStats
+		settle(&before)
+
+		provider := simnet.NewStaticProvider()
+		acc := honeypot.NewAccumulator()
+		dep, err := honeypot.DeployFleet(provider, honeypot.FleetConfig{
+			Base:  core.HoneypotBase,
+			Count: honeypots,
+			Seed:  uint64(i + 1),
+			Acc:   acc,
+			Now:   honeypot.SimClock(time.Unix(1_450_000_000, 0), time.Millisecond),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fleet := &attacker.Fleet{
+			Network:      simnet.NewNetwork(provider),
+			Bots:         attacker.DefaultMix(bots, uint64(i+1), 0.30),
+			Targets:      dep.IPs,
+			BounceTarget: ftp.HostPort{IP: [4]byte{203, 0, 113, 66}, Port: 9999},
+			Sessions:     sessions,
+			Concurrency:  256,
+		}
+		stats := fleet.Run(context.Background())
+		if int64(stats.Sessions) != sessions {
+			b.Fatalf("campaign ran %d sessions, want %d", stats.Sessions, sessions)
+		}
+		rep := acc.Report()
+		if rep.Summary.UniqueScanners == 0 {
+			b.Fatal("fleet observed no scanners")
+		}
+
+		// Drop the world; what survives the GC is the accumulator state.
+		provider, dep, fleet = nil, nil, nil //nolint:ineffassign // releases the world for the GC below
+		settle(&after)
+
+		live := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+		if live < 0 {
+			live = 0
+		}
+		b.ReportMetric(float64(live)/float64(stats.Sessions), "live-B/session")
+		b.ReportMetric(float64(live), "live-B")
+		b.ReportMetric(float64(stats.Sessions), "sessions")
+		runtime.KeepAlive(rep)
+		runtime.KeepAlive(acc)
 	}
 }

@@ -1,10 +1,18 @@
 // Command honeypotd runs the §VIII honeypot study: it deploys anonymous,
 // world-writable FTP honeypots on a simulated network, unleashes the
-// calibrated attacker fleet, and prints the observed-attack summary.
+// calibrated attacker fleet, and prints the observed-attack report.
+//
+// The paper's posture is the default (8 honeypots, 457 attackers, one visit
+// per bot-target pair). The fleet flags scale it to the Honeybuckets shape:
+// hundreds of differentiated honeypots and millions of sessions, streamed
+// through constant-memory accumulators rather than buffered.
 //
 // Usage:
 //
 //	honeypotd -honeypots 8 -attackers 457 -seed 3
+//	honeypotd -honeypots 200 -bots 5000 -sessions 1000000 \
+//	    -lure-mix webroot=4,backup=2,media=2,vault=1,bare=1 \
+//	    -events-out events.jsonl
 package main
 
 import (
@@ -15,8 +23,10 @@ import (
 	"time"
 
 	"ftpcloud/internal/core"
+	"ftpcloud/internal/dataset"
 	"ftpcloud/internal/honeypot"
 	"ftpcloud/internal/obs"
+	"ftpcloud/internal/report"
 )
 
 func main() {
@@ -30,6 +40,11 @@ func run() error {
 	var (
 		honeypots    = flag.Int("honeypots", 8, "number of honeypots (paper: 8)")
 		attackers    = flag.Int("attackers", 457, "attacker population (paper: 457 unique IPs)")
+		bots         = flag.Int("bots", 0, "alias for -attackers (fleet-scale naming); takes precedence when set")
+		sessions     = flag.Int64("sessions", 0, "campaign session budget; 0 = legacy one-visit-per-bot-target shape")
+		concurrency  = flag.Int("concurrency", 0, "in-flight attacker session cap (0 = fleet default)")
+		lureMix      = flag.String("lure-mix", "", "lure strategy weights, e.g. webroot=4,backup=2,media=2,vault=1,bare=1 (empty = default mix)")
+		eventsOut    = flag.String("events-out", "", "stream every honeypot event as JSONL to this file")
 		concentrated = flag.Float64("concentrated", 0.30, "share of attackers from one network")
 		seed         = flag.Uint64("seed", 3, "attacker fleet seed")
 		timeout      = flag.Duration("timeout", 10*time.Minute, "run deadline")
@@ -42,6 +57,11 @@ func run() error {
 			"write the final metrics snapshot (JSON) to this file")
 	)
 	flag.Parse()
+
+	mix, err := honeypot.ParseLureMix(*lureMix)
+	if err != nil {
+		return err
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -77,16 +97,38 @@ func run() error {
 		defer stop()
 	}
 
-	summary, err := core.HoneypotStudy(ctx, core.HoneypotStudyConfig{
+	var events *honeypot.EventStream
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return fmt.Errorf("events stream: %w", err)
+		}
+		events = honeypot.NewEventStream(dataset.NewLines(f))
+	}
+
+	population := *attackers
+	if *bots > 0 {
+		population = *bots
+	}
+	rep, err := core.HoneypotStudy(ctx, core.HoneypotStudyConfig{
 		Seed:         *seed,
 		Honeypots:    *honeypots,
-		Attackers:    *attackers,
+		Attackers:    population,
 		Concentrated: *concentrated,
+		Sessions:     *sessions,
+		Concurrency:  *concurrency,
+		LureMix:      mix,
+		Events:       events,
 		Metrics:      reg,
 	})
+	if events != nil {
+		if cerr := events.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("events stream: %w", cerr)
+		}
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Print(honeypot.Render(summary))
+	fmt.Print(report.Honeypot(rep))
 	return nil
 }

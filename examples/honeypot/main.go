@@ -14,11 +14,11 @@ import (
 	"log"
 
 	"ftpcloud/internal/core"
-	"ftpcloud/internal/honeypot"
+	"ftpcloud/internal/report"
 )
 
 func main() {
-	summary, err := core.HoneypotStudy(context.Background(), core.HoneypotStudyConfig{
+	rep, err := core.HoneypotStudy(context.Background(), core.HoneypotStudyConfig{
 		Seed:         2015,
 		Honeypots:    8,
 		Attackers:    457,
@@ -27,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(honeypot.Render(summary))
+	fmt.Print(report.Honeypot(rep))
 
 	fmt.Println("\nPaper §VIII for comparison:")
 	fmt.Println("  457 unique IPs scanned; >30% from one AS; 85 spoke FTP;")

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftpcloud/internal/ftp"
@@ -90,10 +91,26 @@ type Fleet struct {
 	BounceTarget ftp.HostPort
 	// Timeout bounds each bot's control operations.
 	Timeout time.Duration
+	// Concurrency caps in-flight bot sessions; zero means 32. Campaigns
+	// in the millions of sessions raise this toward the server core's 10k
+	// budget.
+	Concurrency int
+	// Sessions, when positive, switches the fleet into campaign mode: the
+	// bots collectively run exactly this many sessions, cycling over the
+	// targets, instead of the legacy shape (every bot visits every target
+	// exactly once). Session k is deterministically assigned bot k%len(Bots)
+	// and a salted target, so campaigns replay identically.
+	Sessions int64
+	// Now is the campaign clock; nil means time.Now. Injecting a
+	// simulated clock (honeypot.SimClock) makes interaction timelines
+	// reproducible run to run.
+	Now func() time.Time
 	// Metrics, when non-nil, mirrors the run's aggregate Stats into
 	// registry counters (attacker.bots, attacker.sessions,
 	// attacker.errors) as bots complete, so live progress can watch an
-	// attack campaign the way the census watches enumeration.
+	// attack campaign the way the census watches enumeration. The
+	// attacker.inflight gauge tracks live sessions and
+	// attacker.inflight_peak their high-water mark.
 	Metrics *obs.Registry
 }
 
@@ -110,7 +127,10 @@ var weakCredentials = [][2]string{
 
 // DefaultMix builds the §VIII-calibrated bot population: n total bots with
 // concentrated sources (share from one /8) and the paper's profile counts
-// scaled proportionally.
+// scaled proportionally. The population is always exactly n bots: every
+// profile — including the paper's singleton CVE and Seagate attackers —
+// scales as count*n/457, so small fleets shed the rare profiles instead of
+// overflowing n and starving the background-scanner remainder.
 func DefaultMix(n int, seed uint64, concentratedShare float64) []Bot {
 	if n <= 0 {
 		n = 457
@@ -121,8 +141,8 @@ func DefaultMix(n int, seed uint64, concentratedShare float64) []Bot {
 	counts := map[Profile]int{
 		ProfilePortBouncer:    8 * n / 457,
 		ProfileTLSFingerprint: 36 * n / 457,
-		ProfileCVEExploit:     1,
-		ProfileSeagateRAT:     1,
+		ProfileCVEExploit:     n / 457,
+		ProfileSeagateRAT:     n / 457,
 		ProfileCredGuesser:    24 * n / 457,
 		ProfileWriteProber:    8 * n / 457,
 		ProfileFtpchk3:        3 * n / 457,
@@ -130,14 +150,14 @@ func DefaultMix(n int, seed uint64, concentratedShare float64) []Bot {
 		ProfileWarezMkdir:     3 * n / 457,
 		ProfileHTTPProbe:      290 * n / 457,
 	}
+	// The scaled profile counts sum to at most 390*n/457 < n, so the
+	// scanner-only remainder is never negative and len(bots) == n holds
+	// for every n (TestDefaultMixExactN).
 	total := 0
 	for _, c := range counts {
 		total += c
 	}
 	counts[ProfileScannerOnly] = n - total
-	if counts[ProfileScannerOnly] < 0 {
-		counts[ProfileScannerOnly] = 0
-	}
 
 	state := seed
 	next := func() uint64 {
@@ -175,103 +195,208 @@ type Stats struct {
 	Sessions  int
 	Errors    int
 	ByProfile map[Profile]int
+	// Elapsed is the wall (or simulated, when Fleet.Now is injected)
+	// duration of the run.
+	Elapsed time.Duration
 }
 
-// Run executes every bot against every target (scanners hit all targets;
-// heavier profiles hit a subset to mirror observed behaviour).
+func (f *Fleet) now() time.Time {
+	if f.Now != nil {
+		return f.Now()
+	}
+	return time.Now()
+}
+
+// fleetRun is the per-run instrumentation shared by both fleet shapes.
+type fleetRun struct {
+	stats    *Stats
+	mu       sync.Mutex
+	sessions *obs.Counter
+	errors   *obs.Counter
+	inflight *obs.Gauge
+	peak     *obs.Gauge
+}
+
+// session runs one bot visit with inflight accounting. Sessions count only
+// visits that actually dialed: a canceled or refused dial is an error, not a
+// session, so stats never claim interactions that produced no server-side
+// events.
+func (r *fleetRun) session(f *Fleet, b Bot, target simnet.IP, timeout time.Duration) {
+	r.inflight.Inc()
+	r.peak.SetMax(r.inflight.Load())
+	dialed, err := f.visit(b, target, timeout)
+	r.inflight.Dec()
+	if dialed {
+		r.sessions.Inc()
+	}
+	if err != nil {
+		r.errors.Inc()
+	}
+	r.mu.Lock()
+	if dialed {
+		r.stats.Sessions++
+	}
+	if err != nil {
+		r.stats.Errors++
+	}
+	r.mu.Unlock()
+}
+
+// Run executes the fleet. In the legacy shape every bot visits every target
+// exactly once; in campaign mode (Sessions > 0) the bots collectively run
+// exactly Sessions sessions, session k deterministically assigned to bot
+// k%len(Bots) against a seed-salted target. Cancellation stops the fleet
+// promptly: unclaimed sessions are abandoned and never counted.
 func (f *Fleet) Run(ctx context.Context) Stats {
 	stats := Stats{ByProfile: make(map[Profile]int)}
+	start := f.now()
 	timeout := f.Timeout
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
+	conc := f.Concurrency
+	if conc <= 0 {
+		conc = 32
+	}
+	run := &fleetRun{
+		stats:    &stats,
+		sessions: f.Metrics.Counter("attacker.sessions"),
+		errors:   f.Metrics.Counter("attacker.errors"),
+		inflight: f.Metrics.Gauge("attacker.inflight"),
+		peak:     f.Metrics.Gauge("attacker.inflight_peak"),
+	}
+	if f.Sessions > 0 {
+		f.runCampaign(ctx, run, timeout, conc)
+	} else {
+		f.runLegacy(ctx, run, timeout, conc)
+	}
+	stats.Elapsed = f.now().Sub(start)
+	return stats
+}
+
+// runLegacy is the original fleet shape: one goroutine per bot, every bot
+// visiting every target once, bounded by the concurrency cap.
+func (f *Fleet) runLegacy(ctx context.Context, run *fleetRun, timeout time.Duration, conc int) {
 	botsC := f.Metrics.Counter("attacker.bots")
-	sessionsC := f.Metrics.Counter("attacker.sessions")
-	errorsC := f.Metrics.Counter("attacker.errors")
-	var mu sync.Mutex
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, 32)
+	sem := make(chan struct{}, conc)
 	for _, bot := range f.Bots {
 		wg.Add(1)
 		go func(b Bot) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			sessions, errs := f.runBot(ctx, b, timeout)
+			f.runBot(ctx, run, b, timeout)
 			botsC.Inc()
-			sessionsC.Add(uint64(sessions))
-			errorsC.Add(uint64(errs))
-			mu.Lock()
-			stats.BotsRun++
-			stats.Sessions += sessions
-			stats.Errors += errs
-			stats.ByProfile[b.Profile]++
-			mu.Unlock()
+			run.mu.Lock()
+			run.stats.BotsRun++
+			run.stats.ByProfile[b.Profile]++
+			run.mu.Unlock()
 		}(bot)
 	}
 	wg.Wait()
-	return stats
 }
 
-// runBot visits targets per the bot's profile.
-func (f *Fleet) runBot(ctx context.Context, b Bot, timeout time.Duration) (sessions, errs int) {
+// runCampaign drives the session-budget shape: conc workers claim session
+// indices from an atomic counter until the budget is spent or the context is
+// canceled. Assignment is deterministic in the session index, so a campaign
+// replays identically regardless of worker interleaving.
+func (f *Fleet) runCampaign(ctx context.Context, run *fleetRun, timeout time.Duration, conc int) {
+	if len(f.Bots) == 0 || len(f.Targets) == 0 {
+		return
+	}
+	botsC := f.Metrics.Counter("attacker.bots")
+	ran := make([]bool, len(f.Bots))
+	var claim atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := claim.Add(1) - 1
+				if k >= f.Sessions {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				bi := int(k % int64(len(f.Bots)))
+				b := f.Bots[bi]
+				target := f.Targets[int((uint64(k)*0x9e3779b97f4a7c15+b.Seed)%uint64(len(f.Targets)))]
+				run.mu.Lock()
+				if !ran[bi] {
+					ran[bi] = true
+					run.stats.BotsRun++
+					run.stats.ByProfile[b.Profile]++
+					botsC.Inc()
+				}
+				run.mu.Unlock()
+				run.session(f, b, target, timeout)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runBot visits every target per the bot's profile (legacy shape).
+func (f *Fleet) runBot(ctx context.Context, run *fleetRun, b Bot, timeout time.Duration) {
 	for _, target := range f.Targets {
 		select {
 		case <-ctx.Done():
-			return sessions, errs
+			return
 		default:
 		}
-		if err := f.visit(b, target, timeout); err != nil {
-			errs++
-		}
-		sessions++
+		run.session(f, b, target, timeout)
 	}
-	return sessions, errs
 }
 
-// visit runs one bot session against one honeypot.
-func (f *Fleet) visit(b Bot, target simnet.IP, timeout time.Duration) error {
+// visit runs one bot session against one honeypot. dialed reports whether a
+// connection was established — callers count sessions only when it is true.
+func (f *Fleet) visit(b Bot, target simnet.IP, timeout time.Duration) (dialed bool, err error) {
 	nc, err := f.Network.DialFrom(b.Source, target, 21)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer nc.Close()
 	c := ftp.NewConn(nc)
 	c.Timeout = timeout
 
 	if _, err := c.ReadReply(); err != nil {
-		return err
+		return true, err
 	}
 	switch b.Profile {
 	case ProfileScannerOnly:
-		return nil
+		return true, nil
 	case ProfileHTTPProbe:
 		// Raw HTTP against the FTP port; the server logs the verb.
 		if err := c.SendCommand("GET", "/ HTTP/1.0"); err != nil {
-			return err
+			return true, err
 		}
 		c.ReadReply()
-		return nil
+		return true, nil
 	case ProfileCredGuesser:
-		return f.guessCredentials(c, b, target)
+		return true, f.guessCredentials(c, b, target)
 	case ProfileWriteProber:
-		return f.writeProbe(c, b, target)
+		return true, f.writeProbe(c, b, target)
 	case ProfileTraverser:
-		return f.traverse(c, b)
+		return true, f.traverse(c, b)
 	case ProfileFtpchk3:
-		return f.ftpchk3(c, b, target)
+		return true, f.ftpchk3(c, b, target)
 	case ProfilePortBouncer:
-		return f.portBounce(c)
+		return true, f.portBounce(c)
 	case ProfileCVEExploit:
-		return f.cveProbe(c)
+		return true, f.cveProbe(c)
 	case ProfileSeagateRAT:
-		return f.seagate(c)
+		return true, f.seagate(c)
 	case ProfileTLSFingerprint:
-		return f.tlsFingerprint(c)
+		return true, f.tlsFingerprint(c)
 	case ProfileWarezMkdir:
-		return f.warezMkdir(c, b)
+		return true, f.warezMkdir(c, b)
 	default:
-		return fmt.Errorf("attacker: unknown profile %v", b.Profile)
+		return true, fmt.Errorf("attacker: unknown profile %v", b.Profile)
 	}
 }
 

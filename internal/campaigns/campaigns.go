@@ -243,3 +243,40 @@ func DetectFilename(name string) []string {
 	}
 	return keys
 }
+
+// Attribution keys for honeypot-observed activity that is not a §VI
+// file-dropping campaign: protocol-level exploit attempts and relay abuse
+// the §VIII study attributes alongside the upload campaigns.
+const (
+	KeyCVEModCopy  = "cve-2015-3306"
+	KeySeagateRoot = "seagate-root-login"
+	KeyPortBounce  = "port-bounce-relay"
+	// KeyUncataloged buckets uploads matching no cataloged campaign.
+	KeyUncataloged = "uncataloged-upload"
+)
+
+// AttributeUpload maps an uploaded filename to a single campaign key for
+// attribution tables: the lexicographically-first catalog match so
+// attribution is deterministic, or KeyUncataloged when nothing matches.
+func AttributeUpload(name string) string {
+	keys := DetectFilename(name)
+	if len(keys) == 0 {
+		return KeyUncataloged
+	}
+	best := keys[0]
+	for _, k := range keys[1:] {
+		if k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// AttributeMkdir maps a created directory name to a campaign key, or ""
+// when the name carries no campaign signature.
+func AttributeMkdir(name string) string {
+	if IsWaReZDir(name) {
+		return KeyWaReZ
+	}
+	return ""
+}

@@ -900,21 +900,46 @@ func (r *Result) ComputeTables() Tables {
 	}
 }
 
-// HoneypotStudyConfig sizes a §VIII run.
+// HoneypotStudyConfig sizes a §VIII run. The defaults reproduce the paper's
+// posture (8 webroot-style honeypots, 457 attackers, one bot-per-target
+// visit each); the fleet knobs scale it to the Honeybuckets shape — hundreds
+// of differentiated honeypots, millions of streamed sessions.
 type HoneypotStudyConfig struct {
 	Seed         uint64
 	Honeypots    int     // paper: 8
 	Attackers    int     // paper: 457 unique IPs
 	Concentrated float64 // share of attackers from one network (paper: ~0.30)
+	// Sessions, when positive, switches the attacker fleet into campaign
+	// mode: the bots collectively run exactly this many sessions instead of
+	// one visit per bot-target pair.
+	Sessions int64
+	// Concurrency caps in-flight attacker sessions; zero means the fleet
+	// default (32).
+	Concurrency int
+	// LureMix weights the honeypots' bait postures; the zero value means
+	// honeypot.DefaultLureMix.
+	LureMix honeypot.LureMix
+	// Events, when non-nil, persists every honeypot event as JSONL.
+	Events *honeypot.EventStream
+	// Now is the study clock (deploy stamps, event times, fleet elapsed);
+	// nil means time.Now. Injecting honeypot.SimClock makes timelines
+	// reproducible run to run.
+	Now func() time.Time
+	// Buffered additionally retains per-honeypot event Logs — only sane at
+	// legacy scale (equivalence tests).
+	Buffered bool
 	// Metrics, when non-nil, wires the study into one registry: network
-	// counters (simnet.*), honeypot event counts (honeypot.events), and
+	// counters (simnet.*), honeypot fold counters (honeypot.*), and
 	// attacker fleet progress (attacker.*).
 	Metrics *obs.Registry
 }
 
-// HoneypotStudy deploys honeypots on a fresh network, runs the attacker
-// fleet, and summarizes.
-func HoneypotStudy(ctx context.Context, cfg HoneypotStudyConfig) (honeypot.Summary, error) {
+// HoneypotStudy deploys a differentiated honeypot fleet on a fresh network,
+// runs the attacker fleet, and finalizes the streamed report. No event is
+// buffered (unless cfg.Buffered): every session folds into the streaming
+// accumulator as it happens, so live memory is bounded by the population,
+// not the session count.
+func HoneypotStudy(ctx context.Context, cfg HoneypotStudyConfig) (honeypot.Report, error) {
 	if cfg.Honeypots <= 0 {
 		cfg.Honeypots = 8
 	}
@@ -925,22 +950,43 @@ func HoneypotStudy(ctx context.Context, cfg HoneypotStudyConfig) (honeypot.Summa
 		cfg.Concentrated = 0.30
 	}
 	provider := simnet.NewStaticProvider()
-	dep, err := honeypot.Deploy(provider, HoneypotBase, cfg.Honeypots, nil)
+	acc := honeypot.NewAccumulator()
+	dep, err := honeypot.DeployFleet(provider, honeypot.FleetConfig{
+		Base:     HoneypotBase,
+		Count:    cfg.Honeypots,
+		Seed:     cfg.Seed,
+		Mix:      cfg.LureMix,
+		Acc:      acc,
+		Events:   cfg.Events,
+		Buffered: cfg.Buffered,
+		Now:      cfg.Now,
+		Metrics:  cfg.Metrics,
+	})
 	if err != nil {
-		return honeypot.Summary{}, err
+		return honeypot.Report{}, err
 	}
 	nw := simnet.NewNetwork(provider)
 	if cfg.Metrics != nil {
 		nw.BindMetrics(cfg.Metrics)
-		dep.BindMetrics(cfg.Metrics)
 	}
 	fleet := &attacker.Fleet{
 		Network:      nw,
 		Bots:         attacker.DefaultMix(cfg.Attackers, cfg.Seed, cfg.Concentrated),
 		Targets:      dep.IPs,
 		BounceTarget: ftp.HostPort{IP: [4]byte{203, 0, 113, 66}, Port: 9999},
+		Concurrency:  cfg.Concurrency,
+		Sessions:     cfg.Sessions,
+		Now:          cfg.Now,
 		Metrics:      cfg.Metrics,
 	}
-	fleet.Run(ctx)
-	return honeypot.Summarize(dep), nil
+	stats := fleet.Run(ctx)
+	// Fleet.Run returning means every attacker hung up, not that every
+	// server goroutine finished folding its teardown events. Wait for a
+	// disconnect per dialed session before freezing the report (and before
+	// the caller closes any -events-out stream) — on a bounded context so
+	// even a deadline-truncated run drains its tail.
+	qctx, qcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	acc.Quiesce(qctx, uint64(stats.Sessions))
+	qcancel()
+	return acc.Report(), nil
 }

@@ -270,17 +270,23 @@ func TestDrainConsistencyOnSinkFailure(t *testing.T) {
 }
 
 func TestHoneypotStudyViaCore(t *testing.T) {
-	s, err := HoneypotStudy(context.Background(), HoneypotStudyConfig{
+	r, err := HoneypotStudy(context.Background(), HoneypotStudyConfig{
 		Seed: 3, Honeypots: 4, Attackers: 60, Concentrated: 0.3,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.UniqueScanners != 60 {
-		t.Errorf("scanners = %d", s.UniqueScanners)
+	if r.Summary.UniqueScanners != 60 {
+		t.Errorf("scanners = %d", r.Summary.UniqueScanners)
 	}
-	if s.SpokeFTP == 0 {
+	if r.Summary.SpokeFTP == 0 {
 		t.Error("no FTP speakers")
+	}
+	if r.Sessions == 0 {
+		t.Error("streamed report recorded no sessions")
+	}
+	if len(r.Timelines) == 0 {
+		t.Error("streamed report has no lure timelines")
 	}
 }
 

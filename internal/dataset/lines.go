@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Lines streams arbitrary values to an io.Writer as JSONL — the event-stream
+// counterpart of WriterSink for streams that are not host records (the
+// honeypot fleet's interaction events). Unlike Sink, whose contract is one
+// producer at a time, Lines serializes internally: hundreds of concurrent
+// honeypot sessions write through one Lines without external locking.
+//
+// If the underlying writer is an io.Closer (a file), Close closes it after
+// flushing.
+type Lines struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	n   int64
+}
+
+// NewLines wraps w for streaming JSONL persistence.
+func NewLines(w io.Writer) *Lines {
+	bw := bufio.NewWriter(w)
+	l := &Lines{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
+}
+
+// Write appends one value as a JSON line.
+func (l *Lines) Write(v any) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.enc.Encode(v); err != nil {
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// Count returns the number of lines written so far.
+func (l *Lines) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Close flushes buffered lines and closes the underlying writer when it is
+// closable.
+func (l *Lines) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.w.Flush()
+	if l.c != nil {
+		if cerr := l.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// closeCounter wraps a buffer and records Close calls.
+type closeCounter struct {
+	bytes.Buffer
+	closed int
+}
+
+func (c *closeCounter) Close() error { c.closed++; return nil }
+
+func TestLinesWritesOneJSONObjectPerLine(t *testing.T) {
+	var sink closeCounter
+	l := NewLines(&sink)
+	type row struct {
+		Name string `json:"name"`
+		N    int    `json:"n"`
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := l.Write(row{Name: "x", N: g*100 + i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.Count(); got != 400 {
+		t.Errorf("Count = %d, want 400", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.closed != 1 {
+		t.Errorf("underlying closer closed %d times", sink.closed)
+	}
+
+	lines := 0
+	sc := bufio.NewScanner(&sink.Buffer)
+	for sc.Scan() {
+		var r row
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		lines++
+	}
+	if lines != 400 {
+		t.Errorf("decoded %d lines, want 400", lines)
+	}
+}
+
+func TestLinesWithoutCloser(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLines(&buf)
+	if err := l.Write(map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("nothing flushed")
+	}
+}

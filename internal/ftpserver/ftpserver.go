@@ -93,6 +93,10 @@ type Config struct {
 	// Observer, when non-nil, receives session events (honeypots record
 	// through this hook).
 	Observer Observer
+	// Now, when non-nil, stamps observer events instead of time.Now —
+	// honeypot fleets inject a simulated clock here so interaction
+	// timelines are reproducible run to run.
+	Now func() time.Time
 }
 
 // Observer receives wire-level session events.
@@ -115,6 +119,10 @@ const (
 	EventPortBounceAttempt
 	EventTLSHandshake
 	EventDisconnect
+	// EventDelete fires only when a DELE actually removed a path; failed
+	// deletes (permission denied, no such file) surface as EventCommand
+	// alone, keeping delete accounting symmetric with EventUpload.
+	EventDelete
 )
 
 // String names the kind for audit sinks and logs.
@@ -138,6 +146,8 @@ func (k EventKind) String() string {
 		return "tls_handshake"
 	case EventDisconnect:
 		return "disconnect"
+	case EventDelete:
+		return "delete"
 	default:
 		return "unknown"
 	}
@@ -551,7 +561,11 @@ func (s *session) observe(e Event) {
 		e.User = s.authedUser
 	}
 	if e.Time.IsZero() {
-		e.Time = time.Now()
+		if s.cfg.Now != nil {
+			e.Time = s.cfg.Now()
+		} else {
+			e.Time = time.Now()
+		}
 	}
 	s.cfg.Observer.Event(e)
 }
@@ -1109,6 +1123,7 @@ func (s *session) cmdDele(arg string) bool {
 	if err := s.drv.Delete(target); err != nil {
 		return s.driverReply(err, ftp.CodeFileUnavailable, "%s: No such file or directory", arg)
 	}
+	s.observe(Event{Kind: EventDelete, Path: target})
 	return s.replyRaw(wireDeleOK)
 }
 

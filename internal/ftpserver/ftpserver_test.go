@@ -724,3 +724,53 @@ func TestObserverEvents(t *testing.T) {
 		t.Errorf("uploads: %+v", k)
 	}
 }
+
+// TestObserverDeleteEvents: EventDelete fires only when a DELE actually
+// removes a path — failed deletes and directory removals don't count, so
+// the honeypot's uploads/deletes columns stay comparable.
+func TestObserverDeleteEvents(t *testing.T) {
+	rec := &recorder{}
+	stamp := time.Unix(1_450_000_000, 0)
+	cfg := anonConfig()
+	cfg.Observer = rec
+	cfg.AnonWritable = true
+	cfg.Now = func() time.Time { return stamp }
+	env := newEnv(t, cfg)
+	c, _ := env.dial(t)
+	login(t, c)
+
+	dc := env.openPassive(t, c)
+	if r, _ := c.Cmd("STOR", "/incoming/marker"); !r.Preliminary() {
+		t.Fatalf("STOR: %+v", r)
+	}
+	dc.Write([]byte("y"))
+	dc.Close()
+	c.ReadReply()
+
+	if r, _ := c.Cmd("DELE", "/incoming/no-such-file"); !r.Negative() {
+		t.Fatalf("DELE of missing file: %+v", r)
+	}
+	if r, _ := c.Cmd("DELE", "/incoming/marker"); r.Negative() {
+		t.Fatalf("DELE of marker: %+v", r)
+	}
+	if r, _ := c.Cmd("MKD", "/incoming/sub"); r.Negative() {
+		t.Fatalf("MKD: %+v", r)
+	}
+	if r, _ := c.Cmd("RMD", "/incoming/sub"); r.Negative() {
+		t.Fatalf("RMD: %+v", r)
+	}
+
+	k := rec.kinds()
+	if k[EventDelete] != 1 {
+		t.Errorf("EventDelete count = %d, want 1 (only the successful DELE): %+v", k[EventDelete], k)
+	}
+	if got := EventDelete.String(); got != "delete" {
+		t.Errorf("EventDelete.String() = %q", got)
+	}
+	for _, e := range rec.events {
+		if !e.Time.Equal(stamp) {
+			t.Errorf("event %v stamped %v, want injected clock time %v", e.Kind, e.Time, stamp)
+			break
+		}
+	}
+}

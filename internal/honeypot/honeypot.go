@@ -63,11 +63,23 @@ func (l *Log) Len() int {
 type Deployment struct {
 	IPs  []simnet.IP
 	Logs map[simnet.IP]*Log
+	// Lures records each honeypot's lure strategy (legacy deployments are
+	// all LureWebroot).
+	Lures map[simnet.IP]LureStrategy
+	// Acc is the streaming accumulator a DeployFleet deployment folds
+	// into; nil on legacy buffered deployments.
+	Acc *Accumulator
 }
 
-// BindMetrics mirrors every honeypot's event stream into the registry's
-// honeypot.events counter. Bind before the attacker fleet runs.
+// BindMetrics mirrors the deployment's event stream into the registry.
+// Streaming deployments bind the accumulator's instruments; legacy buffered
+// deployments mirror each Log into the honeypot.events counter. Bind before
+// the attacker fleet runs.
 func (d *Deployment) BindMetrics(reg *obs.Registry) {
+	if d.Acc != nil {
+		d.Acc.BindMetrics(reg)
+		return
+	}
 	c := reg.Counter("honeypot.events")
 	for _, log := range d.Logs {
 		log.BindCounter(c)
@@ -95,7 +107,10 @@ func Deploy(provider *simnet.StaticProvider, base simnet.IP, count int, cert *ce
 	if count <= 0 {
 		return nil, fmt.Errorf("honeypot: count must be positive")
 	}
-	d := &Deployment{Logs: make(map[simnet.IP]*Log, count)}
+	d := &Deployment{
+		Logs:  make(map[simnet.IP]*Log, count),
+		Lures: make(map[simnet.IP]LureStrategy, count),
+	}
 	for i := 0; i < count; i++ {
 		ip := simnet.IP(uint64(base) + uint64(i))
 		log := &Log{}
@@ -118,6 +133,7 @@ func Deploy(provider *simnet.StaticProvider, base simnet.IP, count int, cert *ce
 		provider.Add(ip, 21, srv.SimHandler())
 		d.IPs = append(d.IPs, ip)
 		d.Logs[ip] = log
+		d.Lures[ip] = LureWebroot
 	}
 	return d, nil
 }
@@ -164,121 +180,35 @@ type Summary struct {
 	TopSourcePrefixShare float64
 }
 
-// Summarize folds all logs into a Summary.
+// Summarize folds a deployment into a Summary. Streaming deployments
+// finalize their accumulator directly; buffered deployments replay every
+// retained Log through a fresh accumulator — one fold implementation serves
+// both paths, which is what makes streamed and buffered tables byte-identical
+// (TestStreamedMatchesBufferedSummary). Every fold is commutative and the
+// finalize tie-breaks lexicographically, so the replay order cannot matter.
 func Summarize(d *Deployment) Summary {
-	s := Summary{BounceTargets: make(map[string]int)}
-	type remoteState struct {
-		spokeFTP  bool
-		httpGet   bool
-		traversed bool
-		listed    bool
-		authTLS   bool
-		cve       bool
-		rootLogin bool
-		uploads   int
-		mkdirs    int
-	}
-	remotes := map[string]*remoteState{}
-	creds := map[string]bool{}
-	prefixCounts := map[string]int{}
+	return Replay(d).Summary()
+}
 
-	for _, log := range d.Logs {
+// Replay folds a deployment's state into an accumulator: the streaming
+// accumulator as-is, or the buffered Logs replayed event by event.
+func Replay(d *Deployment) *Accumulator {
+	if d.Acc != nil {
+		return d.Acc
+	}
+	acc := NewAccumulator()
+	for ip, log := range d.Logs {
+		ipStr := ip.String()
+		lure := d.Lures[ip]
+		if lure == "" {
+			lure = LureWebroot
+		}
+		acc.Register(ipStr, lure, time.Time{})
 		for _, e := range log.Events() {
-			rs, ok := remotes[e.RemoteIP]
-			if !ok {
-				rs = &remoteState{}
-				remotes[e.RemoteIP] = rs
-			}
-			switch e.Kind {
-			case ftpserver.EventCommand:
-				switch e.Command {
-				case "GET", "POST", "HEAD":
-					rs.httpGet = true
-				case "CWD", "CDUP":
-					rs.spokeFTP = true
-					rs.traversed = true
-				case "LIST", "NLST":
-					rs.spokeFTP = true
-					rs.listed = true
-				case "AUTH":
-					rs.spokeFTP = true
-					rs.authTLS = true
-				case "SITE":
-					rs.spokeFTP = true
-					upper := strings.ToUpper(e.Arg)
-					if strings.HasPrefix(upper, "CPFR") || strings.HasPrefix(upper, "CPTO") {
-						rs.cve = true
-					}
-				case "MKD", "XMKD":
-					rs.spokeFTP = true
-					rs.mkdirs++
-				case "DELE":
-					rs.spokeFTP = true
-					s.Deletes++
-				default:
-					rs.spokeFTP = true
-				}
-			case ftpserver.EventLoginOK:
-				if e.Detail == "anonymous" {
-					s.AnonymousLogins++
-				}
-			case ftpserver.EventLoginFail:
-				if e.User != "" || e.Pass != "" {
-					creds[e.User+":"+e.Pass] = true
-				}
-				if e.User == "root" && e.Pass == "" {
-					rs.rootLogin = true
-				}
-			case ftpserver.EventUpload:
-				rs.uploads++
-				s.Uploads++
-			case ftpserver.EventPortBounceAttempt:
-				s.BounceAttempts++
-				s.BounceTargets[e.Detail]++
-			}
+			acc.observe(ipStr, e)
 		}
 	}
-
-	for ip, rs := range remotes {
-		s.UniqueScanners++
-		if rs.spokeFTP {
-			s.SpokeFTP++
-		}
-		if rs.httpGet {
-			s.HTTPGet++
-		}
-		if rs.traversed {
-			s.Traversed++
-		}
-		if rs.listed {
-			s.Listed++
-		}
-		if rs.authTLS {
-			s.AuthTLS++
-		}
-		if rs.cve {
-			s.CVEAttempts++
-		}
-		if rs.rootLogin {
-			s.RootLogins++
-		}
-		if rs.mkdirs > 0 && rs.uploads == 0 {
-			s.MkdirOnly++
-		}
-		if slash := strings.IndexByte(ip, '.'); slash > 0 {
-			prefixCounts[ip[:slash]+".0.0.0/8"]++
-		}
-	}
-	s.CredentialPairs = len(creds)
-	for prefix, n := range prefixCounts {
-		if n > prefixCounts[s.TopSourcePrefix] || s.TopSourcePrefix == "" {
-			s.TopSourcePrefix = prefix
-		}
-	}
-	if s.UniqueScanners > 0 {
-		s.TopSourcePrefixShare = 100 * float64(prefixCounts[s.TopSourcePrefix]) / float64(s.UniqueScanners)
-	}
-	return s
+	return acc
 }
 
 // Render formats the summary as a §VIII-style report.

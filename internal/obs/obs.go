@@ -65,6 +65,18 @@ func (g *Gauge) Inc() { g.v.Add(1) }
 // Dec moves the gauge down by one.
 func (g *Gauge) Dec() { g.v.Add(-1) }
 
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark idiom (peak in-flight sessions, peak live state). Lock-free
+// and safe against concurrent SetMax callers.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Load returns the current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 

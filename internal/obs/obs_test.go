@@ -254,3 +254,29 @@ func TestChildCounterDegenerateForms(t *testing.T) {
 		t.Error("nil-registry child counter not functional")
 	}
 }
+
+func TestGaugeSetMax(t *testing.T) {
+	g := NewGauge()
+	g.SetMax(5)
+	if g.Load() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Load())
+	}
+	g.SetMax(3)
+	if g.Load() != 5 {
+		t.Errorf("SetMax lowered the high-water mark to %d", g.Load())
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for v := int64(0); v <= 1000; v++ {
+				g.SetMax(v + int64(i))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if g.Load() != 1007 {
+		t.Errorf("concurrent SetMax = %d, want 1007", g.Load())
+	}
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ftpcloud/internal/honeypot"
+)
+
+// Timelines renders the Honeybuckets-style per-lure interaction timelines:
+// how quickly each bait posture drew its first probe and how much traffic it
+// attracted.
+func Timelines(rows []honeypot.LureTimeline) string {
+	t := NewTable("Honeypot fleet — time to first probe by lure strategy",
+		"Lure", "Honeypots", "Probed", "Sessions", "TTF min", "TTF median", "TTF p90", "TTF max")
+	for _, r := range rows {
+		t.Row(string(r.Lure), r.Honeypots, r.Probed, commas(r.Sessions),
+			dur(r.TTFMin), dur(r.TTFMedian), dur(r.TTFP90), dur(r.TTFMax))
+	}
+	return t.String()
+}
+
+// CredClusters renders credential-reuse clustering across the bot
+// population: pairs tried from two or more distinct sources mark shared
+// dictionaries walking the fleet.
+func CredClusters(c honeypot.CredClusters) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Honeypot fleet — credential reuse\n")
+	fmt.Fprintf(&b, "  unique pairs tried:      %s\n", commas(c.UniquePairs))
+	fmt.Fprintf(&b, "  reused across sources:   %s\n", commas(c.ReusedPairs))
+	t := NewTable("  Most widely shared pairs", "Pair", "Sources", "Tries")
+	for _, cl := range c.Top {
+		t.Row(cl.Pair, cl.Sources, commas(cl.Tries))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// Attribution renders the campaign attribution table: which cataloged
+// campaigns (plus protocol-level exploits and relay abuse) the fleet
+// observed, and from how many distinct sources.
+func Attribution(rows []honeypot.CampaignRow) string {
+	t := NewTable("Honeypot fleet — campaign attribution", "Campaign", "Events", "Sources")
+	for _, r := range rows {
+		t.Row(r.Key, commas(r.Events), commas(r.Sources))
+	}
+	return t.String()
+}
+
+// Honeypot renders the full streamed study: the §VIII summary followed by
+// the fleet-scale analyses.
+func Honeypot(r honeypot.Report) string {
+	var b strings.Builder
+	b.WriteString(honeypot.Render(r.Summary))
+	fmt.Fprintf(&b, "  events / sessions:        %s / %s\n",
+		commas(int(r.Events)), commas(int(r.Sessions)))
+	b.WriteString("\n")
+	b.WriteString(Timelines(r.Timelines))
+	b.WriteString("\n")
+	b.WriteString(CredClusters(r.Creds))
+	b.WriteString("\n")
+	b.WriteString(Attribution(r.Attribution))
+	return b.String()
+}
+
+// dur formats a duration compactly for timeline tables.
+func dur(d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return d.Round(time.Millisecond).String()
+}
